@@ -1,0 +1,533 @@
+//! Greedy product search: the naive (Figure 5) and refined (Figure 6)
+//! detection algorithms.
+//!
+//! Both search for a set of columns whose bitwise-AND ("k-product") stays
+//! heavy. The naive algorithm works on the whole matrix; the refined one
+//! first screens the `n′` heaviest columns (heavier columns are likelier
+//! to be pattern columns, Theorem 2), finds a *core* there, and then uses
+//! the core's row vector to sweep every remaining column at O(n) cost.
+//!
+//! Implementation notes:
+//! * products are extended only by columns *after* their largest member
+//!   (canonical combinatorial order), which enumerates every column set at
+//!   most once — the paper's `w ∉ A_v` rule plus duplicate suppression;
+//! * the per-iteration "hopefuls" list keeps the H heaviest candidates in
+//!   a bounded min-heap, exactly as in the paper (a priority queue of
+//!   size O(n)).
+
+use crate::termination::{stop_point, TerminationConfig};
+use crate::thresholds::ln_natural_occurrence;
+use dcs_bitmap::words::{and_weight, iter_ones};
+use dcs_bitmap::ColMatrix;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Tuning parameters of the greedy search.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct SearchConfig {
+    /// Size of the per-iteration hopefuls list (the paper's O(n)).
+    pub hopefuls: usize,
+    /// Upper bound on product order (the paper's `num_iterations`,
+    /// ≈ b + c).
+    pub max_iterations: usize,
+    /// Screening budget n′ for the refined algorithm.
+    pub n_prime: usize,
+    /// Core-expansion slack γ: columns within γ of the core weight join
+    /// the witness set (paper: "setting γ to 2 or 3 will work very well").
+    pub gamma: u32,
+    /// Non-natural level ε for the final verdict.
+    pub epsilon: f64,
+    /// Weight-curve reader configuration.
+    pub termination: TerminationConfig,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        SearchConfig {
+            hopefuls: 1_000,
+            max_iterations: 40,
+            n_prime: 4_000,
+            gamma: 2,
+            epsilon: 1e-3,
+            termination: TerminationConfig::default(),
+        }
+    }
+}
+
+/// Result of an aligned-case detection run.
+#[derive(Debug, Clone)]
+pub struct AlignedDetection {
+    /// Whether a non-naturally-occurring pattern was found.
+    pub found: bool,
+    /// Routers (row indices) of the detected pattern — the 1-bits of the
+    /// final core product.
+    pub rows: Vec<u32>,
+    /// Columns of the full witness set (original matrix indices).
+    pub cols: Vec<usize>,
+    /// Columns of the core alone (original matrix indices).
+    pub core_cols: Vec<usize>,
+    /// Heaviest-product weight after each iteration (the Figure-7 curve);
+    /// `weight_curve[k]` is the best (k+2)-product weight.
+    pub weight_curve: Vec<u32>,
+    /// Index into `weight_curve` where the termination procedure stopped.
+    pub stopped_at: Option<usize>,
+}
+
+impl AlignedDetection {
+    fn not_found(weight_curve: Vec<u32>) -> Self {
+        AlignedDetection {
+            found: false,
+            rows: Vec::new(),
+            cols: Vec::new(),
+            core_cols: Vec::new(),
+            weight_curve,
+            stopped_at: None,
+        }
+    }
+}
+
+/// A k-product under construction.
+#[derive(Debug, Clone)]
+struct Product {
+    words: Vec<u64>,
+    weight: u32,
+    /// Member columns, ascending (indices into the *working* matrix).
+    members: Vec<u32>,
+}
+
+/// Runs the greedy core search on `work` (a column subset of the original
+/// matrix). Returns the best product per iteration.
+fn product_search(work: &ColMatrix, cfg: &SearchConfig) -> (Vec<u32>, Vec<Product>) {
+    let n = work.ncols();
+    let mut curve = Vec::new();
+    let mut best_per_iter: Vec<Product> = Vec::new();
+    if n < 2 {
+        return (curve, best_per_iter);
+    }
+
+    // Iteration 1: all 2-products, keep the H heaviest.
+    let mut heap: BinaryHeap<Reverse<(u32, u32, u32)>> = BinaryHeap::new();
+    for i in 0..n as u32 {
+        let ci = work.column(i as usize);
+        for j in (i + 1)..n as u32 {
+            let w = and_weight(ci, work.column(j as usize));
+            push_bounded(&mut heap, cfg.hopefuls, (w, i, j));
+        }
+    }
+    let mut hopefuls: Vec<Product> = heap
+        .into_sorted_vec()
+        .into_iter()
+        .map(|Reverse((w, i, j))| {
+            let mut words = work.column(i as usize).to_vec();
+            dcs_bitmap::words::and_assign(&mut words, work.column(j as usize));
+            Product {
+                words,
+                weight: w,
+                members: vec![i, j],
+            }
+        })
+        .collect();
+    // into_sorted_vec of Reverse is descending by Reverse => ascending by
+    // weight reversed... make the heaviest first explicitly.
+    hopefuls.sort_by_key(|p| Reverse(p.weight));
+    record_best(&hopefuls, &mut curve, &mut best_per_iter);
+
+    // Iterations 2..: extend each hopeful with columns after its max member.
+    for _ in 1..cfg.max_iterations {
+        if hopefuls.is_empty() || curve.last() == Some(&0) {
+            break;
+        }
+        let mut heap: BinaryHeap<Reverse<(u32, u32, u32)>> = BinaryHeap::new();
+        for (pi, p) in hopefuls.iter().enumerate() {
+            let start = p.members.last().copied().unwrap_or(0) + 1;
+            for j in start..n as u32 {
+                let w = and_weight(&p.words, work.column(j as usize));
+                push_bounded(&mut heap, cfg.hopefuls, (w, pi as u32, j));
+            }
+        }
+        if heap.is_empty() {
+            break;
+        }
+        let mut next: Vec<Product> = heap
+            .into_sorted_vec()
+            .into_iter()
+            .map(|Reverse((w, pi, j))| {
+                let parent = &hopefuls[pi as usize];
+                let mut words = parent.words.clone();
+                dcs_bitmap::words::and_assign(&mut words, work.column(j as usize));
+                let mut members = parent.members.clone();
+                members.push(j);
+                Product {
+                    words,
+                    weight: w,
+                    members,
+                }
+            })
+            .collect();
+        next.sort_by_key(|p| Reverse(p.weight));
+        hopefuls = next;
+        record_best(&hopefuls, &mut curve, &mut best_per_iter);
+
+        // Early exit: once the curve shows a plateau followed by a dive we
+        // already have everything the termination procedure needs.
+        if let Some(stop) = stop_point(&curve, cfg.termination) {
+            if curve.len() - stop > 3 {
+                break;
+            }
+        }
+    }
+    (curve, best_per_iter)
+}
+
+fn record_best(hopefuls: &[Product], curve: &mut Vec<u32>, best: &mut Vec<Product>) {
+    let b = hopefuls.first().expect("hopefuls non-empty");
+    curve.push(b.weight);
+    best.push(b.clone());
+}
+
+fn push_bounded(
+    heap: &mut BinaryHeap<Reverse<(u32, u32, u32)>>,
+    cap: usize,
+    item: (u32, u32, u32),
+) {
+    if heap.len() < cap {
+        heap.push(Reverse(item));
+    } else if let Some(Reverse(min)) = heap.peek() {
+        if item.0 > min.0 {
+            heap.pop();
+            heap.push(Reverse(item));
+        }
+    }
+}
+
+/// Iterated multi-pattern detection (the Section II-D layering for the
+/// aligned case): run the refined search, remove the witness columns of
+/// each found pattern, and repeat on the remaining columns until nothing
+/// non-natural is left or `max_patterns` are found.
+///
+/// Distinct contents occupy distinct column sets (two different payload
+/// streams hash to different indices with overwhelming probability), so
+/// column removal cleanly peels one content at a time — including weaker
+/// patterns initially shadowed by a dominant one.
+pub fn refined_detect_multi(
+    matrix: &ColMatrix,
+    cfg: &SearchConfig,
+    max_patterns: usize,
+) -> Vec<AlignedDetection> {
+    let mut remaining: Vec<usize> = (0..matrix.ncols()).collect();
+    let mut found = Vec::new();
+    for _ in 0..max_patterns {
+        if remaining.len() < 2 {
+            break;
+        }
+        let work = matrix.select_columns(&remaining);
+        let mut det = refined_detect(&work, cfg);
+        if !det.found {
+            break;
+        }
+        // Map work-matrix column ids back to the original matrix.
+        det.cols = det.cols.iter().map(|&c| remaining[c]).collect();
+        det.core_cols = det.core_cols.iter().map(|&c| remaining[c]).collect();
+        let taken: std::collections::HashSet<usize> = det.cols.iter().copied().collect();
+        remaining.retain(|c| !taken.contains(c));
+        found.push(det);
+    }
+    found
+}
+
+/// The naive algorithm (Figure 5): product search over the whole matrix,
+/// no screening, no expansion sweep.
+pub fn naive_detect(matrix: &ColMatrix, cfg: &SearchConfig) -> AlignedDetection {
+    let identity: Vec<usize> = (0..matrix.ncols()).collect();
+    detect_inner(matrix, matrix, &identity, cfg, false)
+}
+
+/// The refined algorithm (Figure 6): screen the n′ heaviest columns, find
+/// a core there, then sweep all columns with the core row vector.
+pub fn refined_detect(matrix: &ColMatrix, cfg: &SearchConfig) -> AlignedDetection {
+    let n = matrix.ncols();
+    let n_prime = cfg.n_prime.min(n);
+    // Indices of the n′ heaviest columns.
+    let weights = matrix.col_weights();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_unstable_by_key(|&j| Reverse(weights[j]));
+    let selected: Vec<usize> = order.into_iter().take(n_prime).collect();
+    let work = matrix.select_columns(&selected);
+    detect_inner(matrix, &work, &selected, cfg, true)
+}
+
+/// Shared tail: search `work` (whose column `k` is original column
+/// `mapping[k]`), read the curve, optionally expand across `matrix`.
+fn detect_inner(
+    matrix: &ColMatrix,
+    work: &ColMatrix,
+    mapping: &[usize],
+    cfg: &SearchConfig,
+    expand: bool,
+) -> AlignedDetection {
+    let (curve, best) = product_search(work, cfg);
+    let Some(stop) = stop_point(&curve, cfg.termination) else {
+        return AlignedDetection::not_found(curve);
+    };
+    let core = &best[stop];
+    let core_cols: Vec<usize> = core.members.iter().map(|&k| mapping[k as usize]).collect();
+
+    // Witness set: the core plus (refined only) every other column sharing
+    // ≥ weight(core) − γ ones with the core row vector.
+    let mut cols = core_cols.clone();
+    if expand {
+        let thresh = core.weight.saturating_sub(cfg.gamma);
+        let core_set: std::collections::HashSet<usize> = core_cols.iter().copied().collect();
+        for j in 0..matrix.ncols() {
+            if core_set.contains(&j) {
+                continue;
+            }
+            if and_weight(&core.words, matrix.column(j)) >= thresh {
+                cols.push(j);
+            }
+        }
+        cols.sort_unstable();
+    }
+
+    // Verdict: is (weight(core) × |cols|) non-naturally-occurring in the
+    // full matrix?
+    let ln_p = ln_natural_occurrence(
+        matrix.nrows() as u64,
+        matrix.ncols() as u64,
+        u64::from(core.weight),
+        cols.len() as u64,
+    );
+    let found = ln_p <= cfg.epsilon.ln();
+    if !found {
+        return AlignedDetection {
+            found: false,
+            rows: Vec::new(),
+            cols: Vec::new(),
+            core_cols,
+            weight_curve: curve,
+            stopped_at: Some(stop),
+        };
+    }
+    AlignedDetection {
+        found,
+        rows: iter_ones(&core.words).map(|r| r as u32).collect(),
+        cols,
+        core_cols,
+        weight_curve: curve,
+        stopped_at: Some(stop),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// m×n Bernoulli(1/2) matrix with an optional planted a×b pattern.
+    /// Returns (matrix, pattern_rows, pattern_cols).
+    fn planted_matrix(
+        rng: &mut StdRng,
+        m: usize,
+        n: usize,
+        a: usize,
+        b: usize,
+    ) -> (ColMatrix, Vec<u32>, Vec<usize>) {
+        let mut mat = ColMatrix::new(m, n);
+        for r in 0..m {
+            for c in 0..n {
+                if rng.gen::<bool>() {
+                    mat.set(r, c);
+                }
+            }
+        }
+        // Plant: first `a` rows × a random set of `b` columns (random rows
+        // would be equivalent; fixed rows simplify assertions).
+        let mut cols: Vec<usize> = (0..n).collect();
+        use rand::seq::SliceRandom;
+        cols.shuffle(rng);
+        let pattern_cols: Vec<usize> = {
+            let mut v = cols.into_iter().take(b).collect::<Vec<_>>();
+            v.sort_unstable();
+            v
+        };
+        for &c in &pattern_cols {
+            for r in 0..a {
+                mat.set(r, c);
+            }
+        }
+        (mat, (0..a as u32).collect(), pattern_cols)
+    }
+
+    fn small_cfg() -> SearchConfig {
+        SearchConfig {
+            hopefuls: 200,
+            max_iterations: 25,
+            n_prime: 120,
+            gamma: 2,
+            epsilon: 1e-3,
+            termination: TerminationConfig::default(),
+        }
+    }
+
+    #[test]
+    fn refined_finds_planted_pattern() {
+        let mut r = StdRng::seed_from_u64(42);
+        let (mat, rows, cols) = planted_matrix(&mut r, 96, 800, 30, 12);
+        let det = refined_detect(&mat, &small_cfg());
+        assert!(det.found, "pattern not found; curve {:?}", det.weight_curve);
+        // Most detected rows are true pattern rows.
+        let row_hits = det.rows.iter().filter(|r| rows.contains(r)).count();
+        assert!(
+            row_hits * 10 >= det.rows.len() * 8,
+            "row precision too low: {row_hits}/{}",
+            det.rows.len()
+        );
+        // The witness set recovers a good share of the pattern columns.
+        let col_hits = det.cols.iter().filter(|c| cols.contains(c)).count();
+        assert!(
+            col_hits >= cols.len() / 2,
+            "recovered only {col_hits}/{} pattern columns",
+            cols.len()
+        );
+    }
+
+    #[test]
+    fn refined_rejects_pure_noise() {
+        let mut r = StdRng::seed_from_u64(43);
+        let (mat, _, _) = planted_matrix(&mut r, 96, 800, 0, 0);
+        let det = refined_detect(&mat, &small_cfg());
+        assert!(!det.found, "false positive on pure noise");
+    }
+
+    #[test]
+    fn naive_finds_planted_pattern_small() {
+        let mut r = StdRng::seed_from_u64(44);
+        let (mat, _, cols) = planted_matrix(&mut r, 64, 150, 24, 10);
+        let cfg = SearchConfig {
+            hopefuls: 150,
+            ..small_cfg()
+        };
+        let det = naive_detect(&mat, &cfg);
+        assert!(det.found, "naive missed pattern; curve {:?}", det.weight_curve);
+        let hits = det.cols.iter().filter(|c| cols.contains(c)).count();
+        assert!(hits >= 5, "naive recovered {hits} pattern columns");
+    }
+
+    #[test]
+    fn naive_rejects_pure_noise_small() {
+        let mut r = StdRng::seed_from_u64(45);
+        let (mat, _, _) = planted_matrix(&mut r, 64, 150, 0, 0);
+        let det = naive_detect(&mat, &small_cfg());
+        assert!(!det.found);
+    }
+
+    #[test]
+    fn weight_curve_shape_dive_plateau() {
+        // With a planted pattern the curve must contain a plateau.
+        let mut r = StdRng::seed_from_u64(46);
+        let (mat, _, _) = planted_matrix(&mut r, 96, 800, 30, 12);
+        let det = refined_detect(&mat, &small_cfg());
+        assert!(det.stopped_at.is_some());
+        let stop = det.stopped_at.unwrap();
+        assert!(stop >= 1, "plateau should take a few iterations");
+        // First step is a dive: from ~m/4 two-product to deeper products.
+        assert!(det.weight_curve[0] > det.weight_curve[stop]);
+    }
+
+    #[test]
+    fn tiny_matrices_do_not_panic() {
+        let cfg = small_cfg();
+        let det = naive_detect(&ColMatrix::new(8, 0), &cfg);
+        assert!(!det.found);
+        let det = naive_detect(&ColMatrix::new(8, 1), &cfg);
+        assert!(!det.found);
+        let mut m = ColMatrix::new(2, 2);
+        m.set(0, 0);
+        m.set(0, 1);
+        let det = naive_detect(&m, &cfg);
+        assert!(!det.found, "a 1x2 'pattern' is naturally occurring");
+    }
+
+    #[test]
+    fn multi_detection_separates_two_contents() {
+        let mut r = StdRng::seed_from_u64(48);
+        // Two disjoint patterns: rows 0..30 x 12 cols, rows 40..70 x 12
+        // other cols.
+        let m = 96;
+        let n = 800;
+        let mut mat = ColMatrix::new(m, n);
+        for c in 0..n {
+            for row in 0..m {
+                if r.gen::<bool>() {
+                    mat.set(row, c);
+                }
+            }
+        }
+        use rand::seq::SliceRandom;
+        let mut cols: Vec<usize> = (0..n).collect();
+        cols.shuffle(&mut r);
+        let cols_a: Vec<usize> = cols[..12].to_vec();
+        let cols_b: Vec<usize> = cols[12..24].to_vec();
+        for &c in &cols_a {
+            for row in 0..30 {
+                mat.set(row, c);
+            }
+        }
+        for &c in &cols_b {
+            for row in 40..70 {
+                mat.set(row, c);
+            }
+        }
+        let dets = refined_detect_multi(&mat, &small_cfg(), 4);
+        assert!(dets.len() >= 2, "found {} patterns, wanted 2", dets.len());
+        // Each truth pattern should be the best match of some detection.
+        let row_match = |det: &AlignedDetection, lo: u32, hi: u32| {
+            let hits = det.rows.iter().filter(|&&x| x >= lo && x < hi).count();
+            hits * 10 >= det.rows.len() * 8 && hits >= 20
+        };
+        assert!(
+            dets.iter().any(|d| row_match(d, 0, 30)),
+            "pattern A (rows 0..30) not separated"
+        );
+        assert!(
+            dets.iter().any(|d| row_match(d, 40, 70)),
+            "pattern B (rows 40..70) not separated"
+        );
+        // Witness columns must not overlap across the two reports.
+        let all: Vec<usize> = dets.iter().flat_map(|d| d.cols.iter().copied()).collect();
+        let distinct: std::collections::HashSet<usize> = all.iter().copied().collect();
+        assert_eq!(all.len(), distinct.len(), "column sets overlap");
+    }
+
+    #[test]
+    fn multi_detection_on_noise_is_empty() {
+        let mut r = StdRng::seed_from_u64(49);
+        let (mat, _, _) = planted_matrix(&mut r, 96, 600, 0, 0);
+        assert!(refined_detect_multi(&mat, &small_cfg(), 3).is_empty());
+    }
+
+    #[test]
+    fn expansion_recovers_out_of_core_columns() {
+        // Plant a pattern wide enough that the screening keeps only part
+        // of it; expansion must pull in the rest.
+        let mut r = StdRng::seed_from_u64(47);
+        let (mat, _, cols) = planted_matrix(&mut r, 96, 600, 32, 20);
+        let cfg = SearchConfig {
+            n_prime: 60, // tight screening: most pattern columns excluded
+            ..small_cfg()
+        };
+        let det = refined_detect(&mat, &cfg);
+        assert!(det.found);
+        assert!(
+            det.cols.len() > det.core_cols.len(),
+            "expansion added nothing"
+        );
+        let hits = det.cols.iter().filter(|c| cols.contains(c)).count();
+        assert!(
+            hits >= 15,
+            "expansion recovered only {hits}/{} columns",
+            cols.len()
+        );
+    }
+}

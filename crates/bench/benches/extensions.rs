@@ -1,0 +1,150 @@
+//! Benches for the extension layers: capture filters, multi-pattern
+//! detection, sampled correlation + expansion, wire codecs and the
+//! baseline comparators.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use dcs_aligned::{refined_detect_multi, SearchConfig};
+use dcs_collect::{AlignedConfig, UnalignedConfig};
+use dcs_core::capture::{GroupCapture, SignatureCapture};
+use dcs_sim::aligned::planted_matrix;
+use dcs_sim::baseline::{LocalPrevalenceDetector, RawAggregationDetector};
+use dcs_traffic::gen::{generate_epoch, BackgroundConfig, SizeMix};
+use dcs_unaligned::multi::find_patterns_multi;
+use dcs_unaligned::CoreFindConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn capture_filters(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let epoch = generate_epoch(
+        &mut rng,
+        &BackgroundConfig {
+            packets: 2_000,
+            flows: 400,
+            zipf_exponent: 1.0,
+            size_mix: SizeMix::constant(536),
+        },
+    );
+    let bytes: usize = epoch.iter().map(|p| p.wire_len()).sum();
+    let acfg = AlignedConfig::small(1 << 20, 7);
+    let sig: Vec<usize> = (0..30).map(|i| i * 1000).collect();
+    let sig_filter = SignatureCapture::new(&acfg, &sig);
+    let ucfg = UnalignedConfig::small(32, 7, 3);
+    let grp_filter = GroupCapture::new(&ucfg, &[1, 5, 9]);
+
+    let mut g = c.benchmark_group("capture");
+    g.throughput(Throughput::Bytes(bytes as u64));
+    g.bench_function("signature_2k_pkts", |b| {
+        b.iter(|| sig_filter.capture(black_box(&epoch)).len())
+    });
+    g.bench_function("group_2k_pkts", |b| {
+        b.iter(|| grp_filter.capture(black_box(&epoch)).len())
+    });
+    g.finish();
+}
+
+fn multi_pattern(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let p = planted_matrix(&mut rng, 96, 600, 30, 12);
+    let cfg = SearchConfig {
+        hopefuls: 200,
+        max_iterations: 25,
+        n_prime: 120,
+        gamma: 2,
+        epsilon: 1e-3,
+        termination: Default::default(),
+    };
+    c.bench_function("multi/aligned_detect_multi", |b| {
+        b.iter(|| refined_detect_multi(&p.matrix, &cfg, 3).len())
+    });
+
+    let mut r2 = StdRng::seed_from_u64(3);
+    let (g, _) = dcs_graph::er::gnp_planted(
+        &mut r2,
+        dcs_graph::er::PlantedConfig {
+            n: 10_000,
+            p1: 2.0 / 10_000.0,
+            n1: 80,
+            p2: 0.3,
+        },
+    );
+    c.bench_function("multi/unaligned_find_patterns", |b| {
+        b.iter(|| find_patterns_multi(&g, CoreFindConfig { beta: 40, d: 2 }, 3, 1.0).len())
+    });
+}
+
+fn baselines(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    let epoch = generate_epoch(
+        &mut rng,
+        &BackgroundConfig {
+            packets: 2_000,
+            flows: 400,
+            zipf_exponent: 1.0,
+            size_mix: SizeMix::constant(536),
+        },
+    );
+    let bytes: usize = epoch.iter().map(|p| p.wire_len()).sum();
+    let mut g = c.benchmark_group("baseline");
+    g.throughput(Throughput::Bytes(bytes as u64));
+    g.bench_function("raw_aggregation_ingest_2k", |b| {
+        b.iter(|| {
+            let mut det = RawAggregationDetector::new(7);
+            det.ingest(0, &epoch);
+            det.table_entries()
+        })
+    });
+    g.bench_function("local_prevalence_2k", |b| {
+        b.iter(|| {
+            let mut det = LocalPrevalenceDetector::new(7);
+            for p in &epoch {
+                det.observe(p);
+            }
+            det.max_prevalence()
+        })
+    });
+    g.finish();
+}
+
+fn wire_codec(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut col = dcs_collect::UnalignedCollector::new(UnalignedConfig::small(32, 1, 2));
+    for p in generate_epoch(
+        &mut rng,
+        &BackgroundConfig {
+            packets: 4_000,
+            flows: 800,
+            zipf_exponent: 1.0,
+            size_mix: SizeMix::constant(536),
+        },
+    ) {
+        col.observe(&p);
+    }
+    let digest = col.finish_epoch();
+    let wire = digest.encode_wire();
+    let mut g = c.benchmark_group("wire");
+    g.throughput(Throughput::Bytes(wire.len() as u64));
+    g.bench_function("unaligned_encode", |b| b.iter(|| digest.encode_wire().len()));
+    g.bench_function("unaligned_decode", |b| {
+        b.iter(|| {
+            dcs_collect::UnalignedDigest::decode_wire(black_box(&wire))
+                .expect("roundtrip")
+                .1
+        })
+    });
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = capture_filters, multi_pattern, baselines, wire_codec
+}
+criterion_main!(benches);

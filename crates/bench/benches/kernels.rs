@@ -1,0 +1,133 @@
+//! Microbenchmarks of the hot kernels: word AND/popcount, row
+//! correlation, collectors at line rate, Rabin fingerprinting, ER
+//! generation and peeling.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use dcs_bitmap::{words, Bitmap, RowMatrix};
+use dcs_collect::{AlignedCollector, AlignedConfig, UnalignedCollector, UnalignedConfig};
+use dcs_graph::er::gnp;
+use dcs_graph::peel::peel_to_size;
+use dcs_hash::{IndexHasher, RabinFingerprinter, RollingRabin, DEFAULT_POLY};
+use dcs_traffic::{gen, BackgroundConfig, SizeMix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_words(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    // 1000-row columns (16 words) — the aligned case's unit of work.
+    let a: Vec<u64> = (0..16).map(|_| rng.gen()).collect();
+    let b: Vec<u64> = (0..16).map(|_| rng.gen()).collect();
+    let mut g = c.benchmark_group("words");
+    g.throughput(Throughput::Bytes(16 * 8));
+    g.bench_function("and_weight_16w", |bch| {
+        bch.iter(|| words::and_weight(black_box(&a), black_box(&b)))
+    });
+    drop(g);
+
+    // 1024-bit rows — the unaligned case's unit of work.
+    let r1 = Bitmap::from_indices(1024, (0..512).map(|i| i * 2));
+    let r2 = Bitmap::from_indices(1024, (0..512).map(|i| i * 2 + 1));
+    c.bench_function("words/common_ones_1024b", |bch| {
+        bch.iter(|| black_box(&r1).common_ones(black_box(&r2)))
+    });
+}
+
+fn bench_row_sweep(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut m = RowMatrix::new(1024);
+    for _ in 0..400 {
+        let bm = Bitmap::from_indices(1024, (0..450).map(|_| rng.gen_range(0..1024)));
+        m.push_bitmap(&bm);
+    }
+    c.bench_function("analysis/pairwise_400rows", |bch| {
+        bch.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..m.nrows() {
+                for j in (i + 1)..m.nrows() {
+                    acc += u64::from(m.common_ones(i, j));
+                }
+            }
+            acc
+        })
+    });
+}
+
+fn bench_collectors(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let epoch = gen::generate_epoch(
+        &mut rng,
+        &BackgroundConfig {
+            packets: 2_000,
+            flows: 400,
+            zipf_exponent: 1.0,
+            size_mix: SizeMix::constant(536),
+        },
+    );
+    let bytes: usize = epoch.iter().map(|p| p.wire_len()).sum();
+    let mut g = c.benchmark_group("collectors");
+    g.throughput(Throughput::Bytes(bytes as u64));
+    g.bench_function("aligned_observe_2k_pkts", |bch| {
+        bch.iter(|| {
+            let mut col = AlignedCollector::new(AlignedConfig::small(1 << 20, 1));
+            for p in &epoch {
+                col.observe(p);
+            }
+            col.finish_epoch().bitmap.weight()
+        })
+    });
+    g.bench_function("unaligned_observe_2k_pkts", |bch| {
+        bch.iter(|| {
+            let mut col = UnalignedCollector::new(UnalignedConfig::small(128, 1, 2));
+            for p in &epoch {
+                col.observe(p);
+            }
+            col.finish_epoch().packets_sampled
+        })
+    });
+    g.finish();
+}
+
+fn bench_hashing(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut payload = vec![0u8; 536];
+    rng.fill(payload.as_mut_slice());
+    let fp = RabinFingerprinter::new(DEFAULT_POLY);
+    let idx = IndexHasher::new(7);
+    let mut g = c.benchmark_group("hashing");
+    g.throughput(Throughput::Bytes(536));
+    g.bench_function("rabin_536B", |bch| {
+        bch.iter(|| fp.fingerprint(black_box(&payload)))
+    });
+    g.bench_function("index_hash_536B", |bch| {
+        bch.iter(|| idx.index(black_box(&payload), 1 << 22))
+    });
+    g.bench_function("rolling_rabin_536B_w16", |bch| {
+        bch.iter(|| RollingRabin::windows_of(DEFAULT_POLY, 16, black_box(&payload)).len())
+    });
+    g.finish();
+}
+
+fn bench_graph(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    c.bench_function("graph/gnp_100k_subcritical", |bch| {
+        bch.iter(|| gnp(&mut rng, 102_400, 0.65e-5).m())
+    });
+    let g = gnp(&mut rng, 102_400, 2.0 / 102_400.0);
+    c.bench_function("graph/peel_100k_to_50", |bch| {
+        bch.iter(|| peel_to_size(black_box(&g), 50).len())
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_words, bench_row_sweep, bench_collectors, bench_hashing, bench_graph
+}
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Figure 12: the non-naturally-occurring threshold curve and the
+//! detectable threshold curve for the 1,000×4M aligned matrix.
+//!
+//! Paper anchors: non-natural — a=28 ⇒ b≈21, a=70 ⇒ b≈10;
+//! detectable — a=25 ⇒ b≈3029, a=70 ⇒ b≈99, a=100 ⇒ b≈30; the detectable
+//! curve always lies above the non-natural curve.
+
+use dcs_aligned::thresholds::{detectable_min_b, non_natural_min_b, DetectableParams};
+use dcs_bench::{aligned_paper, banner, RunScale};
+use dcs_sim::table::render_table;
+
+fn main() {
+    let _scale = RunScale::from_env(1);
+    banner(
+        "Figure 12 — non-naturally-occurring and detectable thresholds",
+        "m = 1000 routers, n = 4M columns, n' = 4000, detection target 95%",
+    );
+    let p = DetectableParams {
+        m: aligned_paper::M as u64,
+        n: aligned_paper::N as u64,
+        n_prime: aligned_paper::N_PRIME as u64,
+        epsilon: 1e-3,
+    };
+    let b_max = 10_000;
+    let mut rows = Vec::new();
+    for a in (20..=200).step_by(5) {
+        let nn = non_natural_min_b(p.m, p.n, a, p.epsilon, b_max);
+        let det = detectable_min_b(p, a, 0.95, b_max);
+        rows.push(vec![
+            a.to_string(),
+            nn.map_or("-".into(), |b| b.to_string()),
+            det.map_or("-".into(), |b| b.to_string()),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(&["a (routers)", "non-natural min b", "detectable min b"], &rows)
+    );
+    println!("(paper anchors: a=28→21 / a=70→10 non-natural; a=25→3029, a=70→99, a=100→30 detectable)");
+}

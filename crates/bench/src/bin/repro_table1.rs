@@ -1,0 +1,75 @@
+//! Table I: average core size, false negative and false positive of the
+//! greedy 3-step detection, for content sizes g ∈ {100, 110, 120} and the
+//! minimum n₁ reaching ~50 %, 75 % and 90 % average recovery.
+//!
+//! Operating point: the paper builds the detection graph at
+//! p₁′ = 0.8×10⁻⁴ (background mean degree ≈ 8); our match-model p₂ is
+//! calibrated at the typical row weight, and the detection graph is built
+//! at a leaner p₁′ = 2/n (background degree 2) where min-degree peeling
+//! separates the pattern best — the co-tuning freedom the paper's
+//! Section IV-C explicitly allows. Set DCS_P1_PAPER=1 to use 0.8e-4.
+
+use dcs_bench::{banner, unaligned_paper, RunScale};
+use dcs_sim::table::render_table;
+use dcs_sim::unaligned::{core_finding_stats, min_n1_for_recovery, p2_for};
+use dcs_unaligned::CoreFindConfig;
+
+fn main() {
+    let scale = RunScale::from_env(10);
+    banner(
+        "Table I — greedy core finding: size, FN, FP",
+        "n = 102,400 group-vertices; g = 100/110/120; recovery tiers 50/75/90%",
+    );
+    let n = if scale.quick { 20_000 } else { unaligned_paper::N };
+    let p1 = if std::env::var("DCS_P1_PAPER").is_ok() {
+        unaligned_paper::DETECT_P1_PAPER
+    } else {
+        2.0 / n as f64
+    };
+    println!("detection graph p1' = {p1:.2e}, reps = {}", scale.reps);
+
+    let tiers = [0.5, 0.75, 0.9];
+    let mut rows = Vec::new();
+    for g in [100usize, 110, 120] {
+        let p2 = p2_for(g, p1);
+        for &tier in &tiers {
+            let seed = 0x7AB1 ^ ((g as u64) << 32) ^ ((tier * 100.0) as u64);
+            // β scales with the candidate pattern size, as the paper's
+            // per-operating-point Monte-Carlo tuning does.
+            let cfg_for = |n1: usize| CoreFindConfig {
+                beta: (n1 / 2).max(20),
+                d: 2,
+            };
+            let Some(n1) =
+                min_n1_for_recovery(seed, n, p1, p2, &cfg_for, tier, scale.reps, 2_000)
+            else {
+                rows.push(vec![
+                    g.to_string(),
+                    format!("{:.0}%", tier * 100.0),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                ]);
+                continue;
+            };
+            let stats = core_finding_stats(seed ^ 0xFF, n, p1, n1, p2, cfg_for(n1), scale.reps);
+            rows.push(vec![
+                g.to_string(),
+                format!("{:.0}%", tier * 100.0),
+                n1.to_string(),
+                format!("{:.1}", stats.avg_core_size),
+                format!("{:.3}", stats.avg_false_negative),
+                format!("{:.3}", stats.avg_false_positive),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        render_table(
+            &["g (pkts)", "tier", "n1", "avg core", "avg FN", "avg FP"],
+            &rows
+        )
+    );
+    println!("(paper, g=100: n1 = 125/144/165 → core 65.3/112.1/154.4, FN 0.485/0.241/0.099, FP ≤ 0.037)");
+}

@@ -1,0 +1,40 @@
+//! Table II: the minimum non-naturally-occurring cluster size m for
+//! content of g ∈ {80 … 150} packets, from the eq. (2)/(3) bounds with
+//! brute-force co-tuning of (p₁, d).
+//!
+//! Paper values: 297, 150, 95, 62, 46, 36, 28, 23.
+
+use dcs_bench::{banner, unaligned_paper, RunScale};
+use dcs_sim::table::render_table;
+use dcs_unaligned::thresholds::{cluster_threshold_cotuned, default_p1_grid};
+
+fn main() {
+    let _scale = RunScale::from_env(1);
+    banner(
+        "Table II — non-naturally-occurring cluster bound",
+        "n = 102,400; FP bound 1e-10; power 0.95; co-tuned (p1, d)",
+    );
+    let n = unaligned_paper::N as u64;
+    let grid = default_p1_grid(n);
+    let mut rows = Vec::new();
+    for g in (80..=150).step_by(10) {
+        match cluster_threshold_cotuned(n, g, 100, &grid, 1e-10, 0.95, 3_000) {
+            Some(t) => rows.push(vec![
+                g.to_string(),
+                t.m.to_string(),
+                t.d.to_string(),
+                format!("{:.2e}", t.p1),
+                format!("{:.4}", t.p2),
+            ]),
+            None => rows.push(vec![g.to_string(), "-".into(), "-".into(), "-".into(), "-".into()]),
+        }
+    }
+    println!(
+        "{}",
+        render_table(
+            &["g (pkts)", "min size m", "edge cut d", "p1", "p2"],
+            &rows
+        )
+    );
+    println!("(paper: m = 297, 150, 95, 62, 46, 36, 28, 23 for g = 80 … 150)");
+}

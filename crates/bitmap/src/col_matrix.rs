@@ -1,0 +1,214 @@
+//! Column-major 0-1 matrix: the fused digest store of the aligned case.
+//!
+//! In the aligned case (Section III) the analysis centre stacks one n-bit
+//! bitmap per router into an m×n matrix and then operates on *columns*:
+//! the detection algorithms repeatedly AND column vectors (k-products) and
+//! rank them by weight. Storing the matrix column-major makes a column a
+//! contiguous `&[u64]` of `ceil(m/64)` words, so a product step over
+//! thousands of columns is a linear scan.
+
+use crate::words::{self, words_for, WORD_BITS};
+use crate::Bitmap;
+use serde::{Deserialize, Serialize};
+
+/// A column-major bit matrix with `nrows` (routers) and `ncols` (hash
+/// indices) — the aligned-case fused digest.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ColMatrix {
+    nrows: usize,
+    ncols: usize,
+    words_per_col: usize,
+    data: Vec<u64>,
+}
+
+impl ColMatrix {
+    /// Creates an all-zero matrix.
+    pub fn new(nrows: usize, ncols: usize) -> Self {
+        let words_per_col = words_for(nrows);
+        ColMatrix {
+            nrows,
+            ncols,
+            words_per_col,
+            data: vec![0; words_per_col * ncols],
+        }
+    }
+
+    /// Fuses one n-bit digest per router into an m×n column-major matrix.
+    ///
+    /// Row r of the result is router r's bitmap; the transpose is performed
+    /// by walking each bitmap's set bits (cheap because digests are at most
+    /// half full).
+    ///
+    /// # Panics
+    /// Panics if the bitmaps do not all share the same length.
+    pub fn from_router_bitmaps(bitmaps: &[Bitmap]) -> Self {
+        let nrows = bitmaps.len();
+        let ncols = bitmaps.first().map_or(0, Bitmap::len);
+        let mut m = ColMatrix::new(nrows, ncols);
+        for (r, bm) in bitmaps.iter().enumerate() {
+            assert_eq!(bm.len(), ncols, "router digests must have equal width");
+            for j in bm.iter_ones() {
+                m.set(r, j);
+            }
+        }
+        m
+    }
+
+    /// Number of rows (routers).
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns (hash indices).
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Words per column in the backing store.
+    #[inline]
+    pub fn words_per_col(&self) -> usize {
+        self.words_per_col
+    }
+
+    /// Sets the bit at (`row`, `col`).
+    ///
+    /// # Panics
+    /// Panics if out of range.
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize) {
+        assert!(row < self.nrows, "row {row} out of range {}", self.nrows);
+        assert!(col < self.ncols, "col {col} out of range {}", self.ncols);
+        self.data[col * self.words_per_col + row / WORD_BITS] |= 1u64 << (row % WORD_BITS);
+    }
+
+    /// Reads the bit at (`row`, `col`).
+    ///
+    /// # Panics
+    /// Panics if out of range.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> bool {
+        assert!(row < self.nrows, "row {row} out of range {}", self.nrows);
+        self.column(col)[row / WORD_BITS] >> (row % WORD_BITS) & 1 == 1
+    }
+
+    /// Word slice of column `j` (an m-bit vector).
+    ///
+    /// # Panics
+    /// Panics if `j >= ncols`.
+    #[inline]
+    pub fn column(&self, j: usize) -> &[u64] {
+        assert!(j < self.ncols, "col {j} out of range {}", self.ncols);
+        &self.data[j * self.words_per_col..(j + 1) * self.words_per_col]
+    }
+
+    /// Weight (number of 1's) of column `j` — how many routers saw a packet
+    /// hashing to index `j`.
+    #[inline]
+    pub fn col_weight(&self, j: usize) -> u32 {
+        words::weight(self.column(j))
+    }
+
+    /// Weights of all columns in one pass.
+    pub fn col_weights(&self) -> Vec<u32> {
+        (0..self.ncols).map(|j| self.col_weight(j)).collect()
+    }
+
+    /// Extracts the listed columns into a new matrix (used by the refined
+    /// algorithm to materialise the n′ heaviest columns).
+    ///
+    /// Column `k` of the result is column `cols[k]` of `self`.
+    ///
+    /// # Panics
+    /// Panics if any index is out of range.
+    pub fn select_columns(&self, cols: &[usize]) -> ColMatrix {
+        let mut out = ColMatrix {
+            nrows: self.nrows,
+            ncols: cols.len(),
+            words_per_col: self.words_per_col,
+            data: Vec::with_capacity(self.words_per_col * cols.len()),
+        };
+        for &j in cols {
+            out.data.extend_from_slice(self.column(j));
+        }
+        out
+    }
+
+    /// Number of rows where columns `i` and `j` are both 1 (weight of the
+    /// 2-product).
+    #[inline]
+    pub fn col_and_weight(&self, i: usize, j: usize) -> u32 {
+        words::and_weight(self.column(i), self.column(j))
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn byte_size(&self) -> usize {
+        self.data.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut m = ColMatrix::new(70, 5);
+        m.set(69, 4);
+        m.set(0, 0);
+        assert!(m.get(69, 4));
+        assert!(m.get(0, 0));
+        assert!(!m.get(1, 0));
+        assert_eq!(m.col_weight(4), 1);
+        assert_eq!(m.col_weight(1), 0);
+    }
+
+    #[test]
+    fn from_router_bitmaps_transposes() {
+        let r0 = Bitmap::from_indices(10, [0, 3]);
+        let r1 = Bitmap::from_indices(10, [3, 9]);
+        let m = ColMatrix::from_router_bitmaps(&[r0, r1]);
+        assert_eq!(m.nrows(), 2);
+        assert_eq!(m.ncols(), 10);
+        assert!(m.get(0, 0));
+        assert!(!m.get(1, 0));
+        assert!(m.get(0, 3) && m.get(1, 3));
+        assert_eq!(m.col_weight(3), 2);
+        assert_eq!(m.col_weights(), vec![1, 0, 0, 2, 0, 0, 0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn select_columns_preserves_content() {
+        let r0 = Bitmap::from_indices(6, [0, 2, 4]);
+        let r1 = Bitmap::from_indices(6, [2, 5]);
+        let m = ColMatrix::from_router_bitmaps(&[r0, r1]);
+        let s = m.select_columns(&[2, 5]);
+        assert_eq!(s.ncols(), 2);
+        assert_eq!(s.col_weight(0), 2);
+        assert_eq!(s.col_weight(1), 1);
+        assert!(s.get(0, 0) && s.get(1, 0));
+        assert!(!s.get(0, 1) && s.get(1, 1));
+    }
+
+    #[test]
+    fn col_and_weight_counts_shared_rows() {
+        let r0 = Bitmap::from_indices(4, [0, 1]);
+        let r1 = Bitmap::from_indices(4, [0, 1]);
+        let r2 = Bitmap::from_indices(4, [1, 2]);
+        let m = ColMatrix::from_router_bitmaps(&[r0, r1, r2]);
+        // column 0: rows {0,1}; column 1: rows {0,1,2}; column 2: rows {2}
+        assert_eq!(m.col_and_weight(0, 1), 2);
+        assert_eq!(m.col_and_weight(0, 2), 0);
+        assert_eq!(m.col_and_weight(1, 2), 1);
+        assert_eq!(m.col_and_weight(0, 3), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal width")]
+    fn mismatched_digests_panic() {
+        let r0 = Bitmap::new(8);
+        let r1 = Bitmap::new(9);
+        ColMatrix::from_router_bitmaps(&[r0, r1]);
+    }
+}

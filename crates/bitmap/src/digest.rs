@@ -1,0 +1,181 @@
+//! Compact wire encoding for shipped digests.
+//!
+//! The whole point of the DCS architecture is that only digests — not raw
+//! traffic — cross the network to the analysis centre. This module gives
+//! [`Bitmap`] a dense little-endian binary framing (magic, version, length,
+//! words) so the compression ratio the paper advertises (three orders of
+//! magnitude versus raw traffic) can be measured on actual bytes.
+
+use crate::words::{tail_mask, words_for};
+use crate::Bitmap;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fmt;
+
+/// Magic bytes prefixed to every encoded digest (`b"DCSB"`).
+pub const DIGEST_MAGIC: [u8; 4] = *b"DCSB";
+
+const VERSION: u8 = 1;
+
+/// Errors produced when decoding a digest frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer is shorter than the fixed header or declared body.
+    Truncated {
+        /// Bytes required.
+        needed: usize,
+        /// Bytes available.
+        got: usize,
+    },
+    /// The frame does not start with [`DIGEST_MAGIC`].
+    BadMagic([u8; 4]),
+    /// Unknown format version.
+    BadVersion(u8),
+    /// Bits were set past the declared bitmap length.
+    DirtyTail,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated { needed, got } => {
+                write!(f, "digest truncated: need {needed} bytes, got {got}")
+            }
+            DecodeError::BadMagic(m) => write!(f, "bad digest magic {m:02x?}"),
+            DecodeError::BadVersion(v) => write!(f, "unsupported digest version {v}"),
+            DecodeError::DirtyTail => write!(f, "bits set past declared bitmap length"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl Bitmap {
+    /// Encodes the bitmap into a self-describing binary frame.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(13 + self.words().len() * 8);
+        buf.put_slice(&DIGEST_MAGIC);
+        buf.put_u8(VERSION);
+        buf.put_u64_le(self.len() as u64);
+        for &w in self.words() {
+            buf.put_u64_le(w);
+        }
+        buf.freeze()
+    }
+
+    /// Size in bytes of the encoded frame (header + body).
+    pub fn encoded_len(&self) -> usize {
+        13 + self.words().len() * 8
+    }
+
+    /// Decodes a frame produced by [`Bitmap::encode`].
+    pub fn decode(mut buf: &[u8]) -> Result<Bitmap, DecodeError> {
+        if buf.len() < 13 {
+            return Err(DecodeError::Truncated {
+                needed: 13,
+                got: buf.len(),
+            });
+        }
+        let mut magic = [0u8; 4];
+        buf.copy_to_slice(&mut magic);
+        if magic != DIGEST_MAGIC {
+            return Err(DecodeError::BadMagic(magic));
+        }
+        let version = buf.get_u8();
+        if version != VERSION {
+            return Err(DecodeError::BadVersion(version));
+        }
+        let len = buf.get_u64_le() as usize;
+        let nwords = words_for(len);
+        if buf.len() < nwords * 8 {
+            return Err(DecodeError::Truncated {
+                needed: 13 + nwords * 8,
+                got: 13 + buf.len(),
+            });
+        }
+        let mut words = Vec::with_capacity(nwords);
+        for _ in 0..nwords {
+            words.push(buf.get_u64_le());
+        }
+        if let Some(&last) = words.last() {
+            if last & !tail_mask(len) != 0 {
+                return Err(DecodeError::DirtyTail);
+            }
+        }
+        Ok(Bitmap::from_words(len, words))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let bm = Bitmap::from_indices(1000, [0, 512, 999]);
+        let bytes = bm.encode();
+        assert_eq!(bytes.len(), bm.encoded_len());
+        let back = Bitmap::decode(&bytes).unwrap();
+        assert_eq!(bm, back);
+    }
+
+    #[test]
+    fn roundtrip_empty() {
+        let bm = Bitmap::new(0);
+        let back = Bitmap::decode(&bm.encode()).unwrap();
+        assert_eq!(bm, back);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let bm = Bitmap::new(64);
+        let mut bytes = bm.encode().to_vec();
+        bytes[0] = b'X';
+        assert!(matches!(
+            Bitmap::decode(&bytes),
+            Err(DecodeError::BadMagic(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let bm = Bitmap::new(64);
+        let mut bytes = bm.encode().to_vec();
+        bytes[4] = 99;
+        assert_eq!(Bitmap::decode(&bytes), Err(DecodeError::BadVersion(99)));
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let bm = Bitmap::from_indices(128, [5]);
+        let bytes = bm.encode();
+        assert!(matches!(
+            Bitmap::decode(&bytes[..bytes.len() - 1]),
+            Err(DecodeError::Truncated { .. })
+        ));
+        assert!(matches!(
+            Bitmap::decode(&bytes[..4]),
+            Err(DecodeError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_dirty_tail() {
+        // len = 4 bits but a word with bit 10 set.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&DIGEST_MAGIC);
+        bytes.push(1);
+        bytes.extend_from_slice(&4u64.to_le_bytes());
+        bytes.extend_from_slice(&(1u64 << 10).to_le_bytes());
+        assert_eq!(Bitmap::decode(&bytes), Err(DecodeError::DirtyTail));
+    }
+
+    #[test]
+    fn header_overhead_is_small() {
+        // A 4-Mbit digest must stay ~1000x smaller than 1 second of OC-48
+        // traffic (2.4 Gbit): 4 Mbit / 8 + 13 bytes is ~0.52 MB vs 300 MB.
+        let bm = Bitmap::new(4 * 1024 * 1024);
+        let raw_epoch_bytes = 2_400_000_000u64 / 8;
+        let ratio = raw_epoch_bytes as f64 / bm.encoded_len() as f64;
+        assert!(ratio > 500.0, "compression ratio {ratio} too small");
+    }
+}

@@ -1,0 +1,33 @@
+//! Bit-vector and bit-matrix substrate for the DCS system.
+//!
+//! The data structures in this crate back both sides of the Distributed
+//! Collaborative Streaming architecture:
+//!
+//! * the **data-collection modules** fill a [`Bitmap`] per measurement epoch
+//!   (one hashed bit per packet payload, Section III-A of the paper) or a
+//!   bank of small bitmaps (offset sampling + flow splitting, Section IV-A);
+//! * the **analysis module** fuses shipped digests into a [`RowMatrix`]
+//!   (unaligned case: thousands of 1,024-bit rows) or a [`ColMatrix`]
+//!   (aligned case: millions of m-bit columns) and runs word-level
+//!   AND/popcount kernels over them.
+//!
+//! Everything is stored as packed `u64` words. The crate-wide invariant is
+//! that **bits past the logical length are always zero**, so `count_ones`
+//! and the AND/popcount kernels never need trailing masks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bitmap;
+mod col_matrix;
+mod digest;
+mod row_matrix;
+pub mod words;
+
+#[cfg(test)]
+mod proptests;
+
+pub use bitmap::Bitmap;
+pub use col_matrix::ColMatrix;
+pub use digest::{DecodeError, DIGEST_MAGIC};
+pub use row_matrix::RowMatrix;

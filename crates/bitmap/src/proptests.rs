@@ -1,0 +1,104 @@
+//! Property-based tests for the matrix types and wire format.
+
+use crate::{Bitmap, ColMatrix, RowMatrix};
+use proptest::prelude::*;
+
+fn arb_bitmaps(max_rows: usize, width: usize) -> impl Strategy<Value = Vec<Bitmap>> {
+    proptest::collection::vec(
+        proptest::collection::vec(0usize..width, 0..width.min(64)),
+        1..max_rows,
+    )
+    .prop_map(move |rows| {
+        rows.into_iter()
+            .map(|idxs| Bitmap::from_indices(width, idxs))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn col_matrix_transpose_agrees_with_bitmaps(bitmaps in arb_bitmaps(12, 80)) {
+        let m = ColMatrix::from_router_bitmaps(&bitmaps);
+        prop_assert_eq!(m.nrows(), bitmaps.len());
+        prop_assert_eq!(m.ncols(), 80);
+        for (r, bm) in bitmaps.iter().enumerate() {
+            for c in 0..80 {
+                prop_assert_eq!(m.get(r, c), bm.get(c), "mismatch at ({}, {})", r, c);
+            }
+        }
+        // Column weights equal per-index counts across bitmaps.
+        for c in 0..80 {
+            let count = bitmaps.iter().filter(|b| b.get(c)).count();
+            prop_assert_eq!(m.col_weight(c) as usize, count);
+        }
+    }
+
+    #[test]
+    fn select_columns_is_projection(bitmaps in arb_bitmaps(8, 60), picks in proptest::collection::vec(0usize..60, 0..30)) {
+        let m = ColMatrix::from_router_bitmaps(&bitmaps);
+        let s = m.select_columns(&picks);
+        prop_assert_eq!(s.ncols(), picks.len());
+        for (k, &j) in picks.iter().enumerate() {
+            prop_assert_eq!(s.column(k), m.column(j), "column {} != source {}", k, j);
+        }
+    }
+
+    #[test]
+    fn row_matrix_vstack_preserves_rows(
+        a in arb_bitmaps(6, 64),
+        b in arb_bitmaps(6, 64),
+    ) {
+        let ma = RowMatrix::from_bitmaps(64, a.iter());
+        let mb = RowMatrix::from_bitmaps(64, b.iter());
+        let mut stacked = ma.clone();
+        stacked.vstack(&mb);
+        prop_assert_eq!(stacked.nrows(), a.len() + b.len());
+        for (i, bm) in a.iter().chain(b.iter()).enumerate() {
+            prop_assert_eq!(stacked.row(i), bm.words(), "row {} corrupted", i);
+        }
+    }
+
+    #[test]
+    fn common_ones_symmetric_and_bounded(
+        a in proptest::collection::vec(0usize..128, 0..64),
+        b in proptest::collection::vec(0usize..128, 0..64),
+    ) {
+        let ba = Bitmap::from_indices(128, a);
+        let bb = Bitmap::from_indices(128, b);
+        let m = RowMatrix::from_bitmaps(128, [&ba, &bb]);
+        let c = m.common_ones(0, 1);
+        prop_assert_eq!(c, m.common_ones(1, 0));
+        prop_assert!(c <= m.row_weight(0).min(m.row_weight(1)));
+        prop_assert_eq!(c, ba.common_ones(&bb));
+    }
+
+    #[test]
+    fn encode_len_matches_actual(len in 0usize..4_000, idxs in proptest::collection::vec(any::<usize>(), 0..32)) {
+        prop_assume!(len > 0);
+        let bm = Bitmap::from_indices(len, idxs.into_iter().map(|i| i % len));
+        prop_assert_eq!(bm.encode().len(), bm.encoded_len());
+    }
+
+    #[test]
+    fn decode_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        // Arbitrary input must produce Ok or Err, never a panic — the
+        // decoder faces the network.
+        let _ = Bitmap::decode(&bytes);
+    }
+
+    #[test]
+    fn decode_never_panics_on_corrupted_frames(
+        idxs in proptest::collection::vec(0usize..512, 0..16),
+        pos in 0usize..64,
+        val in any::<u8>(),
+    ) {
+        let bm = Bitmap::from_indices(512, idxs);
+        let mut bytes = bm.encode().to_vec();
+        if pos < bytes.len() {
+            bytes[pos] ^= val;
+        }
+        let _ = Bitmap::decode(&bytes);
+    }
+}

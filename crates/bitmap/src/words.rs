@@ -1,0 +1,184 @@
+//! Low-level kernels over packed `u64` word slices.
+//!
+//! These free functions are the hot path of the whole analysis module: the
+//! aligned-case product iterations and the unaligned-case pairwise row
+//! correlation both reduce to "AND two word slices and count the ones".
+//! They are written so the optimiser can autovectorise them (straight-line
+//! iterator chains, no bounds checks after the `zip`).
+
+/// Number of bits in one storage word.
+pub const WORD_BITS: usize = 64;
+
+/// Number of `u64` words needed to store `bits` bits.
+#[inline]
+pub const fn words_for(bits: usize) -> usize {
+    bits.div_ceil(WORD_BITS)
+}
+
+/// Mask keeping only the valid bits of the final word of a `bits`-bit vector.
+///
+/// Returns `u64::MAX` when `bits` is a multiple of 64 (every bit of the last
+/// word is valid).
+#[inline]
+pub const fn tail_mask(bits: usize) -> u64 {
+    let rem = bits % WORD_BITS;
+    if rem == 0 {
+        u64::MAX
+    } else {
+        (1u64 << rem) - 1
+    }
+}
+
+/// Population count of a word slice.
+#[inline]
+pub fn weight(words: &[u64]) -> u32 {
+    words.iter().map(|w| w.count_ones()).sum()
+}
+
+/// Population count of the bitwise AND of two equal-length slices, without
+/// materialising the AND ("number of common 1's" in the paper's terms).
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn and_weight(a: &[u64], b: &[u64]) -> u32 {
+    assert_eq!(a.len(), b.len(), "and_weight: length mismatch");
+    a.iter().zip(b).map(|(x, y)| (x & y).count_ones()).sum()
+}
+
+/// Population count of the bitwise OR of two equal-length slices.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn or_weight(a: &[u64], b: &[u64]) -> u32 {
+    assert_eq!(a.len(), b.len(), "or_weight: length mismatch");
+    a.iter().zip(b).map(|(x, y)| (x | y).count_ones()).sum()
+}
+
+/// In-place bitwise AND: `dst &= src`.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn and_assign(dst: &mut [u64], src: &[u64]) {
+    assert_eq!(dst.len(), src.len(), "and_assign: length mismatch");
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d &= *s;
+    }
+}
+
+/// In-place bitwise OR: `dst |= src`.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn or_assign(dst: &mut [u64], src: &[u64]) {
+    assert_eq!(dst.len(), src.len(), "or_assign: length mismatch");
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d |= *s;
+    }
+}
+
+/// Write `a & b` into `dst` and return the weight of the result in one pass.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn and_into(dst: &mut [u64], a: &[u64], b: &[u64]) -> u32 {
+    assert_eq!(a.len(), b.len(), "and_into: length mismatch");
+    assert_eq!(dst.len(), a.len(), "and_into: dst length mismatch");
+    let mut weight = 0;
+    for ((d, x), y) in dst.iter_mut().zip(a).zip(b) {
+        let v = x & y;
+        weight += v.count_ones();
+        *d = v;
+    }
+    weight
+}
+
+/// Iterator over the indices of set bits in a word slice.
+pub fn iter_ones(words: &[u64]) -> impl Iterator<Item = usize> + '_ {
+    words.iter().enumerate().flat_map(|(wi, &w)| {
+        let base = wi * WORD_BITS;
+        OnesInWord(w).map(move |b| base + b)
+    })
+}
+
+/// Iterator over set-bit positions inside a single word.
+struct OnesInWord(u64);
+
+impl Iterator for OnesInWord {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        if self.0 == 0 {
+            return None;
+        }
+        let bit = self.0.trailing_zeros() as usize;
+        self.0 &= self.0 - 1;
+        Some(bit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn words_for_rounds_up() {
+        assert_eq!(words_for(0), 0);
+        assert_eq!(words_for(1), 1);
+        assert_eq!(words_for(64), 1);
+        assert_eq!(words_for(65), 2);
+        assert_eq!(words_for(1024), 16);
+    }
+
+    #[test]
+    fn tail_mask_edges() {
+        assert_eq!(tail_mask(64), u64::MAX);
+        assert_eq!(tail_mask(1), 1);
+        assert_eq!(tail_mask(63), u64::MAX >> 1);
+        assert_eq!(tail_mask(128), u64::MAX);
+    }
+
+    #[test]
+    fn and_weight_counts_intersection() {
+        let a = [0b1011u64, u64::MAX];
+        let b = [0b0011u64, 0b1];
+        assert_eq!(and_weight(&a, &b), 2 + 1);
+    }
+
+    #[test]
+    fn or_weight_counts_union() {
+        let a = [0b1010u64];
+        let b = [0b0110u64];
+        assert_eq!(or_weight(&a, &b), 3);
+    }
+
+    #[test]
+    fn and_into_matches_and_assign() {
+        let a = [0xDEAD_BEEF_u64, 0x1234];
+        let b = [0xF0F0_F0F0_u64, 0xFFFF];
+        let mut dst = [0u64; 2];
+        let w = and_into(&mut dst, &a, &b);
+        let mut manual = a;
+        and_assign(&mut manual, &b);
+        assert_eq!(dst, manual);
+        assert_eq!(w, weight(&manual));
+    }
+
+    #[test]
+    fn iter_ones_positions() {
+        let words = [1u64 << 3 | 1 << 63, 1u64];
+        let ones: Vec<usize> = iter_ones(&words).collect();
+        assert_eq!(ones, vec![3, 63, 64]);
+    }
+
+    #[test]
+    fn iter_ones_empty() {
+        let words = [0u64, 0];
+        assert_eq!(iter_ones(&words).count(), 0);
+    }
+}

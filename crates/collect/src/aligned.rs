@@ -1,0 +1,270 @@
+//! Aligned-case collector (paper Figure 3).
+
+use dcs_bitmap::Bitmap;
+use dcs_hash::IndexHasher;
+use dcs_traffic::Packet;
+
+/// Configuration of an aligned-case collector.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct AlignedConfig {
+    /// Bitmap width in bits. The paper uses 4 Mbit for an OC-48 link
+    /// (≈2.4 M packets per one-second epoch at 50 % fill).
+    pub bitmap_bits: usize,
+    /// How many leading payload bytes are hashed — the `len` of
+    /// `hash(range(pkt.content, 0, len))` in Figure 3.
+    pub hash_prefix_len: usize,
+    /// Epoch-wide hash seed. **Must be identical across all monitoring
+    /// points** in a deployment: the analysis centre correlates bit
+    /// *positions*, so the same payload must map to the same index
+    /// everywhere.
+    pub seed: u64,
+    /// Fill ratio at which the epoch closes (paper: "once about half of
+    /// the n bits become 1's, the measurement epoch ends").
+    pub target_fill: f64,
+}
+
+impl Default for AlignedConfig {
+    fn default() -> Self {
+        AlignedConfig {
+            bitmap_bits: 4 * 1024 * 1024,
+            hash_prefix_len: 64,
+            seed: 0,
+            target_fill: 0.5,
+        }
+    }
+}
+
+impl AlignedConfig {
+    /// A small-scale configuration for tests and examples.
+    pub fn small(bitmap_bits: usize, seed: u64) -> Self {
+        AlignedConfig {
+            bitmap_bits,
+            seed,
+            ..AlignedConfig::default()
+        }
+    }
+}
+
+/// The digest shipped to the analysis centre at the end of an epoch.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct AlignedDigest {
+    /// The hashed bitmap.
+    pub bitmap: Bitmap,
+    /// Packets observed during the epoch (with or without payload).
+    pub packets_seen: u64,
+    /// Payload-carrying packets actually hashed.
+    pub packets_hashed: u64,
+    /// Raw traffic volume summarised, in wire bytes.
+    pub raw_bytes: u64,
+}
+
+impl AlignedDigest {
+    /// Raw-traffic bytes divided by encoded digest bytes — the paper's
+    /// compression figure of merit (three orders of magnitude expected).
+    pub fn compression_ratio(&self) -> f64 {
+        self.raw_bytes as f64 / self.bitmap.encoded_len() as f64
+    }
+}
+
+/// Streaming collector for the aligned case.
+#[derive(Debug)]
+pub struct AlignedCollector {
+    cfg: AlignedConfig,
+    hasher: IndexHasher,
+    bitmap: Bitmap,
+    packets_seen: u64,
+    packets_hashed: u64,
+    raw_bytes: u64,
+}
+
+impl AlignedCollector {
+    /// Creates a collector.
+    ///
+    /// # Panics
+    /// Panics if `bitmap_bits == 0` or `target_fill` is not in `(0, 1]`.
+    pub fn new(cfg: AlignedConfig) -> Self {
+        assert!(cfg.bitmap_bits > 0, "bitmap must be non-empty");
+        assert!(
+            cfg.target_fill > 0.0 && cfg.target_fill <= 1.0,
+            "target fill must be in (0,1]"
+        );
+        let hasher = IndexHasher::new(cfg.seed);
+        let bitmap = Bitmap::new(cfg.bitmap_bits);
+        AlignedCollector {
+            cfg,
+            hasher,
+            bitmap,
+            packets_seen: 0,
+            packets_hashed: 0,
+            raw_bytes: 0,
+        }
+    }
+
+    /// Processes one packet (Figure 3 update algorithm). Returns `true`
+    /// when the epoch has reached its target fill and should be shipped.
+    pub fn observe(&mut self, pkt: &Packet) -> bool {
+        self.packets_seen += 1;
+        self.raw_bytes += pkt.wire_len() as u64;
+        if pkt.has_payload() {
+            let len = self.cfg.hash_prefix_len.min(pkt.payload.len());
+            let idx = self.hasher.index(&pkt.payload[..len], self.cfg.bitmap_bits);
+            self.bitmap.set(idx);
+            self.packets_hashed += 1;
+        }
+        self.epoch_full()
+    }
+
+    /// Whether the bitmap has reached the target fill ratio.
+    pub fn epoch_full(&self) -> bool {
+        self.bitmap.fill_ratio() >= self.cfg.target_fill
+    }
+
+    /// Current fill ratio.
+    pub fn fill_ratio(&self) -> f64 {
+        self.bitmap.fill_ratio()
+    }
+
+    /// Closes the epoch: returns the digest and resets all state for the
+    /// next epoch.
+    pub fn finish_epoch(&mut self) -> AlignedDigest {
+        let mut bitmap = Bitmap::new(self.cfg.bitmap_bits);
+        std::mem::swap(&mut bitmap, &mut self.bitmap);
+        let digest = AlignedDigest {
+            bitmap,
+            packets_seen: self.packets_seen,
+            packets_hashed: self.packets_hashed,
+            raw_bytes: self.raw_bytes,
+        };
+        self.packets_seen = 0;
+        self.packets_hashed = 0;
+        self.raw_bytes = 0;
+        digest
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &AlignedConfig {
+        &self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcs_traffic::{FlowLabel, Packet};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn packet(rng: &mut StdRng, len: usize) -> Packet {
+        let mut payload = vec![0u8; len];
+        rng.fill(payload.as_mut_slice());
+        Packet::new(FlowLabel::random(rng), payload)
+    }
+
+    #[test]
+    fn identical_payloads_set_identical_bits() {
+        let mut r = StdRng::seed_from_u64(1);
+        let mut c1 = AlignedCollector::new(AlignedConfig::small(1 << 16, 7));
+        let mut c2 = AlignedCollector::new(AlignedConfig::small(1 << 16, 7));
+        let p = packet(&mut r, 536);
+        // Same payload on different flows at different routers.
+        let p2 = Packet::new(FlowLabel::random(&mut r), p.payload.clone());
+        c1.observe(&p);
+        c2.observe(&p2);
+        let d1 = c1.finish_epoch();
+        let d2 = c2.finish_epoch();
+        assert_eq!(d1.bitmap.common_ones(&d2.bitmap), 1);
+        assert_eq!(
+            d1.bitmap.iter_ones().next(),
+            d2.bitmap.iter_ones().next()
+        );
+    }
+
+    #[test]
+    fn different_seeds_break_correlation() {
+        let mut r = StdRng::seed_from_u64(2);
+        let mut c1 = AlignedCollector::new(AlignedConfig::small(1 << 16, 7));
+        let mut c2 = AlignedCollector::new(AlignedConfig::small(1 << 16, 8));
+        let p = packet(&mut r, 536);
+        c1.observe(&p);
+        c2.observe(&p);
+        let (d1, d2) = (c1.finish_epoch(), c2.finish_epoch());
+        let i1 = d1.bitmap.iter_ones().next();
+        let i2 = d2.bitmap.iter_ones().next();
+        assert_ne!(i1, i2, "different seeds should give different indices");
+    }
+
+    #[test]
+    fn header_only_packets_not_hashed() {
+        let mut r = StdRng::seed_from_u64(3);
+        let mut c = AlignedCollector::new(AlignedConfig::small(1024, 1));
+        c.observe(&packet(&mut r, 0));
+        let d = c.finish_epoch();
+        assert_eq!(d.packets_seen, 1);
+        assert_eq!(d.packets_hashed, 0);
+        assert_eq!(d.bitmap.weight(), 0);
+        assert_eq!(d.raw_bytes, 40);
+    }
+
+    #[test]
+    fn epoch_closes_at_half_fill() {
+        let mut r = StdRng::seed_from_u64(4);
+        let mut c = AlignedCollector::new(AlignedConfig::small(256, 1));
+        let mut closed = false;
+        for _ in 0..2000 {
+            if c.observe(&packet(&mut r, 100)) {
+                closed = true;
+                break;
+            }
+        }
+        assert!(closed, "epoch never reached half fill");
+        assert!(c.fill_ratio() >= 0.5);
+        let d = c.finish_epoch();
+        assert!(d.bitmap.fill_ratio() >= 0.5);
+        assert_eq!(c.fill_ratio(), 0.0, "collector reset after epoch");
+    }
+
+    #[test]
+    fn fill_matches_bloom_expectation() {
+        // Hashing q distinct payloads into n bits should leave about
+        // n(1 − (1−1/n)^q) ones.
+        let mut r = StdRng::seed_from_u64(5);
+        let n = 1 << 14;
+        let q = 8_000usize;
+        let mut c = AlignedCollector::new(AlignedConfig::small(n, 1));
+        for _ in 0..q {
+            c.observe(&packet(&mut r, 64));
+        }
+        let expect = n as f64 * (1.0 - (1.0 - 1.0 / n as f64).powi(q as i32));
+        let got = f64::from(c.finish_epoch().bitmap.weight());
+        assert!(
+            (got - expect).abs() < 4.0 * expect.sqrt(),
+            "weight {got} far from Bloom expectation {expect}"
+        );
+    }
+
+    #[test]
+    fn compression_ratio_reported() {
+        let mut r = StdRng::seed_from_u64(6);
+        let mut c = AlignedCollector::new(AlignedConfig::small(1 << 10, 1));
+        for _ in 0..100 {
+            c.observe(&packet(&mut r, 1460));
+        }
+        let d = c.finish_epoch();
+        assert_eq!(d.raw_bytes, 100 * 1500);
+        assert!(d.compression_ratio() > 1000.0);
+    }
+
+    #[test]
+    fn long_prefix_len_clamped_to_payload() {
+        let mut r = StdRng::seed_from_u64(7);
+        let cfg = AlignedConfig {
+            bitmap_bits: 1024,
+            hash_prefix_len: 4096,
+            seed: 1,
+            target_fill: 0.5,
+        };
+        let mut c = AlignedCollector::new(cfg);
+        c.observe(&packet(&mut r, 100)); // shorter than prefix_len: no panic
+        assert_eq!(c.finish_epoch().packets_hashed, 1);
+    }
+}

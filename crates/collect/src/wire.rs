@@ -1,0 +1,340 @@
+//! Binary wire framing for whole digest bundles.
+//!
+//! JSON (via serde) is convenient for tooling, but a real deployment ships
+//! digests on the measurement plane where every byte counts — the whole
+//! point of DCS is the digest-size budget. This module frames
+//! [`AlignedDigest`] and [`UnalignedDigest`] in the same dense
+//! little-endian style as [`dcs_bitmap`]'s bitmap frames, with magic and
+//! version bytes so streams are self-describing.
+
+use crate::{AlignedDigest, UnalignedDigest};
+use dcs_bitmap::{Bitmap, DecodeError as BitmapError};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fmt;
+
+/// Magic for aligned digest frames (`b"DCSA"`).
+pub const ALIGNED_MAGIC: [u8; 4] = *b"DCSA";
+/// Magic for unaligned digest frames (`b"DCSU"`).
+pub const UNALIGNED_MAGIC: [u8; 4] = *b"DCSU";
+
+const VERSION: u8 = 1;
+
+/// Errors from decoding digest frames.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Buffer too short for the fixed header or declared body.
+    Truncated,
+    /// Unexpected magic bytes.
+    BadMagic([u8; 4]),
+    /// Unsupported version.
+    BadVersion(u8),
+    /// A contained bitmap failed to decode.
+    Bitmap(BitmapError),
+    /// Structurally impossible field (e.g. zero arrays-per-group).
+    Malformed(&'static str),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "digest frame truncated"),
+            WireError::BadMagic(m) => write!(f, "bad digest magic {m:02x?}"),
+            WireError::BadVersion(v) => write!(f, "unsupported digest version {v}"),
+            WireError::Bitmap(e) => write!(f, "embedded bitmap: {e}"),
+            WireError::Malformed(what) => write!(f, "malformed digest frame: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<BitmapError> for WireError {
+    fn from(e: BitmapError) -> Self {
+        WireError::Bitmap(e)
+    }
+}
+
+fn check_header(buf: &mut &[u8], magic: [u8; 4]) -> Result<(), WireError> {
+    if buf.len() < 5 {
+        return Err(WireError::Truncated);
+    }
+    let mut m = [0u8; 4];
+    buf.copy_to_slice(&mut m);
+    if m != magic {
+        return Err(WireError::BadMagic(m));
+    }
+    let v = buf.get_u8();
+    if v != VERSION {
+        return Err(WireError::BadVersion(v));
+    }
+    Ok(())
+}
+
+fn get_u64(buf: &mut &[u8]) -> Result<u64, WireError> {
+    if buf.len() < 8 {
+        return Err(WireError::Truncated);
+    }
+    Ok(buf.get_u64_le())
+}
+
+fn get_u32(buf: &mut &[u8]) -> Result<u32, WireError> {
+    if buf.len() < 4 {
+        return Err(WireError::Truncated);
+    }
+    Ok(buf.get_u32_le())
+}
+
+/// Splits one bitmap frame off the front of `buf` (frames are
+/// self-describing, so the length comes from the embedded header).
+fn take_bitmap(buf: &mut &[u8]) -> Result<Bitmap, WireError> {
+    let bm = Bitmap::decode(buf)?;
+    let consumed = bm.encoded_len();
+    if buf.len() < consumed {
+        return Err(WireError::Truncated);
+    }
+    buf.advance(consumed);
+    Ok(bm)
+}
+
+impl AlignedDigest {
+    /// Encodes the digest into a binary frame.
+    pub fn encode_wire(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(29 + self.bitmap.encoded_len());
+        buf.put_slice(&ALIGNED_MAGIC);
+        buf.put_u8(VERSION);
+        buf.put_u64_le(self.packets_seen);
+        buf.put_u64_le(self.packets_hashed);
+        buf.put_u64_le(self.raw_bytes);
+        buf.put_slice(&self.bitmap.encode());
+        buf.freeze()
+    }
+
+    /// Decodes a frame produced by [`AlignedDigest::encode_wire`],
+    /// returning the digest and the bytes consumed.
+    pub fn decode_wire(mut buf: &[u8]) -> Result<(AlignedDigest, usize), WireError> {
+        let start = buf.len();
+        check_header(&mut buf, ALIGNED_MAGIC)?;
+        let packets_seen = get_u64(&mut buf)?;
+        let packets_hashed = get_u64(&mut buf)?;
+        let raw_bytes = get_u64(&mut buf)?;
+        let bitmap = take_bitmap(&mut buf)?;
+        Ok((
+            AlignedDigest {
+                bitmap,
+                packets_seen,
+                packets_hashed,
+                raw_bytes,
+            },
+            start - buf.len(),
+        ))
+    }
+}
+
+impl UnalignedDigest {
+    /// Encodes the digest into a binary frame.
+    pub fn encode_wire(&self) -> Bytes {
+        let body: usize = self.arrays.iter().map(Bitmap::encoded_len).sum();
+        let mut buf = BytesMut::with_capacity(37 + body);
+        buf.put_slice(&UNALIGNED_MAGIC);
+        buf.put_u8(VERSION);
+        buf.put_u64_le(self.packets_seen);
+        buf.put_u64_le(self.packets_sampled);
+        buf.put_u64_le(self.raw_bytes);
+        buf.put_u32_le(self.arrays_per_group as u32);
+        buf.put_u32_le(self.arrays.len() as u32);
+        for a in &self.arrays {
+            buf.put_slice(&a.encode());
+        }
+        buf.freeze()
+    }
+
+    /// Decodes a frame produced by [`UnalignedDigest::encode_wire`],
+    /// returning the digest and the bytes consumed.
+    pub fn decode_wire(mut buf: &[u8]) -> Result<(UnalignedDigest, usize), WireError> {
+        let start = buf.len();
+        check_header(&mut buf, UNALIGNED_MAGIC)?;
+        let packets_seen = get_u64(&mut buf)?;
+        let packets_sampled = get_u64(&mut buf)?;
+        let raw_bytes = get_u64(&mut buf)?;
+        let arrays_per_group = get_u32(&mut buf)? as usize;
+        let count = get_u32(&mut buf)? as usize;
+        if arrays_per_group == 0 {
+            return Err(WireError::Malformed("arrays_per_group = 0"));
+        }
+        if !count.is_multiple_of(arrays_per_group) {
+            return Err(WireError::Malformed("array count not a group multiple"));
+        }
+        let mut arrays = Vec::with_capacity(count.min(1 << 20));
+        for _ in 0..count {
+            arrays.push(take_bitmap(&mut buf)?);
+        }
+        if let Some(first) = arrays.first() {
+            if arrays.iter().any(|a| a.len() != first.len()) {
+                return Err(WireError::Malformed("mixed array widths"));
+            }
+        }
+        Ok((
+            UnalignedDigest {
+                arrays,
+                arrays_per_group,
+                packets_seen,
+                packets_sampled,
+                raw_bytes,
+            },
+            start - buf.len(),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AlignedCollector, AlignedConfig, UnalignedCollector, UnalignedConfig};
+    use dcs_traffic::{FlowLabel, Packet};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn digests() -> (AlignedDigest, UnalignedDigest) {
+        let mut r = StdRng::seed_from_u64(1);
+        let mut a = AlignedCollector::new(AlignedConfig::small(1 << 12, 3));
+        let mut u = UnalignedCollector::new(UnalignedConfig::small(4, 3, 5));
+        for _ in 0..2000 {
+            let mut payload = vec![0u8; 536];
+            r.fill(payload.as_mut_slice());
+            let p = Packet::new(FlowLabel::random(&mut r), payload);
+            a.observe(&p);
+            u.observe(&p);
+        }
+        (a.finish_epoch(), u.finish_epoch())
+    }
+
+    #[test]
+    fn aligned_roundtrip() {
+        let (a, _) = digests();
+        let wire = a.encode_wire();
+        let (back, used) = AlignedDigest::decode_wire(&wire).unwrap();
+        assert_eq!(used, wire.len());
+        assert_eq!(back.bitmap, a.bitmap);
+        assert_eq!(back.packets_seen, a.packets_seen);
+        assert_eq!(back.packets_hashed, a.packets_hashed);
+        assert_eq!(back.raw_bytes, a.raw_bytes);
+    }
+
+    #[test]
+    fn unaligned_roundtrip() {
+        let (_, u) = digests();
+        let wire = u.encode_wire();
+        let (back, used) = UnalignedDigest::decode_wire(&wire).unwrap();
+        assert_eq!(used, wire.len());
+        assert_eq!(back.arrays, u.arrays);
+        assert_eq!(back.arrays_per_group, u.arrays_per_group);
+        assert_eq!(back.packets_sampled, u.packets_sampled);
+    }
+
+    #[test]
+    fn concatenated_frames_decode_in_sequence() {
+        let (a, u) = digests();
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&a.encode_wire());
+        stream.extend_from_slice(&u.encode_wire());
+        let (a2, used) = AlignedDigest::decode_wire(&stream).unwrap();
+        let (u2, used2) = UnalignedDigest::decode_wire(&stream[used..]).unwrap();
+        assert_eq!(used + used2, stream.len());
+        assert_eq!(a2.bitmap, a.bitmap);
+        assert_eq!(u2.arrays.len(), u.arrays.len());
+    }
+
+    #[test]
+    fn wrong_magic_rejected() {
+        let (a, u) = digests();
+        assert!(matches!(
+            UnalignedDigest::decode_wire(&a.encode_wire()),
+            Err(WireError::BadMagic(_))
+        ));
+        assert!(matches!(
+            AlignedDigest::decode_wire(&u.encode_wire()),
+            Err(WireError::BadMagic(_))
+        ));
+    }
+
+    #[test]
+    fn truncations_rejected_everywhere() {
+        let (a, u) = digests();
+        for wire in [a.encode_wire(), u.encode_wire()] {
+            for cut in [0usize, 3, 5, 12, wire.len() - 1] {
+                let a_res = AlignedDigest::decode_wire(&wire[..cut]);
+                let u_res = UnalignedDigest::decode_wire(&wire[..cut]);
+                assert!(
+                    a_res.is_err() && u_res.is_err(),
+                    "cut at {cut} of {} decoded",
+                    wire.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_group_count_rejected() {
+        let (_, u) = digests();
+        let mut wire = u.encode_wire().to_vec();
+        // arrays_per_group lives at offset 29; set it to 3 (count is 40,
+        // not a multiple of 3).
+        wire[29] = 3;
+        assert!(matches!(
+            UnalignedDigest::decode_wire(&wire),
+            Err(WireError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn wire_is_compact() {
+        // The binary frame must beat JSON by a wide margin (JSON encodes
+        // words as decimal numbers in arrays).
+        let (a, _) = digests();
+        let wire_len = a.encode_wire().len();
+        let json_len = serde_json::to_string(&a).unwrap().len();
+        assert!(
+            wire_len * 2 < json_len,
+            "wire {wire_len} not much smaller than JSON {json_len}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod fuzz {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn decoders_never_panic_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+            let _ = AlignedDigest::decode_wire(&bytes);
+            let _ = UnalignedDigest::decode_wire(&bytes);
+        }
+
+        #[test]
+        fn decoders_never_panic_on_bitflips(pos in 0usize..200, val in any::<u8>()) {
+            let mut r = {
+                use rand::SeedableRng;
+                rand::rngs::StdRng::seed_from_u64(1)
+            };
+            use rand::Rng as _;
+            let mut col = crate::UnalignedCollector::new(crate::UnalignedConfig::small(2, 1, 1));
+            for _ in 0..50 {
+                let mut payload = vec![0u8; 536];
+                r.fill(payload.as_mut_slice());
+                col.observe(&dcs_traffic::Packet::new(
+                    dcs_traffic::FlowLabel::random(&mut r),
+                    payload,
+                ));
+            }
+            let mut wire = col.finish_epoch().encode_wire().to_vec();
+            if pos < wire.len() {
+                wire[pos] ^= val;
+            }
+            let _ = UnalignedDigest::decode_wire(&wire);
+        }
+    }
+}

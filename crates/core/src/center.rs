@@ -1,0 +1,259 @@
+//! The central analysis module: fuses digests, runs both detection
+//! pipelines, emits reports.
+
+use crate::monitor::RouterDigest;
+use crate::report::{AlignedReport, EpochReport, UnalignedReport};
+use dcs_aligned::{refined_detect, SearchConfig};
+use dcs_bitmap::{ColMatrix, RowMatrix};
+use dcs_unaligned::lambda::p_star_for_edge_prob;
+use dcs_unaligned::{
+    build_group_graph_parallel, er_test, find_pattern, CoreFindConfig, ErTestConfig, GroupLayout,
+    LambdaTable,
+};
+
+/// Configuration of the analysis centre.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct AnalysisConfig {
+    /// Aligned-case greedy search settings.
+    pub search: SearchConfig,
+    /// Edge probability of the *statistical-test* graph (must stay below
+    /// the 1/n phase transition; the paper uses 0.65/n).
+    pub test_p1: f64,
+    /// Edge probability of the *detection* graph (deliberately above 1/n;
+    /// the paper uses ~8/n).
+    pub detect_p1: f64,
+    /// Largest-component alarm threshold; `None` derives it from
+    /// [`ErTestConfig::scaled`].
+    pub component_threshold: Option<usize>,
+    /// Core-finding settings (β and d).
+    pub corefind: CoreFindConfig,
+    /// Worker threads for the pairwise-correlation sweep.
+    pub threads: usize,
+}
+
+impl AnalysisConfig {
+    /// A configuration tuned for a deployment with `n_groups` total
+    /// flow-split groups across all routers.
+    ///
+    /// # Panics
+    /// Panics if `n_groups < 2`.
+    pub fn for_groups(n_groups: usize) -> Self {
+        assert!(n_groups >= 2, "need at least two groups");
+        let n = n_groups as f64;
+        AnalysisConfig {
+            search: SearchConfig::default(),
+            test_p1: 0.65 / n,
+            detect_p1: 8.0 / n,
+            component_threshold: None,
+            corefind: CoreFindConfig::default(),
+            threads: std::thread::available_parallelism().map_or(2, |p| p.get().min(8)),
+        }
+    }
+}
+
+/// The analysis centre.
+#[derive(Debug)]
+pub struct AnalysisCenter {
+    cfg: AnalysisConfig,
+}
+
+impl AnalysisCenter {
+    /// Creates the centre.
+    pub fn new(cfg: AnalysisConfig) -> Self {
+        AnalysisCenter { cfg }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &AnalysisConfig {
+        &self.cfg
+    }
+
+    /// Runs both pipelines over one epoch's digests.
+    ///
+    /// # Panics
+    /// Panics if `digests` is empty or the digests are dimensionally
+    /// inconsistent (different bitmap widths / group shapes).
+    pub fn analyze_epoch(&self, digests: &[RouterDigest]) -> EpochReport {
+        assert!(!digests.is_empty(), "no digests to analyse");
+        let raw_bytes: u64 = digests.iter().map(RouterDigest::raw_bytes).sum();
+        let digest_bytes: u64 = digests.iter().map(|d| d.encoded_len() as u64).sum();
+        EpochReport {
+            routers: digests.len(),
+            raw_bytes,
+            digest_bytes,
+            aligned: self.analyze_aligned(digests),
+            unaligned: self.analyze_unaligned(digests),
+        }
+    }
+
+    /// The aligned pipeline: fuse per-router bitmaps into the m×n matrix
+    /// and run the refined ASID search.
+    pub fn analyze_aligned(&self, digests: &[RouterDigest]) -> AlignedReport {
+        let bitmaps: Vec<dcs_bitmap::Bitmap> = digests
+            .iter()
+            .map(|d| d.aligned.bitmap.clone())
+            .collect();
+        let matrix = ColMatrix::from_router_bitmaps(&bitmaps);
+        let det = refined_detect(&matrix, &self.cfg.search);
+        AlignedReport {
+            found: det.found,
+            routers: det
+                .rows
+                .iter()
+                .map(|&r| digests[r as usize].router_id)
+                .collect(),
+            content_packets: det.cols.len(),
+            signature_indices: det.cols,
+        }
+    }
+
+    /// The unaligned pipeline: fuse rows vertically, build the test graph,
+    /// run the ER test, and — on alarm — localise with the detection
+    /// graph.
+    pub fn analyze_unaligned(&self, digests: &[RouterDigest]) -> UnalignedReport {
+        let first = &digests[0].unaligned;
+        let k = first.arrays_per_group;
+        let ncols = first.arrays.first().map_or(0, dcs_bitmap::Bitmap::len);
+        let mut rows = RowMatrix::new(ncols);
+        // Global group id = position in this concatenation; remember which
+        // router owns which group span.
+        let mut group_owner: Vec<usize> = Vec::new();
+        for d in digests {
+            assert_eq!(
+                d.unaligned.arrays_per_group, k,
+                "digests disagree on arrays per group"
+            );
+            rows.vstack(&d.unaligned.to_rows());
+            group_owner.extend(std::iter::repeat_n(d.router_id, d.unaligned.groups()));
+        }
+        let layout = GroupLayout { rows_per_group: k };
+        let n_groups = group_owner.len();
+        let pairs = k * k;
+
+        // Statistical test.
+        let p_star_test = p_star_for_edge_prob(self.cfg.test_p1, pairs);
+        let test_table = LambdaTable::new(ncols, p_star_test);
+        let test_graph =
+            build_group_graph_parallel(&rows, layout, &test_table, self.cfg.threads);
+        let er_cfg = match self.cfg.component_threshold {
+            Some(t) => ErTestConfig {
+                component_threshold: t,
+            },
+            None => ErTestConfig::scaled(n_groups, self.cfg.test_p1),
+        };
+        let test = er_test(&test_graph, er_cfg);
+
+        let (suspected_groups, suspected_routers) = if test.alarm {
+            // Detection graph with the laxer λ′ table.
+            let p_star_det = p_star_for_edge_prob(self.cfg.detect_p1.min(0.999), pairs);
+            let det_table = LambdaTable::new(ncols, p_star_det);
+            let det_graph =
+                build_group_graph_parallel(&rows, layout, &det_table, self.cfg.threads);
+            let pattern = find_pattern(&det_graph, self.cfg.corefind);
+            let groups: Vec<usize> = pattern.vertices().iter().map(|&g| g as usize).collect();
+            let mut routers: Vec<usize> = groups.iter().map(|&g| group_owner[g]).collect();
+            routers.sort_unstable();
+            routers.dedup();
+            (groups, routers)
+        } else {
+            (Vec::new(), Vec::new())
+        };
+
+        UnalignedReport {
+            alarm: test.alarm,
+            largest_component: test.largest_component,
+            component_threshold: er_cfg.component_threshold,
+            suspected_routers,
+            suspected_groups,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monitor::{MonitorConfig, MonitoringPoint};
+    use dcs_traffic::{gen, BackgroundConfig, ContentObject, Planting, SizeMix};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Runs a small end-to-end epoch: `routers` routers, the first
+    /// `infected` of which carry an aligned common content of `g` packets.
+    fn run_epoch(
+        seed: u64,
+        routers: usize,
+        infected: usize,
+        g: usize,
+        unaligned_plant: bool,
+    ) -> EpochReport {
+        let mut r = StdRng::seed_from_u64(seed);
+        let mcfg = MonitorConfig::small(7, 1 << 14, 4);
+        let obj = ContentObject::random_with_packets(&mut r, g, 536);
+        let plant = if unaligned_plant {
+            Planting::unaligned(obj, 536)
+        } else {
+            Planting::aligned(obj, 536)
+        };
+        let bg = BackgroundConfig {
+            packets: 800,
+            flows: 200,
+            zipf_exponent: 1.0,
+            size_mix: SizeMix::constant(536),
+        };
+        let mut digests = Vec::new();
+        for id in 0..routers {
+            let mut traffic = gen::generate_epoch(&mut r, &bg);
+            if id < infected {
+                plant.plant_into(&mut r, &mut traffic);
+            }
+            let mut mp = MonitoringPoint::new(id, &mcfg);
+            mp.observe_all(&traffic);
+            digests.push(mp.finish_epoch());
+        }
+        let mut acfg = AnalysisConfig::for_groups(routers * 4);
+        acfg.search.n_prime = 400;
+        acfg.search.hopefuls = 300;
+        AnalysisCenter::new(acfg).analyze_epoch(&digests)
+    }
+
+    #[test]
+    fn aligned_end_to_end_detects_infected_routers() {
+        let report = run_epoch(1, 24, 20, 30, false);
+        assert!(report.aligned.found, "aligned pipeline missed the content");
+        // The infected routers are 0..20; most must be reported.
+        let hits = report
+            .aligned
+            .routers
+            .iter()
+            .filter(|&&r| r < 20)
+            .count();
+        assert!(hits >= 15, "only {hits}/20 infected routers reported");
+        let fps = report.aligned.routers.len() - hits;
+        assert!(fps <= 2, "{fps} clean routers falsely reported");
+        assert!(report.aligned.content_packets >= 10);
+    }
+
+    #[test]
+    fn clean_epoch_reports_nothing() {
+        let report = run_epoch(2, 16, 0, 30, false);
+        assert!(!report.aligned.found, "aligned false positive");
+        assert!(!report.unaligned.alarm, "unaligned false positive");
+        assert!(report.unaligned.suspected_routers.is_empty());
+    }
+
+    #[test]
+    fn compression_is_substantial() {
+        let report = run_epoch(3, 8, 0, 30, false);
+        assert!(
+            report.compression_ratio() > 5.0,
+            "compression {} too small even at toy scale",
+            report.compression_ratio()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "no digests")]
+    fn empty_digests_rejected() {
+        AnalysisCenter::new(AnalysisConfig::for_groups(4)).analyze_epoch(&[]);
+    }
+}

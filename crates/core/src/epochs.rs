@@ -1,0 +1,198 @@
+//! Epoch sampling and detection across epochs.
+//!
+//! Two operational ideas from the paper are implemented here:
+//!
+//! * **epoch sampling** (Section IV-D, possibility 5): "sample a small
+//!   percent of the measurement epochs for analysis. Hopefully the
+//!   patterns will span enough epochs to be detectable even with
+//!   sampling" — [`EpochSampler`] decides which epochs the centre
+//!   analyses, and [`catch_probability`] quantifies the hope;
+//! * **alarm smoothing** (Section V-B.1): "some false negative are
+//!   tolerable since such detection is performed every second. Even if
+//!   the pattern is missed in one second, it may be caught in the
+//!   following seconds" — [`AlarmTracker`] turns noisy per-epoch verdicts
+//!   into a stable windowed alarm.
+
+/// Deterministic 1-in-`every` epoch sampler.
+#[derive(Debug, Clone)]
+pub struct EpochSampler {
+    every: usize,
+    counter: usize,
+}
+
+impl EpochSampler {
+    /// Analyse every `every`-th epoch (1 = analyse everything).
+    ///
+    /// # Panics
+    /// Panics if `every == 0`.
+    pub fn new(every: usize) -> Self {
+        assert!(every > 0, "sampling period must be positive");
+        EpochSampler { every, counter: 0 }
+    }
+
+    /// Advances the epoch counter; returns whether this epoch is analysed.
+    pub fn tick(&mut self) -> bool {
+        let analyse = self.counter.is_multiple_of(self.every);
+        self.counter += 1;
+        analyse
+    }
+
+    /// Epochs seen so far.
+    pub fn epochs_seen(&self) -> usize {
+        self.counter
+    }
+
+    /// Epochs analysed so far.
+    pub fn epochs_analyzed(&self) -> usize {
+        self.counter.div_ceil(self.every)
+    }
+}
+
+/// Probability of catching a pattern at least once when it spans
+/// `pattern_epochs` consecutive epochs, the per-analysed-epoch detection
+/// probability is `per_epoch`, and one epoch in `every` is analysed:
+/// `1 − (1 − per_epoch)^⌊pattern_epochs/every⌋` (the conservative floor —
+/// phase alignment can grant one more analysed epoch).
+pub fn catch_probability(per_epoch: f64, pattern_epochs: usize, every: usize) -> f64 {
+    assert!((0.0..=1.0).contains(&per_epoch), "probability in [0,1]");
+    assert!(every > 0, "sampling period must be positive");
+    let analysed = pattern_epochs / every;
+    1.0 - (1.0 - per_epoch).powi(analysed as i32)
+}
+
+/// Windowed alarm: fire when at least `min_alarms` of the last `window`
+/// analysed epochs alarmed. Smooths both FP (a single noisy epoch cannot
+/// fire a 2-of-w alarm) and FN (one missed epoch does not clear it).
+#[derive(Debug, Clone)]
+pub struct AlarmTracker {
+    window: usize,
+    min_alarms: usize,
+    history: std::collections::VecDeque<bool>,
+}
+
+impl AlarmTracker {
+    /// Creates a tracker firing on `min_alarms`-of-`window`.
+    ///
+    /// # Panics
+    /// Panics unless `1 ≤ min_alarms ≤ window`.
+    pub fn new(window: usize, min_alarms: usize) -> Self {
+        assert!(
+            (1..=window).contains(&min_alarms),
+            "need 1 <= min_alarms <= window"
+        );
+        AlarmTracker {
+            window,
+            min_alarms,
+            history: std::collections::VecDeque::with_capacity(window),
+        }
+    }
+
+    /// Records one epoch verdict; returns the smoothed alarm state.
+    pub fn record(&mut self, epoch_alarm: bool) -> bool {
+        if self.history.len() == self.window {
+            self.history.pop_front();
+        }
+        self.history.push_back(epoch_alarm);
+        self.is_firing()
+    }
+
+    /// Current smoothed alarm state.
+    pub fn is_firing(&self) -> bool {
+        self.history.iter().filter(|&&a| a).count() >= self.min_alarms
+    }
+
+    /// Alarms inside the current window.
+    pub fn alarms_in_window(&self) -> usize {
+        self.history.iter().filter(|&&a| a).count()
+    }
+
+    /// Clears the history (e.g. after an incident is handled).
+    pub fn reset(&mut self) {
+        self.history.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampler_period() {
+        let mut s = EpochSampler::new(3);
+        let picks: Vec<bool> = (0..9).map(|_| s.tick()).collect();
+        assert_eq!(
+            picks,
+            vec![true, false, false, true, false, false, true, false, false]
+        );
+        assert_eq!(s.epochs_seen(), 9);
+        assert_eq!(s.epochs_analyzed(), 3);
+    }
+
+    #[test]
+    fn sampler_every_one_analyses_all() {
+        let mut s = EpochSampler::new(1);
+        assert!((0..5).all(|_| s.tick()));
+        assert_eq!(s.epochs_analyzed(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn sampler_zero_rejected() {
+        EpochSampler::new(0);
+    }
+
+    #[test]
+    fn catch_probability_math() {
+        // Paper-style numbers: FN 16.6% per epoch, pattern spans 30
+        // epochs, 1-in-10 sampling: 3 analysed epochs.
+        let p = catch_probability(1.0 - 0.166, 30, 10);
+        let expect = 1.0 - 0.166f64.powi(3);
+        assert!((p - expect).abs() < 1e-12);
+        // Degenerate: pattern shorter than the period may never be seen.
+        assert_eq!(catch_probability(0.9, 5, 10), 0.0);
+        assert_eq!(catch_probability(0.0, 100, 1), 0.0);
+        assert!((catch_probability(1.0, 1, 1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tracker_two_of_three() {
+        let mut t = AlarmTracker::new(3, 2);
+        assert!(!t.record(true), "single alarm must not fire 2-of-3");
+        assert!(t.record(true), "two alarms fire");
+        assert!(t.record(false), "2-of-3 still satisfied");
+        assert!(!t.record(false), "window slid past the alarms");
+        assert_eq!(t.alarms_in_window(), 1);
+    }
+
+    #[test]
+    fn tracker_smooths_single_false_positive() {
+        let mut t = AlarmTracker::new(5, 2);
+        for _ in 0..4 {
+            assert!(!t.record(false));
+        }
+        assert!(!t.record(true), "one spurious epoch must not fire");
+    }
+
+    #[test]
+    fn tracker_survives_single_miss() {
+        let mut t = AlarmTracker::new(5, 2);
+        t.record(true);
+        t.record(true);
+        assert!(t.record(false), "one missed epoch must not clear the alarm");
+    }
+
+    #[test]
+    fn tracker_reset() {
+        let mut t = AlarmTracker::new(2, 1);
+        t.record(true);
+        assert!(t.is_firing());
+        t.reset();
+        assert!(!t.is_firing());
+    }
+
+    #[test]
+    #[should_panic(expected = "min_alarms")]
+    fn tracker_invalid_config() {
+        AlarmTracker::new(2, 3);
+    }
+}

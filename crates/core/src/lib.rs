@@ -1,0 +1,45 @@
+//! The DCS framework: monitoring points, digest shipping and the central
+//! analysis module (paper Section II-B, Figure 2).
+//!
+//! ```text
+//!   router 1 ──┐
+//!   router 2 ──┤  digests (≈1000× smaller        ┌─ aligned pipeline
+//!      …       ├─ than raw traffic) ──► analysis ┤   (ASID search)
+//!   router m ──┘                        centre   └─ unaligned pipeline
+//!                                                    (ER test + cores)
+//! ```
+//!
+//! [`MonitoringPoint`] wraps both collectors for one router;
+//! [`AnalysisCenter`] fuses the shipped digests and runs the detection
+//! pipelines, reporting which routers saw common content.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod capture;
+pub mod center;
+pub mod deployment;
+pub mod epochs;
+pub mod monitor;
+pub mod report;
+
+pub use capture::{GroupCapture, SignatureCapture};
+pub use center::{AnalysisCenter, AnalysisConfig};
+pub use deployment::{Deployment, DeploymentVerdict};
+pub use epochs::{catch_probability, AlarmTracker, EpochSampler};
+pub use monitor::{MonitoringPoint, MonitorConfig, RouterDigest};
+pub use report::{AlignedReport, EpochReport, UnalignedReport};
+
+/// Convenient glob-import surface.
+pub mod prelude {
+    pub use crate::capture::{GroupCapture, SignatureCapture};
+    pub use crate::center::{AnalysisCenter, AnalysisConfig};
+    pub use crate::deployment::{Deployment, DeploymentVerdict};
+    pub use crate::epochs::{AlarmTracker, EpochSampler};
+    pub use crate::monitor::{MonitoringPoint, MonitorConfig, RouterDigest};
+    pub use crate::report::{AlignedReport, EpochReport, UnalignedReport};
+    pub use dcs_aligned::{refined_detect, SearchConfig};
+    pub use dcs_collect::{AlignedConfig, UnalignedConfig};
+    pub use dcs_traffic::{BackgroundConfig, ContentObject, FlowLabel, Packet, Planting};
+    pub use dcs_unaligned::{CoreFindConfig, ErTestConfig};
+}

@@ -1,0 +1,156 @@
+//! One monitoring point: both collectors wired to a router's traffic.
+
+use dcs_collect::{
+    AlignedCollector, AlignedConfig, AlignedDigest, UnalignedCollector, UnalignedConfig,
+    UnalignedDigest,
+};
+use dcs_traffic::Packet;
+
+/// Configuration of a monitoring point.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct MonitorConfig {
+    /// Aligned-case collector settings (shared hash seed across routers).
+    pub aligned: AlignedConfig,
+    /// Unaligned-case collector settings (shared content-hash seed; the
+    /// router seed is overridden per router).
+    pub unaligned: UnalignedConfig,
+}
+
+impl MonitorConfig {
+    /// A deployment-wide configuration scaled for tests/examples: both
+    /// collectors share the epoch seed; each router gets distinct offsets.
+    pub fn small(epoch_seed: u64, aligned_bits: usize, groups: usize) -> Self {
+        MonitorConfig {
+            aligned: AlignedConfig::small(aligned_bits, epoch_seed),
+            unaligned: UnalignedConfig::small(groups, epoch_seed, 0),
+        }
+    }
+}
+
+/// The digest bundle one router ships per epoch.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct RouterDigest {
+    /// The shipping router's index.
+    pub router_id: usize,
+    /// Aligned-case digest.
+    pub aligned: AlignedDigest,
+    /// Unaligned-case digest.
+    pub unaligned: UnalignedDigest,
+}
+
+impl RouterDigest {
+    /// Total encoded digest bytes (both cases).
+    pub fn encoded_len(&self) -> usize {
+        self.aligned.bitmap.encoded_len() + self.unaligned.encoded_len()
+    }
+
+    /// Raw traffic bytes summarised.
+    pub fn raw_bytes(&self) -> u64 {
+        self.aligned.raw_bytes
+    }
+}
+
+/// A monitoring point running both streaming modules over one router's
+/// traffic.
+#[derive(Debug)]
+pub struct MonitoringPoint {
+    router_id: usize,
+    aligned: AlignedCollector,
+    unaligned: UnalignedCollector,
+}
+
+impl MonitoringPoint {
+    /// Creates the monitoring point for `router_id`, salting the
+    /// unaligned collector's offsets and flow split with the router id.
+    pub fn new(router_id: usize, cfg: &MonitorConfig) -> Self {
+        let mut ucfg = cfg.unaligned.clone();
+        ucfg.router_seed = ucfg
+            .router_seed
+            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(router_id as u64 + 1));
+        MonitoringPoint {
+            router_id,
+            aligned: AlignedCollector::new(cfg.aligned.clone()),
+            unaligned: UnalignedCollector::new(ucfg),
+        }
+    }
+
+    /// The router this point monitors.
+    pub fn router_id(&self) -> usize {
+        self.router_id
+    }
+
+    /// Feeds one packet through both streaming modules.
+    pub fn observe(&mut self, pkt: &Packet) {
+        self.aligned.observe(pkt);
+        self.unaligned.observe(pkt);
+    }
+
+    /// Feeds a whole epoch of packets.
+    pub fn observe_all<'a>(&mut self, pkts: impl IntoIterator<Item = &'a Packet>) {
+        for p in pkts {
+            self.observe(p);
+        }
+    }
+
+    /// Read access to the aligned collector (diagnostics).
+    pub fn aligned(&self) -> &AlignedCollector {
+        &self.aligned
+    }
+
+    /// Read access to the unaligned collector (diagnostics).
+    pub fn unaligned(&self) -> &UnalignedCollector {
+        &self.unaligned
+    }
+
+    /// Closes the epoch and ships the digest bundle.
+    pub fn finish_epoch(&mut self) -> RouterDigest {
+        RouterDigest {
+            router_id: self.router_id,
+            aligned: self.aligned.finish_epoch(),
+            unaligned: self.unaligned.finish_epoch(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcs_traffic::{gen, BackgroundConfig, SizeMix};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn monitoring_point_round() {
+        let mut r = StdRng::seed_from_u64(1);
+        let cfg = MonitorConfig::small(7, 1 << 14, 8);
+        let mut mp = MonitoringPoint::new(3, &cfg);
+        let pkts = gen::generate_epoch(
+            &mut r,
+            &BackgroundConfig {
+                packets: 500,
+                flows: 100,
+                zipf_exponent: 1.0,
+                size_mix: SizeMix::constant(536),
+            },
+        );
+        mp.observe_all(&pkts);
+        let d = mp.finish_epoch();
+        assert_eq!(d.router_id, 3);
+        assert_eq!(d.aligned.packets_seen, 500);
+        assert_eq!(d.unaligned.packets_sampled, 500);
+        assert!(d.raw_bytes() > 0);
+        assert!(d.encoded_len() > 0);
+    }
+
+    #[test]
+    fn distinct_routers_get_distinct_offsets() {
+        let cfg = MonitorConfig::small(7, 1 << 10, 4);
+        let a = MonitoringPoint::new(0, &cfg);
+        let b = MonitoringPoint::new(1, &cfg);
+        assert_ne!(
+            a.unaligned().offsets(),
+            b.unaligned().offsets(),
+            "routers must sample different offsets"
+        );
+    }
+}

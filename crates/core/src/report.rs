@@ -1,0 +1,104 @@
+//! Detection reports emitted by the analysis centre.
+
+use serde::{Deserialize, Serialize};
+
+/// Outcome of the aligned-case pipeline for one epoch.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AlignedReport {
+    /// Whether a non-naturally-occurring pattern was found.
+    pub found: bool,
+    /// Routers identified as having seen the common content.
+    pub routers: Vec<usize>,
+    /// Number of common packets (witness columns) attributed to the
+    /// content.
+    pub content_packets: usize,
+    /// Bitmap indices of the witness columns — the content's "hashed
+    /// signature", usable to filter raw traffic downstream.
+    pub signature_indices: Vec<usize>,
+}
+
+/// Outcome of the unaligned-case pipeline for one epoch.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct UnalignedReport {
+    /// Whether the ER statistical test raised the alarm.
+    pub alarm: bool,
+    /// Size of the largest connected component in the test graph.
+    pub largest_component: usize,
+    /// The component threshold in force.
+    pub component_threshold: usize,
+    /// Routers suspected of carrying the common content (from the groups
+    /// in the detected cores). Empty when no alarm.
+    pub suspected_routers: Vec<usize>,
+    /// Global group ids in the detected cores (finer-grained handle for
+    /// follow-up packet logging).
+    pub suspected_groups: Vec<usize>,
+}
+
+/// The per-epoch report bundle.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EpochReport {
+    /// Number of routers whose digests were fused.
+    pub routers: usize,
+    /// Total raw traffic summarised (wire bytes).
+    pub raw_bytes: u64,
+    /// Total digest bytes shipped.
+    pub digest_bytes: u64,
+    /// Aligned-case verdict.
+    pub aligned: AlignedReport,
+    /// Unaligned-case verdict.
+    pub unaligned: UnalignedReport,
+}
+
+impl EpochReport {
+    /// Raw bytes per digest byte across the whole deployment.
+    pub fn compression_ratio(&self) -> f64 {
+        if self.digest_bytes == 0 {
+            0.0
+        } else {
+            self.raw_bytes as f64 / self.digest_bytes as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> EpochReport {
+        EpochReport {
+            routers: 4,
+            raw_bytes: 4_000_000,
+            digest_bytes: 4_000,
+            aligned: AlignedReport {
+                found: true,
+                routers: vec![0, 2],
+                content_packets: 12,
+                signature_indices: vec![5, 17],
+            },
+            unaligned: UnalignedReport {
+                alarm: false,
+                largest_component: 9,
+                component_threshold: 100,
+                suspected_routers: vec![],
+                suspected_groups: vec![],
+            },
+        }
+    }
+
+    #[test]
+    fn compression_ratio() {
+        assert!((sample().compression_ratio() - 1000.0).abs() < 1e-9);
+        let mut r = sample();
+        r.digest_bytes = 0;
+        assert_eq!(r.compression_ratio(), 0.0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let r = sample();
+        let json = serde_json::to_string_pretty(&r).unwrap();
+        let back: EpochReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.aligned.routers, r.aligned.routers);
+        assert_eq!(back.unaligned.component_threshold, 100);
+    }
+}

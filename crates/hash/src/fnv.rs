@@ -1,0 +1,91 @@
+//! FNV-1a: a tiny, seedable byte hash.
+//!
+//! Used where fingerprint linearity is unnecessary and a one-multiply-per-
+//! byte hash is enough (e.g. hashing 13-byte flow labels into groups, paper
+//! Figure 9). Seeding replaces the standard offset basis, giving a cheap
+//! family of functions.
+
+const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+const FNV_PRIME: u64 = 0x100000001b3;
+
+/// Seedable FNV-1a hasher.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv1a {
+    state: u64,
+}
+
+impl Fnv1a {
+    /// Standard FNV-1a offset basis.
+    pub fn new() -> Self {
+        Fnv1a { state: FNV_OFFSET }
+    }
+
+    /// Seeded variant: the seed is folded into the offset basis.
+    pub fn with_seed(seed: u64) -> Self {
+        Fnv1a {
+            state: FNV_OFFSET ^ seed.wrapping_mul(FNV_PRIME),
+        }
+    }
+
+    /// Absorbs bytes.
+    #[inline]
+    pub fn update(&mut self, bytes: &[u8]) -> &mut Self {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+        self
+    }
+
+    /// Current 64-bit digest.
+    #[inline]
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+
+    /// One-shot hash of `bytes`.
+    pub fn hash(bytes: &[u8]) -> u64 {
+        let mut h = Fnv1a::new();
+        h.update(bytes);
+        h.finish()
+    }
+
+    /// One-shot seeded hash of `bytes`.
+    pub fn hash_seeded(seed: u64, bytes: &[u8]) -> u64 {
+        let mut h = Fnv1a::with_seed(seed);
+        h.update(bytes);
+        h.finish()
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard FNV-1a 64 test vectors.
+        assert_eq!(Fnv1a::hash(b""), 0xcbf29ce484222325);
+        assert_eq!(Fnv1a::hash(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(Fnv1a::hash(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn incremental_equals_oneshot() {
+        let mut h = Fnv1a::new();
+        h.update(b"foo").update(b"bar");
+        assert_eq!(h.finish(), Fnv1a::hash(b"foobar"));
+    }
+
+    #[test]
+    fn seeds_change_output() {
+        assert_ne!(Fnv1a::hash_seeded(1, b"x"), Fnv1a::hash_seeded(2, b"x"));
+        assert_eq!(Fnv1a::hash_seeded(7, b"x"), Fnv1a::hash_seeded(7, b"x"));
+    }
+}

@@ -1,0 +1,100 @@
+//! Plain-text table/series formatting for the `repro_*` binaries — the
+//! same rows the paper prints, aligned for terminal reading.
+
+/// Formats a table: header row plus data rows, columns padded to the
+/// widest cell.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let ncols = headers.len();
+    for (i, r) in rows.iter().enumerate() {
+        assert_eq!(r.len(), ncols, "row {i} has wrong arity");
+    }
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for r in rows {
+        for (c, cell) in r.iter().enumerate() {
+            widths[c] = widths[c].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (c, cell) in cells.iter().enumerate() {
+            if c > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{cell:>width$}", width = widths[c]));
+        }
+        line.push('\n');
+        line
+    };
+    let header_cells: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for r in rows {
+        out.push_str(&fmt_row(r, &widths));
+    }
+    out
+}
+
+/// Formats an (x, y) series as two aligned columns — for figure curves.
+pub fn render_series(x_label: &str, y_label: &str, points: &[(f64, f64)]) -> String {
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|&(x, y)| vec![trim_float(x), trim_float(y)])
+        .collect();
+    render_table(&[x_label, y_label], &rows)
+}
+
+/// Formats a float without trailing zero noise.
+pub fn trim_float(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else if v.abs() >= 0.01 {
+        format!("{v:.3}")
+    } else {
+        format!("{v:.3e}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let s = render_table(
+            &["g", "minimum m"],
+            &[
+                vec!["80".into(), "297".into()],
+                vec!["150".into(), "23".into()],
+            ],
+        );
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("minimum m"));
+        assert!(lines[2].ends_with("297"));
+        // All rows equal width.
+        assert_eq!(lines[0].len(), lines[2].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong arity")]
+    fn ragged_rows_rejected() {
+        render_table(&["a", "b"], &[vec!["1".into()]]);
+    }
+
+    #[test]
+    fn float_trimming() {
+        assert_eq!(trim_float(3.0), "3");
+        assert_eq!(trim_float(0.988), "0.988");
+        assert_eq!(trim_float(6.5e-6), "6.500e-6");
+    }
+
+    #[test]
+    fn series_renders() {
+        let s = render_series("a", "detection", &[(20.0, 0.5), (30.0, 0.988)]);
+        assert!(s.contains("0.988"));
+        assert!(s.lines().count() == 4);
+    }
+}

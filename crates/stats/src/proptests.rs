@@ -1,0 +1,97 @@
+//! Property-based tests for the statistics substrate.
+
+use crate::binomial::{binocdf, binomial_quantile, binomial_sf, ln_binomial_pmf};
+use crate::hypergeom::{hypergeom_pmf, hypergeom_sf, hypergeom_support, hypergeom_tail_quantile};
+use crate::special::ln_choose;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn binocdf_matches_direct_sum(n in 1u64..40, p in 0.0f64..1.0, x in -2i64..42) {
+        let direct: f64 = (0..=n)
+            .filter(|&k| (k as i64) <= x)
+            .map(|k| ln_binomial_pmf(k, n, p).exp())
+            .sum();
+        let cdf = binocdf(x, n, p);
+        prop_assert!((cdf - direct).abs() < 1e-9, "cdf {cdf} vs direct {direct}");
+    }
+
+    #[test]
+    fn binomial_sf_complements(n in 1u64..200, p in 0.001f64..0.999, x in 0i64..200) {
+        let total = binocdf(x, n, p) + binomial_sf(x, n, p);
+        prop_assert!((total - 1.0).abs() < 1e-9, "cdf+sf = {total}");
+    }
+
+    #[test]
+    fn binomial_quantile_inverts(n in 1u64..500, p in 0.01f64..0.99, q in 0.001f64..0.999) {
+        let w = binomial_quantile(q, n, p);
+        prop_assert!(binocdf(w as i64, n, p) >= q - 1e-12);
+        if w > 0 {
+            prop_assert!(binocdf(w as i64 - 1, n, p) < q + 1e-12);
+        }
+    }
+
+    #[test]
+    fn ln_choose_recurrence(n in 1u64..300, k in 0u64..300) {
+        prop_assume!(k < n);
+        // C(n, k+1) / C(n, k) = (n - k) / (k + 1)
+        let lhs = ln_choose(n, k + 1) - ln_choose(n, k);
+        let rhs = ((n - k) as f64 / (k + 1) as f64).ln();
+        prop_assert!((lhs - rhs).abs() < 1e-9, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn hypergeom_pmf_normalised(n in 2u64..120, i in 0u64..120, j in 0u64..120) {
+        prop_assume!(i <= n && j <= n);
+        let (lo, hi) = hypergeom_support(n, i, j);
+        let total: f64 = (lo..=hi).map(|k| hypergeom_pmf(k, n, i, j)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9, "mass = {total}");
+    }
+
+    #[test]
+    fn hypergeom_sf_monotone_and_bounded(n in 2u64..200, i in 1u64..200, j in 1u64..200) {
+        prop_assume!(i <= n && j <= n);
+        let (lo, hi) = hypergeom_support(n, i, j);
+        let mut prev = 1.0f64;
+        for t in (lo as i64 - 1)..=(hi as i64) {
+            let s = hypergeom_sf(t, n, i, j);
+            prop_assert!((0.0..=1.0).contains(&s));
+            prop_assert!(s <= prev + 1e-12, "sf increased at t={t}");
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn hypergeom_quantile_is_tight(
+        n in 16u64..512,
+        w_frac in 0.1f64..0.9,
+        p_exp in 1.0f64..8.0,
+    ) {
+        let w = ((n as f64) * w_frac) as u64;
+        prop_assume!(w >= 1 && w <= n);
+        let p_star = 10f64.powf(-p_exp);
+        let lam = hypergeom_tail_quantile(p_star, n, w, w);
+        prop_assert!(hypergeom_sf(lam as i64, n, w, w) <= p_star);
+        let (lo, _) = hypergeom_support(n, w, w);
+        if lam > lo {
+            prop_assert!(hypergeom_sf(lam as i64 - 1, n, w, w) > p_star);
+        }
+    }
+
+    #[test]
+    fn zipf_pmf_sums_to_one(n in 1usize..200, s in 0.0f64..3.0) {
+        let z = crate::sample::Zipf::new(n, s);
+        let total: f64 = (1..=n).map(|r| z.pmf(r)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn binomial_sampler_in_support(n in 0u64..10_000, p in 0.0f64..1.0, seed in any::<u64>()) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let k = crate::sample::sample_binomial(&mut rng, n, p);
+        prop_assert!(k <= n);
+    }
+}

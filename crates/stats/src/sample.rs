@@ -1,0 +1,274 @@
+//! Random-variate samplers built on `rand`'s uniform source.
+//!
+//! The Monte-Carlo harness needs binomial weights (screening simulations at
+//! the 4-Mbit scale), the ER generator needs geometric skips, and the
+//! synthetic-traffic substrate needs Zipf flow sizes and Pareto burst
+//! lengths. Implemented here from first principles so the workspace does
+//! not depend on `rand_distr`.
+
+use rand::Rng;
+
+/// Samples `Binomial(n, p)`.
+///
+/// * exact bit-popcount path for `p = 0.5` (the background of every bitmap
+///   in the paper is Bernoulli(½));
+/// * inversion (sequential search from 0) when `n·min(p,1−p) ≤ 30`;
+/// * otherwise a normal approximation with continuity correction, clamped
+///   to the support — adequate for the bulk regime it is used in.
+pub fn sample_binomial<R: Rng + ?Sized>(rng: &mut R, n: u64, p: f64) -> u64 {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability, got {p}");
+    if n == 0 || p == 0.0 {
+        return 0;
+    }
+    if p == 1.0 {
+        return n;
+    }
+    if (p - 0.5).abs() < 1e-12 {
+        // Sum popcounts of ⌈n/64⌉ random words, masking the tail.
+        let mut remaining = n;
+        let mut acc = 0u64;
+        while remaining >= 64 {
+            acc += u64::from(rng.gen::<u64>().count_ones());
+            remaining -= 64;
+        }
+        if remaining > 0 {
+            let mask = (1u64 << remaining) - 1;
+            acc += u64::from((rng.gen::<u64>() & mask).count_ones());
+        }
+        return acc;
+    }
+    // Work with the smaller tail for stability, mirror at the end.
+    let (q, mirrored) = if p <= 0.5 { (p, false) } else { (1.0 - p, true) };
+    let mean = n as f64 * q;
+    let k = if mean <= 30.0 {
+        inversion_binomial(rng, n, q)
+    } else {
+        let sd = (n as f64 * q * (1.0 - q)).sqrt();
+        let z = sample_standard_normal(rng);
+        let x = (mean + sd * z + 0.5).floor();
+        x.clamp(0.0, n as f64) as u64
+    };
+    if mirrored {
+        n - k
+    } else {
+        k
+    }
+}
+
+/// Inversion sampling: walk the CDF from 0 with the pmf ratio recursion.
+fn inversion_binomial<R: Rng + ?Sized>(rng: &mut R, n: u64, p: f64) -> u64 {
+    let q = 1.0 - p;
+    let s = p / q;
+    let mut pmf = q.powf(n as f64);
+    if pmf == 0.0 {
+        // Underflow guard: extremely unlikely given the mean <= 30 gate,
+        // but fall back to the mean if it happens.
+        return (n as f64 * p).round() as u64;
+    }
+    let mut cdf = pmf;
+    let u: f64 = rng.gen();
+    let mut k = 0u64;
+    while u > cdf && k < n {
+        k += 1;
+        pmf *= s * (n - k + 1) as f64 / k as f64;
+        cdf += pmf;
+    }
+    k
+}
+
+/// Standard normal via Box–Muller.
+pub fn sample_standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Samples `Geometric(p)`: the number of failures before the first success
+/// (support `0, 1, 2, …`). Used for edge skipping in the G(n,p) generator.
+///
+/// # Panics
+/// Panics unless `0 < p <= 1`.
+pub fn sample_geometric<R: Rng + ?Sized>(rng: &mut R, p: f64) -> u64 {
+    assert!(p > 0.0 && p <= 1.0, "geometric needs p in (0,1], got {p}");
+    if p >= 1.0 {
+        return 0;
+    }
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    (u.ln() / (-p).ln_1p()).floor() as u64
+}
+
+/// Samples a Pareto (power-law) value with scale `xm > 0` and shape
+/// `alpha > 0` — heavy-tailed burst and flow durations.
+pub fn sample_pareto<R: Rng + ?Sized>(rng: &mut R, xm: f64, alpha: f64) -> f64 {
+    assert!(xm > 0.0 && alpha > 0.0, "pareto needs xm, alpha > 0");
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    xm / u.powf(1.0 / alpha)
+}
+
+/// Zipf distribution over ranks `1..=n` with exponent `s`:
+/// `P[rank = r] ∝ r^(−s)`. Table-based inverse-CDF sampling (O(log n) per
+/// draw after O(n) setup) — the traffic generator draws flow sizes from
+/// this family to model the Internet's Zipfian nature (paper \[10\]).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler for ranks `1..=n` with exponent `s ≥ 0`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s < 0`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(s >= 0.0, "Zipf exponent must be non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for r in 1..=n {
+            acc += (r as f64).powf(-s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Probability of rank `r` (1-based).
+    pub fn pmf(&self, r: usize) -> f64 {
+        assert!((1..=self.cdf.len()).contains(&r), "rank out of range");
+        if r == 1 {
+            self.cdf[0]
+        } else {
+            self.cdf[r - 1] - self.cdf[r - 2]
+        }
+    }
+
+    /// Draws a rank in `1..=n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        // First index whose cumulative mass covers u; that index is rank-1.
+        let i = match self.cdf.binary_search_by(|c| c.partial_cmp(&u).unwrap()) {
+            Ok(i) | Err(i) => i,
+        };
+        (i + 1).min(self.cdf.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xDC5)
+    }
+
+    #[test]
+    fn binomial_half_matches_moments() {
+        let mut r = rng();
+        let n = 1000u64;
+        let reps = 4000;
+        let mean: f64 =
+            (0..reps).map(|_| sample_binomial(&mut r, n, 0.5) as f64).sum::<f64>() / reps as f64;
+        // True mean 500, σ of the estimate ≈ 15.8/63 ≈ 0.25.
+        assert!((mean - 500.0).abs() < 2.0, "mean {mean} far from 500");
+    }
+
+    #[test]
+    fn binomial_small_p_inversion_regime() {
+        let mut r = rng();
+        let (n, p) = (10_000u64, 1e-3);
+        let reps = 3000;
+        let mean: f64 =
+            (0..reps).map(|_| sample_binomial(&mut r, n, p) as f64).sum::<f64>() / reps as f64;
+        assert!((mean - 10.0).abs() < 0.5, "mean {mean} far from 10");
+    }
+
+    #[test]
+    fn binomial_mirrored_large_p() {
+        let mut r = rng();
+        let (n, p) = (500u64, 0.995);
+        for _ in 0..200 {
+            let k = sample_binomial(&mut r, n, p);
+            assert!(k <= n);
+            assert!(k >= 470, "implausibly small draw {k}");
+        }
+    }
+
+    #[test]
+    fn binomial_edges() {
+        let mut r = rng();
+        assert_eq!(sample_binomial(&mut r, 0, 0.5), 0);
+        assert_eq!(sample_binomial(&mut r, 10, 0.0), 0);
+        assert_eq!(sample_binomial(&mut r, 10, 1.0), 10);
+    }
+
+    #[test]
+    fn geometric_mean() {
+        let mut r = rng();
+        let p = 0.2;
+        let reps = 20_000;
+        let mean: f64 =
+            (0..reps).map(|_| sample_geometric(&mut r, p) as f64).sum::<f64>() / reps as f64;
+        // E = (1-p)/p = 4.
+        assert!((mean - 4.0).abs() < 0.15, "mean {mean} far from 4");
+    }
+
+    #[test]
+    fn geometric_p_one() {
+        let mut r = rng();
+        assert_eq!(sample_geometric(&mut r, 1.0), 0);
+    }
+
+    #[test]
+    fn pareto_respects_scale() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            assert!(sample_pareto(&mut r, 2.0, 1.5) >= 2.0);
+        }
+    }
+
+    #[test]
+    fn zipf_pmf_normalised_and_monotone() {
+        let z = Zipf::new(100, 1.0);
+        let total: f64 = (1..=100).map(|r| z.pmf(r)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        for r in 1..100 {
+            assert!(z.pmf(r) >= z.pmf(r + 1));
+        }
+    }
+
+    #[test]
+    fn zipf_sampling_matches_pmf() {
+        let z = Zipf::new(50, 1.2);
+        let mut r = rng();
+        let reps = 50_000;
+        let mut counts = vec![0usize; 51];
+        for _ in 0..reps {
+            let s = z.sample(&mut r);
+            assert!((1..=50).contains(&s));
+            counts[s] += 1;
+        }
+        // Rank 1 should hold roughly pmf(1) of the mass.
+        let frac = counts[1] as f64 / reps as f64;
+        assert!((frac - z.pmf(1)).abs() < 0.02, "rank-1 mass {frac}");
+        // And rank 1 strictly dominates rank 10.
+        assert!(counts[1] > counts[10]);
+    }
+
+    #[test]
+    fn zipf_s_zero_is_uniform() {
+        let z = Zipf::new(4, 0.0);
+        for r in 1..=4 {
+            assert!((z.pmf(r) - 0.25).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! Synthetic traffic substrate.
+//!
+//! The paper evaluates on a tier-1 ISP packet trace we cannot ship, so this
+//! crate builds the closest synthetic equivalent that exercises the same
+//! code paths:
+//!
+//! * [`packet`] — 5-tuple flow labels and payload-carrying packets;
+//! * [`gen`] — background traffic with Zipfian flow sizes (paper \[10\]) and
+//!   the empirical Internet packet-size mix (paper \[3\]: 40/576/1500-byte
+//!   modes);
+//! * [`burst`] — ON/OFF load modulation so flow splitting sees the
+//!   burstiness the stress test of Section V-B.4 is about;
+//! * [`plant`] — "planting" instances of a common-content object into the
+//!   traffic of chosen routers, aligned (no prefix) or unaligned (random
+//!   per-instance prefix, the email-worm scenario);
+//! * [`trace`] — a binary trace format so generated workloads can be saved
+//!   and replayed byte-for-byte.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod burst;
+pub mod gen;
+pub mod packet;
+pub mod plant;
+pub mod trace;
+
+#[cfg(test)]
+mod proptests;
+
+pub use gen::{BackgroundConfig, SizeMix};
+pub use packet::{FlowLabel, Packet};
+pub use plant::{ContentObject, Planting};

@@ -1,0 +1,243 @@
+//! Common-content objects and planting.
+//!
+//! A [`ContentObject`] is the "common content" of the paper: a byte string
+//! (worm binary, hot file, spam body) that is packetised and injected into
+//! the traffic of a chosen set of routers. The **aligned** case transmits
+//! the object as-is, so every instance packetises identically; the
+//! **unaligned** case prepends a per-instance variable prefix (the SMTP
+//! header of an email worm), shifting the packetisation by `prefix mod
+//! payload_size` bytes.
+
+use crate::packet::{FlowLabel, Packet};
+use bytes::Bytes;
+use rand::Rng;
+
+/// A common-content object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ContentObject {
+    bytes: Bytes,
+}
+
+impl ContentObject {
+    /// Wraps explicit bytes.
+    pub fn new(bytes: impl Into<Bytes>) -> Self {
+        ContentObject {
+            bytes: bytes.into(),
+        }
+    }
+
+    /// A pseudorandom object of `len` bytes (reproducible from the RNG).
+    pub fn random<R: Rng + ?Sized>(rng: &mut R, len: usize) -> Self {
+        let mut b = vec![0u8; len];
+        rng.fill(b.as_mut_slice());
+        ContentObject { bytes: Bytes::from(b) }
+    }
+
+    /// An object that packetises into exactly `packets` payloads of
+    /// `payload_size` bytes (aligned case, no prefix).
+    pub fn random_with_packets<R: Rng + ?Sized>(
+        rng: &mut R,
+        packets: usize,
+        payload_size: usize,
+    ) -> Self {
+        Self::random(rng, packets * payload_size)
+    }
+
+    /// Object length in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether the object is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Raw bytes.
+    pub fn bytes(&self) -> &Bytes {
+        &self.bytes
+    }
+
+    /// Packetises `prefix ++ object` into payloads of `payload_size`
+    /// bytes. The final partial payload (if any) is kept — real stacks
+    /// send it, and the collectors treat it like any other packet.
+    ///
+    /// # Panics
+    /// Panics if `payload_size == 0`.
+    pub fn packetize(&self, prefix: &[u8], payload_size: usize) -> Vec<Bytes> {
+        assert!(payload_size > 0, "payload size must be positive");
+        let mut stream = Vec::with_capacity(prefix.len() + self.bytes.len());
+        stream.extend_from_slice(prefix);
+        stream.extend_from_slice(&self.bytes);
+        stream
+            .chunks(payload_size)
+            .map(Bytes::copy_from_slice)
+            .collect()
+    }
+}
+
+/// Where and how a content object is planted.
+#[derive(Debug, Clone)]
+pub struct Planting {
+    /// The object being spread.
+    pub object: ContentObject,
+    /// Payload size used by the carrying application (the paper assumes
+    /// one popular size per content, e.g. 536).
+    pub payload_size: usize,
+    /// Per-instance prefix length: `None` for the aligned case; for the
+    /// unaligned case, draw a fresh prefix of the contained length range
+    /// per instance.
+    pub prefix_range: Option<std::ops::Range<usize>>,
+}
+
+impl Planting {
+    /// Aligned planting (identical packetisation everywhere).
+    pub fn aligned(object: ContentObject, payload_size: usize) -> Self {
+        Planting {
+            object,
+            payload_size,
+            prefix_range: None,
+        }
+    }
+
+    /// Unaligned planting with per-instance prefix drawn from
+    /// `0..payload_size` (all residues equally likely, the paper's
+    /// uniform-prefix model).
+    pub fn unaligned(object: ContentObject, payload_size: usize) -> Self {
+        let range = 0..payload_size;
+        Planting {
+            object,
+            payload_size,
+            prefix_range: Some(range),
+        }
+    }
+
+    /// Generates one *instance* of the planted content as a packet
+    /// sequence on a fresh random flow.
+    pub fn instantiate<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<Packet> {
+        let prefix: Vec<u8> = match &self.prefix_range {
+            None => Vec::new(),
+            Some(range) => {
+                let len = if range.is_empty() {
+                    0
+                } else {
+                    rng.gen_range(range.clone())
+                };
+                let mut p = vec![0u8; len];
+                rng.fill(p.as_mut_slice());
+                p
+            }
+        };
+        let flow = FlowLabel::random(rng);
+        self.object
+            .packetize(&prefix, self.payload_size)
+            .into_iter()
+            .map(|payload| Packet::new(flow, payload))
+            .collect()
+    }
+
+    /// Splices one instance into `traffic` at a random position (packets
+    /// of the instance stay in order, as TCP would deliver them).
+    pub fn plant_into<R: Rng + ?Sized>(&self, rng: &mut R, traffic: &mut Vec<Packet>) {
+        let instance = self.instantiate(rng);
+        let at = if traffic.is_empty() {
+            0
+        } else {
+            rng.gen_range(0..=traffic.len())
+        };
+        traffic.splice(at..at, instance);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xC0FFEE)
+    }
+
+    #[test]
+    fn packetize_exact_multiple() {
+        let obj = ContentObject::new(vec![7u8; 300]);
+        let chunks = obj.packetize(&[], 100);
+        assert_eq!(chunks.len(), 3);
+        assert!(chunks.iter().all(|c| c.len() == 100));
+    }
+
+    #[test]
+    fn packetize_with_remainder_and_prefix() {
+        let obj = ContentObject::new(vec![1u8; 250]);
+        let chunks = obj.packetize(&[9u8; 30], 100);
+        assert_eq!(chunks.len(), 3);
+        assert_eq!(chunks[0][..30], [9u8; 30][..]);
+        assert_eq!(chunks[2].len(), 80);
+    }
+
+    #[test]
+    fn aligned_instances_have_identical_payloads() {
+        let mut r = rng();
+        let obj = ContentObject::random_with_packets(&mut r, 5, 64);
+        let plant = Planting::aligned(obj, 64);
+        let a = plant.instantiate(&mut r);
+        let b = plant.instantiate(&mut r);
+        assert_eq!(a.len(), 5);
+        for (pa, pb) in a.iter().zip(&b) {
+            assert_eq!(pa.payload, pb.payload, "aligned payloads must match");
+        }
+        assert_ne!(a[0].flow, b[0].flow, "instances travel on distinct flows");
+    }
+
+    #[test]
+    fn unaligned_instances_share_shifted_content() {
+        let mut r = rng();
+        let obj = ContentObject::random(&mut r, 64 * 10);
+        let plant = Planting::unaligned(obj.clone(), 64);
+        // With prefix l, payload k (k >= 1) = object[(k*64 - l) .. (k+1)*64 - l).
+        let inst = plant.instantiate(&mut r);
+        assert!(inst.len() >= 10);
+        // Find the shift by matching the second payload into the object.
+        let window = &inst[1].payload[..];
+        let obj_bytes = obj.bytes();
+        let found = (0..=obj_bytes.len() - window.len())
+            .any(|off| &obj_bytes[off..off + window.len()] == window);
+        assert!(found, "payload should be a contiguous slice of the object");
+    }
+
+    #[test]
+    fn plant_into_preserves_order_and_count() {
+        let mut r = rng();
+        let obj = ContentObject::random_with_packets(&mut r, 4, 32);
+        let plant = Planting::aligned(obj, 32);
+        let filler = Packet::new(FlowLabel::random(&mut r), vec![0u8; 8]);
+        let mut traffic = vec![filler.clone(); 20];
+        plant.plant_into(&mut r, &mut traffic);
+        assert_eq!(traffic.len(), 24);
+        // The 4 planted packets share a flow and appear contiguously in order.
+        let planted_flow = traffic
+            .iter()
+            .find(|p| p.flow != filler.flow)
+            .expect("planted packets present")
+            .flow;
+        let planted: Vec<&Packet> = traffic.iter().filter(|p| p.flow == planted_flow).collect();
+        assert_eq!(planted.len(), 4);
+    }
+
+    #[test]
+    fn plant_into_empty_traffic() {
+        let mut r = rng();
+        let obj = ContentObject::random_with_packets(&mut r, 2, 16);
+        let plant = Planting::aligned(obj, 16);
+        let mut traffic = Vec::new();
+        plant.plant_into(&mut r, &mut traffic);
+        assert_eq!(traffic.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_payload_size_panics() {
+        ContentObject::new(vec![1u8]).packetize(&[], 0);
+    }
+}

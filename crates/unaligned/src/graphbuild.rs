@@ -1,0 +1,396 @@
+//! Matrix → group-graph conversion: the pairwise row-correlation kernel.
+//!
+//! "The vast majority of the computational complexity … comes from
+//! computing, for any two rows in the matrix, the number of indices in
+//! which both rows have value 1" (Section IV-D). The paper lists coping
+//! strategies; this module implements three of them:
+//!
+//! * [`build_group_graph`] — the straight serial sweep;
+//! * [`build_group_graph_parallel`] — possibility 3, "distribute the load
+//!   to a large number of CPUs" (crossbeam scoped threads, embarrassingly
+//!   parallel over group pairs);
+//! * [`build_group_graph_sampled`] — possibility 2, "sample 10 % of the
+//!   vertices and find a core only in this subset".
+
+use crate::lambda::LambdaTable;
+use dcs_bitmap::RowMatrix;
+use dcs_graph::{Graph, GraphBuilder};
+
+/// How rows map to group-vertices: rows are stored group-major, group `g`
+/// owning rows `g*rows_per_group .. (g+1)*rows_per_group`.
+#[derive(Debug, Clone, Copy)]
+pub struct GroupLayout {
+    /// Rows (offset arrays) per group.
+    pub rows_per_group: usize,
+}
+
+impl GroupLayout {
+    /// Number of groups for a given matrix.
+    ///
+    /// # Panics
+    /// Panics if the row count is not a multiple of `rows_per_group`.
+    pub fn groups(&self, rows: &RowMatrix) -> usize {
+        assert!(self.rows_per_group > 0, "rows_per_group must be positive");
+        assert_eq!(
+            rows.nrows() % self.rows_per_group,
+            0,
+            "row count {} not a multiple of rows_per_group {}",
+            rows.nrows(),
+            self.rows_per_group
+        );
+        rows.nrows() / self.rows_per_group
+    }
+}
+
+/// Whether groups `ga` and `gb` are connected: does any row pair exceed
+/// its λ threshold?
+fn groups_connected(
+    rows: &RowMatrix,
+    weights: &[u32],
+    layout: GroupLayout,
+    table: &LambdaTable,
+    ga: usize,
+    gb: usize,
+) -> bool {
+    let k = layout.rows_per_group;
+    for ra in ga * k..(ga + 1) * k {
+        let wa = weights[ra];
+        if wa == 0 {
+            continue;
+        }
+        for (rb, &wb) in weights.iter().enumerate().take((gb + 1) * k).skip(gb * k) {
+            if wb == 0 {
+                continue;
+            }
+            let lam = table.lambda(wa, wb);
+            if rows.common_ones(ra, rb) > lam {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Serial conversion of the fused row matrix into the group graph.
+pub fn build_group_graph(rows: &RowMatrix, layout: GroupLayout, table: &LambdaTable) -> Graph {
+    let n = layout.groups(rows);
+    let weights = rows.row_weights();
+    let mut b = GraphBuilder::new(n);
+    for ga in 0..n {
+        for gb in (ga + 1)..n {
+            if groups_connected(rows, &weights, layout, table, ga, gb) {
+                b.add_edge(ga as u32, gb as u32);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Parallel conversion using `threads` crossbeam scoped threads. Group
+/// pairs are split by striding the outer index, which balances the
+/// triangular loop well.
+///
+/// # Panics
+/// Panics if `threads == 0`.
+pub fn build_group_graph_parallel(
+    rows: &RowMatrix,
+    layout: GroupLayout,
+    table: &LambdaTable,
+    threads: usize,
+) -> Graph {
+    assert!(threads > 0, "need at least one thread");
+    let n = layout.groups(rows);
+    let weights = rows.row_weights();
+    // Pre-warm the λ memo serially so worker threads mostly read.
+    for &w in &weights {
+        if w > 0 {
+            table.lambda(w, w);
+        }
+    }
+    let mut edge_lists: Vec<Vec<(u32, u32)>> = Vec::new();
+    crossbeam::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let weights = &weights;
+            handles.push(scope.spawn(move |_| {
+                let mut local = Vec::new();
+                let mut ga = t;
+                while ga < n {
+                    for gb in (ga + 1)..n {
+                        if groups_connected(rows, weights, layout, table, ga, gb) {
+                            local.push((ga as u32, gb as u32));
+                        }
+                    }
+                    ga += threads;
+                }
+                local
+            }));
+        }
+        for h in handles {
+            edge_lists.push(h.join().expect("correlation worker panicked"));
+        }
+    })
+    .expect("crossbeam scope failed");
+    let mut b = GraphBuilder::with_capacity(n, edge_lists.iter().map(Vec::len).sum());
+    for list in edge_lists {
+        for (u, v) in list {
+            b.add_edge(u, v);
+        }
+    }
+    b.build()
+}
+
+/// Vertex-sampled conversion (paper's possibility 2): keep every
+/// `1/sample_div`-th group, build the graph only among the sample.
+/// Returns the graph over sampled groups and the mapping from sampled
+/// vertex id to original group id.
+///
+/// # Panics
+/// Panics if `sample_div == 0`.
+pub fn build_group_graph_sampled(
+    rows: &RowMatrix,
+    layout: GroupLayout,
+    table: &LambdaTable,
+    sample_div: usize,
+) -> (Graph, Vec<u32>) {
+    assert!(sample_div > 0, "sample divisor must be positive");
+    let n = layout.groups(rows);
+    let sampled: Vec<u32> = (0..n as u32).step_by(sample_div).collect();
+    let weights = rows.row_weights();
+    let mut b = GraphBuilder::new(sampled.len());
+    for (ia, &ga) in sampled.iter().enumerate() {
+        for (ib, &gb) in sampled.iter().enumerate().skip(ia + 1) {
+            if groups_connected(rows, &weights, layout, table, ga as usize, gb as usize) {
+                b.add_edge(ia as u32, ib as u32);
+            }
+        }
+    }
+    (b.build(), sampled)
+}
+
+/// Expands a core over *all* groups: for every group outside `core`,
+/// count how many core groups it connects to (λ-exceeding row pair) and
+/// keep those with at least `d` connections.
+///
+/// This is the paper's recipe for making vertex sampling viable: "this
+/// core will be used to find other vertices in the pattern, which has
+/// O(n) complexity since the core is relatively small" — the sweep costs
+/// `O(n_groups · |core| · k²)` row comparisons instead of the full
+/// quadratic correlation.
+pub fn expand_core_over_groups(
+    rows: &RowMatrix,
+    layout: GroupLayout,
+    table: &LambdaTable,
+    core: &[u32],
+    d: usize,
+) -> Vec<u32> {
+    let n = layout.groups(rows);
+    let weights = rows.row_weights();
+    let core_set: std::collections::HashSet<u32> = core.iter().copied().collect();
+    let mut out = Vec::new();
+    for g in 0..n as u32 {
+        if core_set.contains(&g) {
+            continue;
+        }
+        let mut links = 0usize;
+        for &c in core {
+            if groups_connected(rows, &weights, layout, table, g as usize, c as usize) {
+                links += 1;
+                if links >= d {
+                    break;
+                }
+            }
+        }
+        if links >= d {
+            out.push(g);
+        }
+    }
+    out
+}
+
+/// End-to-end sampled detection (paper §IV-D possibility 2): build the
+/// detection graph over every `sample_div`-th group only, run the 3-step
+/// core finding there, then expand the found core across all groups.
+/// Returns the sorted union of the (re-mapped) sampled cores and the
+/// expansion survivors.
+pub fn sampled_find_pattern(
+    rows: &RowMatrix,
+    layout: GroupLayout,
+    table: &LambdaTable,
+    sample_div: usize,
+    cfg: crate::corefind::CoreFindConfig,
+    expand_d: usize,
+) -> Vec<u32> {
+    let (graph, mapping) = build_group_graph_sampled(rows, layout, table, sample_div);
+    let result = crate::corefind::find_pattern(&graph, cfg);
+    let mut core: Vec<u32> = result
+        .vertices()
+        .into_iter()
+        .map(|v| mapping[v as usize])
+        .collect();
+    let expanded = expand_core_over_groups(rows, layout, table, &core, expand_d);
+    core.extend(expanded);
+    core.sort_unstable();
+    core
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcs_bitmap::Bitmap;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    const NBITS: usize = 1024;
+    const K: usize = 4; // rows per group in tests
+
+    /// Builds a matrix of `groups` groups whose rows are random with
+    /// ~`weight` ones; groups listed in `correlated` additionally share a
+    /// common set of `signal` indices in their first row.
+    fn test_matrix(
+        rng: &mut StdRng,
+        groups: usize,
+        weight: usize,
+        correlated: &[usize],
+        signal: usize,
+    ) -> RowMatrix {
+        let common: Vec<usize> = (0..signal).map(|_| rng.gen_range(0..NBITS)).collect();
+        let mut m = RowMatrix::new(NBITS);
+        for g in 0..groups {
+            for r in 0..K {
+                let mut bm = Bitmap::new(NBITS);
+                if r == 0 && correlated.contains(&g) {
+                    for &c in &common {
+                        bm.set(c);
+                    }
+                }
+                while (bm.weight() as usize) < weight {
+                    bm.set(rng.gen_range(0..NBITS));
+                }
+                m.push_bitmap(&bm);
+            }
+        }
+        m
+    }
+
+    fn table() -> LambdaTable {
+        // p* chosen so the 16-row-pair group comparison stays quiet under
+        // the null but fires on a 200-index shared signal.
+        LambdaTable::new(NBITS, 1e-6)
+    }
+
+    #[test]
+    fn correlated_groups_get_edges_others_do_not() {
+        let mut r = StdRng::seed_from_u64(1);
+        let m = test_matrix(&mut r, 10, 512, &[2, 7], 200);
+        let g = build_group_graph(&m, GroupLayout { rows_per_group: K }, &table());
+        assert!(g.has_edge(2, 7), "correlated pair must connect");
+        assert!(
+            g.m() <= 2,
+            "background produced {} edges (expected ~0 beyond the signal)",
+            g.m()
+        );
+    }
+
+    #[test]
+    fn null_matrix_is_sparse() {
+        let mut r = StdRng::seed_from_u64(2);
+        let m = test_matrix(&mut r, 16, 512, &[], 0);
+        let g = build_group_graph(&m, GroupLayout { rows_per_group: K }, &table());
+        assert!(g.m() <= 1, "null graph has {} edges", g.m());
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let mut r = StdRng::seed_from_u64(3);
+        let m = test_matrix(&mut r, 12, 512, &[1, 4, 9], 220);
+        let layout = GroupLayout { rows_per_group: K };
+        let t = table();
+        let gs = build_group_graph(&m, layout, &t);
+        for threads in [1usize, 2, 4] {
+            let gp = build_group_graph_parallel(&m, layout, &t, threads);
+            assert_eq!(gs.m(), gp.m(), "edge count differs at {threads} threads");
+            let mut es: Vec<_> = gs.edges().collect();
+            let mut ep: Vec<_> = gp.edges().collect();
+            es.sort_unstable();
+            ep.sort_unstable();
+            assert_eq!(es, ep, "edge sets differ at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn sampled_build_keeps_every_divth_group() {
+        let mut r = StdRng::seed_from_u64(4);
+        // Correlate groups 0 and 2 (both survive div-2 sampling).
+        let m = test_matrix(&mut r, 10, 512, &[0, 2], 220);
+        let layout = GroupLayout { rows_per_group: K };
+        let t = table();
+        let (g, mapping) = build_group_graph_sampled(&m, layout, &t, 2);
+        assert_eq!(mapping, vec![0, 2, 4, 6, 8]);
+        assert_eq!(g.n(), 5);
+        assert!(g.has_edge(0, 1), "sampled graph keeps the 0–2 edge");
+    }
+
+    #[test]
+    fn expansion_recovers_unsampled_pattern_groups() {
+        let mut r = StdRng::seed_from_u64(5);
+        // Groups 0..8 all share a strong signal; sample every 2nd group so
+        // odd pattern groups are invisible to the sampled graph.
+        let correlated: Vec<usize> = (0..8).collect();
+        let m = test_matrix(&mut r, 24, 512, &correlated, 220);
+        let layout = GroupLayout { rows_per_group: K };
+        let t = table();
+        let core: Vec<u32> = vec![0, 2, 4, 6]; // the sampled half
+        let expanded = expand_core_over_groups(&m, layout, &t, &core, 2);
+        for odd in [1u32, 3, 5, 7] {
+            assert!(
+                expanded.contains(&odd),
+                "unsampled pattern group {odd} not recovered: {expanded:?}"
+            );
+        }
+        // Background groups stay out.
+        assert!(
+            expanded.iter().all(|&g| g < 8),
+            "background leaked into the expansion: {expanded:?}"
+        );
+    }
+
+    #[test]
+    fn sampled_find_pattern_end_to_end() {
+        let mut r = StdRng::seed_from_u64(6);
+        let correlated: Vec<usize> = (0..10).collect();
+        let m = test_matrix(&mut r, 30, 512, &correlated, 220);
+        let layout = GroupLayout { rows_per_group: K };
+        let t = table();
+        let found = sampled_find_pattern(
+            &m,
+            layout,
+            &t,
+            2,
+            crate::corefind::CoreFindConfig { beta: 5, d: 1 },
+            2,
+        );
+        let hits = found.iter().filter(|&&g| g < 10).count();
+        assert!(hits >= 8, "recovered only {hits}/10 pattern groups: {found:?}");
+        let fps = found.len() - hits;
+        assert!(fps <= 2, "{fps} background groups reported");
+    }
+
+    #[test]
+    fn zero_weight_rows_never_connect() {
+        let mut m = RowMatrix::new(NBITS);
+        for _ in 0..(2 * K) {
+            m.push_bitmap(&Bitmap::new(NBITS));
+        }
+        let g = build_group_graph(&m, GroupLayout { rows_per_group: K }, &table());
+        assert_eq!(g.m(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn ragged_layout_rejected() {
+        let mut m = RowMatrix::new(NBITS);
+        m.push_bitmap(&Bitmap::new(NBITS));
+        GroupLayout { rows_per_group: 4 }.groups(&m);
+    }
+}

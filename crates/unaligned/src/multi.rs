@@ -1,0 +1,317 @@
+//! Multi-pattern separation (paper Section II-D).
+//!
+//! "This cluster can contain either single common item or multiple common
+//! items. The techniques that are used to separate out sub-clusters upon
+//! detecting a large cluster have been maturely developed. Thus we will
+//! focus on only detecting one large cluster assuming those techniques
+//! can be used on top of our algorithm."
+//!
+//! This module supplies that layer: split a detected vertex set into
+//! sub-clusters (distinct contents connect *within* themselves but only at
+//! background rate *across*, so the induced subgraph's connected
+//! components separate them), and iterate detection after removing each
+//! found cluster to surface weaker patterns hiding behind a dominant one.
+
+use crate::corefind::{find_pattern, CoreFindConfig};
+use dcs_graph::{Graph, GraphBuilder, UnionFind};
+
+/// Splits a reported vertex set into sub-clusters: connected components
+/// of the sub-graph the vertices induce in `graph`, sorted by descending
+/// size. Singleton components (vertices with no internal edge — stragglers
+/// pulled in by noise) are dropped.
+pub fn split_clusters(graph: &Graph, vertices: &[u32]) -> Vec<Vec<u32>> {
+    let index_of: std::collections::HashMap<u32, u32> = vertices
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v, i as u32))
+        .collect();
+    let mut uf = UnionFind::new(vertices.len());
+    for &v in vertices {
+        for &u in graph.neighbors(v) {
+            if let Some((&iv, &iu)) = index_of.get(&v).zip(index_of.get(&u)) {
+                uf.union(iv, iu);
+            }
+        }
+    }
+    let mut clusters: std::collections::HashMap<u32, Vec<u32>> = std::collections::HashMap::new();
+    for (i, &v) in vertices.iter().enumerate() {
+        clusters.entry(uf.find(i as u32)).or_default().push(v);
+    }
+    let mut out: Vec<Vec<u32>> = clusters
+        .into_values()
+        .filter(|c| c.len() >= 2)
+        .collect();
+    out.sort_by_key(|c| std::cmp::Reverse(c.len()));
+    for c in &mut out {
+        c.sort_unstable();
+    }
+    out
+}
+
+/// One separated pattern.
+#[derive(Debug, Clone)]
+pub struct SeparatedPattern {
+    /// The cluster's vertices.
+    pub vertices: Vec<u32>,
+    /// Edges inside the cluster (coherence diagnostic).
+    pub internal_edges: usize,
+}
+
+/// Iterated detection: find a pattern, split it into sub-clusters, remove
+/// everything found, and repeat on the remainder until nothing coherent
+/// remains or `max_patterns` have been reported.
+///
+/// A cluster is *coherent* when its internal edge count is at least
+/// `min_density` × its vertex count (a planted pattern has internal mean
+/// degree ≥ 2·min_density; background components peter out below it).
+pub fn find_patterns_multi(
+    graph: &Graph,
+    cfg: CoreFindConfig,
+    max_patterns: usize,
+    min_density: f64,
+) -> Vec<SeparatedPattern> {
+    assert!(min_density >= 0.0, "density bound must be non-negative");
+    let mut found: Vec<SeparatedPattern> = Vec::new();
+    let mut removed = vec![false; graph.n()];
+
+    for _ in 0..max_patterns {
+        // Build the remainder graph (original ids preserved via mapping).
+        let alive: Vec<u32> = (0..graph.n() as u32)
+            .filter(|&v| !removed[v as usize])
+            .collect();
+        if alive.len() < 3 {
+            break;
+        }
+        let index_of: std::collections::HashMap<u32, u32> = alive
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, i as u32))
+            .collect();
+        let mut b = GraphBuilder::new(alive.len());
+        for &v in &alive {
+            for &u in graph.neighbors(v) {
+                if u > v && !removed[u as usize] {
+                    b.add_edge(index_of[&v], index_of[&u]);
+                }
+            }
+        }
+        let sub = b.build();
+        if sub.m() == 0 {
+            break;
+        }
+        let result = find_pattern(&sub, cfg);
+        let reported: Vec<u32> = result
+            .vertices()
+            .into_iter()
+            .map(|i| alive[i as usize])
+            .collect();
+        if reported.is_empty() {
+            break;
+        }
+        let clusters = split_clusters(graph, &reported);
+        let mut any_coherent = false;
+        for cluster in clusters {
+            let internal = internal_edge_count(graph, &cluster);
+            if (internal as f64) >= min_density * cluster.len() as f64 {
+                any_coherent = true;
+                for &v in &cluster {
+                    removed[v as usize] = true;
+                }
+                found.push(SeparatedPattern {
+                    vertices: cluster,
+                    internal_edges: internal,
+                });
+                if found.len() == max_patterns {
+                    return found;
+                }
+            }
+        }
+        if !any_coherent {
+            break; // remainder is noise
+        }
+        // Also retire the incoherent stragglers of this round so they do
+        // not resurface forever.
+        for v in reported {
+            removed[v as usize] = true;
+        }
+    }
+    found.sort_by_key(|p| std::cmp::Reverse(p.vertices.len()));
+    found
+}
+
+/// Edges of `graph` with both endpoints in `vertices`.
+pub fn internal_edge_count(graph: &Graph, vertices: &[u32]) -> usize {
+    let set: std::collections::HashSet<u32> = vertices.iter().copied().collect();
+    vertices
+        .iter()
+        .map(|&v| {
+            graph
+                .neighbors(v)
+                .iter()
+                .filter(|&&u| u > v && set.contains(&u))
+                .count()
+        })
+        .sum()
+}
+
+/// Fraction of `reported` inside `truth` (helper for tests/benches).
+pub fn overlap_fraction(reported: &[u32], truth: &[u32]) -> f64 {
+    if reported.is_empty() {
+        return 0.0;
+    }
+    let t: std::collections::HashSet<u32> = truth.iter().copied().collect();
+    reported.iter().filter(|v| t.contains(v)).count() as f64 / reported.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcs_graph::component_sizes;
+    use dcs_graph::er::add_gnp_edges;
+    use dcs_stats::sample::sample_geometric;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Background G(n, p1) with two planted dense clusters at given
+    /// disjoint vertex ranges.
+    fn two_cluster_graph(
+        rng: &mut StdRng,
+        n: usize,
+        p1: f64,
+        c1: std::ops::Range<u32>,
+        c2: std::ops::Range<u32>,
+        p2: f64,
+    ) -> Graph {
+        let mut b = GraphBuilder::new(n);
+        add_gnp_edges(rng, &mut b, n, p1);
+        for range in [c1, c2] {
+            let members: Vec<u32> = range.collect();
+            // Plant G(|members|, p2) via skip sampling.
+            let total = (members.len() * (members.len() - 1) / 2) as u64;
+            let mut t = sample_geometric(rng, p2);
+            while t < total {
+                // Unrank within the small clique index space.
+                let mut acc = 0u64;
+                let mut i = 0usize;
+                loop {
+                    let row = (members.len() - 1 - i) as u64;
+                    if acc + row > t {
+                        break;
+                    }
+                    acc += row;
+                    i += 1;
+                }
+                let j = i + 1 + (t - acc) as usize;
+                b.add_edge(members[i], members[j]);
+                t += 1 + sample_geometric(rng, p2);
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn split_separates_disjoint_clusters() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = two_cluster_graph(&mut rng, 2_000, 0.2 / 2_000.0, 0..40, 500..540, 0.5);
+        let mixed: Vec<u32> = (0..40).chain(500..540).collect();
+        let clusters = split_clusters(&g, &mixed);
+        assert_eq!(clusters.len(), 2, "expected two clusters, got {clusters:?}");
+        for c in &clusters {
+            let in_first = c.iter().filter(|&&v| v < 40).count();
+            assert!(
+                in_first == 0 || in_first == c.len(),
+                "cluster mixes the two patterns: {c:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn split_drops_isolated_stragglers() {
+        let mut b = GraphBuilder::new(10);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        let g = b.build();
+        let clusters = split_clusters(&g, &[0, 1, 2, 7, 9]);
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0], vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn multi_detection_finds_both_patterns() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 10_000;
+        let g = two_cluster_graph(
+            &mut rng,
+            n,
+            2.0 / n as f64,
+            0..80,
+            4_000..4_060,
+            0.4,
+        );
+        let cfg = CoreFindConfig { beta: 40, d: 2 };
+        let patterns = find_patterns_multi(&g, cfg, 4, 1.0);
+        assert!(
+            patterns.len() >= 2,
+            "found {} coherent patterns, wanted 2",
+            patterns.len()
+        );
+        let truth1: Vec<u32> = (0..80).collect();
+        let truth2: Vec<u32> = (4_000..4_060).collect();
+        let hits1 = patterns
+            .iter()
+            .map(|p| overlap_fraction(&p.vertices, &truth1))
+            .fold(0.0f64, f64::max);
+        let hits2 = patterns
+            .iter()
+            .map(|p| overlap_fraction(&p.vertices, &truth2))
+            .fold(0.0f64, f64::max);
+        assert!(hits1 > 0.8, "no pattern matches cluster 1 well ({hits1})");
+        assert!(hits2 > 0.8, "no pattern matches cluster 2 well ({hits2})");
+    }
+
+    #[test]
+    fn multi_detection_on_noise_reports_nothing() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 10_000;
+        let mut b = GraphBuilder::new(n);
+        add_gnp_edges(&mut rng, &mut b, n, 0.8 / n as f64);
+        let g = b.build();
+        let patterns = find_patterns_multi(&g, CoreFindConfig { beta: 40, d: 2 }, 3, 1.5);
+        assert!(
+            patterns.is_empty(),
+            "noise produced {} 'patterns'",
+            patterns.len()
+        );
+    }
+
+    #[test]
+    fn internal_edges_counted_once() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(2, 0);
+        b.add_edge(2, 3);
+        let g = b.build();
+        assert_eq!(internal_edge_count(&g, &[0, 1, 2]), 3);
+        assert_eq!(internal_edge_count(&g, &[0, 3]), 0);
+        assert_eq!(internal_edge_count(&g, &[]), 0);
+    }
+
+    #[test]
+    fn overlap_fraction_edges() {
+        assert_eq!(overlap_fraction(&[], &[1]), 0.0);
+        assert_eq!(overlap_fraction(&[1, 2], &[1, 2]), 1.0);
+        assert_eq!(overlap_fraction(&[1, 2, 3, 4], &[1, 2]), 0.5);
+    }
+
+    #[test]
+    fn sanity_two_cluster_generator() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = two_cluster_graph(&mut rng, 1_000, 0.0, 0..20, 100..120, 1.0);
+        // p2 = 1.0: both ranges become cliques.
+        assert_eq!(internal_edge_count(&g, &(0..20).collect::<Vec<_>>()), 190);
+        let sizes = component_sizes(&g);
+        assert_eq!(sizes[0], 20);
+        assert_eq!(sizes[1], 20);
+    }
+}

@@ -1,0 +1,23 @@
+//! # dcs — Distributed Collaborative Streaming
+//!
+//! Facade crate re-exporting the full public API of the DCS workspace, a
+//! reproduction of *"Scalable and Efficient Data Streaming Algorithms for
+//! Detecting Common Content in Internet Traffic"* (ICDE 2006).
+//!
+//! See the individual crates for details:
+//! [`dcs_bitmap`], [`dcs_hash`], [`dcs_stats`], [`dcs_traffic`],
+//! [`dcs_graph`], [`dcs_collect`], [`dcs_aligned`], [`dcs_unaligned`],
+//! [`dcs_core`], [`dcs_sim`].
+
+pub use dcs_aligned as aligned;
+pub use dcs_bitmap as bitmap;
+pub use dcs_collect as collect;
+pub use dcs_core as core;
+pub use dcs_graph as graph;
+pub use dcs_hash as hash;
+pub use dcs_sim as sim;
+pub use dcs_stats as stats;
+pub use dcs_traffic as traffic;
+pub use dcs_unaligned as unaligned;
+
+pub use dcs_core::prelude;

@@ -29,6 +29,4 @@ pub use search::{
     naive_detect, refined_detect, refined_detect_multi, AlignedDetection, SearchConfig,
 };
 pub use termination::{stop_point, TerminationConfig};
-pub use thresholds::{
-    detectable_min_b, ln_natural_occurrence, non_natural_min_b, NonNaturalCurve,
-};
+pub use thresholds::{detectable_min_b, ln_natural_occurrence, non_natural_min_b, NonNaturalCurve};

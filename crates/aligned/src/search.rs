@@ -13,12 +13,21 @@
 //!   most once — the paper's `w ∉ A_v` rule plus duplicate suppression;
 //! * the per-iteration "hopefuls" list keeps the H heaviest candidates in
 //!   a bounded min-heap, exactly as in the paper (a priority queue of
-//!   size O(n)).
+//!   size O(n));
+//! * the candidate fan-outs (all 2-products, per-hopeful extensions, the
+//!   heaviest-column screen, and the full-matrix expansion sweep) are
+//!   parallelised over scoped worker threads per
+//!   [`SearchConfig::compute`]. Candidates are ranked by the *full*
+//!   `(weight, parent, column)` tuple — a total order — so each worker's
+//!   bounded heap merged into a global bounded heap yields exactly the
+//!   canonical top-H set. The search result is therefore bit-identical
+//!   for every thread count (see the `threads` determinism test).
 
 use crate::termination::{stop_point, TerminationConfig};
 use crate::thresholds::ln_natural_occurrence;
-use dcs_bitmap::words::{and_weight, iter_ones};
+use dcs_bitmap::words::{and_weight, and_weight_many_into, iter_ones, weight};
 use dcs_bitmap::ColMatrix;
+use dcs_parallel::{map_chunks, map_workers, ComputeBudget};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -39,6 +48,8 @@ pub struct SearchConfig {
     pub epsilon: f64,
     /// Weight-curve reader configuration.
     pub termination: TerminationConfig,
+    /// Threads and kernel blocking for the parallel sections.
+    pub compute: ComputeBudget,
 }
 
 impl Default for SearchConfig {
@@ -50,6 +61,7 @@ impl Default for SearchConfig {
             gamma: 2,
             epsilon: 1e-3,
             termination: TerminationConfig::default(),
+            compute: ComputeBudget::default(),
         }
     }
 }
@@ -104,22 +116,33 @@ fn product_search(work: &ColMatrix, cfg: &SearchConfig) -> (Vec<u32>, Vec<Produc
     if n < 2 {
         return (curve, best_per_iter);
     }
+    let cols: Vec<&[u64]> = (0..n).map(|j| work.column(j)).collect();
 
-    // Iteration 1: all 2-products, keep the H heaviest.
-    let mut heap: BinaryHeap<Reverse<(u32, u32, u32)>> = BinaryHeap::new();
-    for i in 0..n as u32 {
-        let ci = work.column(i as usize);
-        for j in (i + 1)..n as u32 {
-            let w = and_weight(ci, work.column(j as usize));
-            push_bounded(&mut heap, cfg.hopefuls, (w, i, j));
+    // Iteration 1: all 2-products, keep the H heaviest. Workers stride the
+    // outer index (the pair loop is triangular, striding balances it) and
+    // keep private bounded heaps; merging them reproduces the canonical
+    // global top-H because candidates are totally ordered.
+    let workers = cfg.compute.workers_for(n);
+    let heaps = map_workers(workers, |t| {
+        let mut heap: BinaryHeap<Reverse<(u32, u32, u32)>> = BinaryHeap::new();
+        let mut i = t;
+        while i < n {
+            let ci = cols[i];
+            for (j, cj) in cols.iter().enumerate().skip(i + 1) {
+                let w = and_weight(ci, cj);
+                push_bounded(&mut heap, cfg.hopefuls, (w, i as u32, j as u32));
+            }
+            i += workers;
         }
-    }
+        heap
+    });
+    let heap = merge_bounded(heaps, cfg.hopefuls);
     let mut hopefuls: Vec<Product> = heap
         .into_sorted_vec()
         .into_iter()
         .map(|Reverse((w, i, j))| {
-            let mut words = work.column(i as usize).to_vec();
-            dcs_bitmap::words::and_assign(&mut words, work.column(j as usize));
+            let mut words = cols[i as usize].to_vec();
+            dcs_bitmap::words::and_assign(&mut words, cols[j as usize]);
             Product {
                 words,
                 weight: w,
@@ -132,19 +155,41 @@ fn product_search(work: &ColMatrix, cfg: &SearchConfig) -> (Vec<u32>, Vec<Produc
     hopefuls.sort_by_key(|p| Reverse(p.weight));
     record_best(&hopefuls, &mut curve, &mut best_per_iter);
 
-    // Iterations 2..: extend each hopeful with columns after its max member.
+    // Iterations 2..: extend each hopeful with columns after its max
+    // member. Workers stride the hopefuls list; each worker batches the
+    // AND-popcounts of one hopeful against all its candidate columns
+    // through the blocked many-columns kernel.
     for _ in 1..cfg.max_iterations {
         if hopefuls.is_empty() || curve.last() == Some(&0) {
             break;
         }
-        let mut heap: BinaryHeap<Reverse<(u32, u32, u32)>> = BinaryHeap::new();
-        for (pi, p) in hopefuls.iter().enumerate() {
-            let start = p.members.last().copied().unwrap_or(0) + 1;
-            for j in start..n as u32 {
-                let w = and_weight(&p.words, work.column(j as usize));
-                push_bounded(&mut heap, cfg.hopefuls, (w, pi as u32, j));
+        let workers = cfg.compute.workers_for(hopefuls.len());
+        let hopefuls_ref = &hopefuls;
+        let cols_ref = &cols;
+        let heaps = map_workers(workers, |t| {
+            let mut heap: BinaryHeap<Reverse<(u32, u32, u32)>> = BinaryHeap::new();
+            let mut fanout: Vec<u32> = Vec::new();
+            let mut pi = t;
+            while pi < hopefuls_ref.len() {
+                let p = &hopefuls_ref[pi];
+                let start = p.members.last().copied().unwrap_or(0) as usize + 1;
+                if start < n {
+                    fanout.clear();
+                    fanout.resize(n - start, 0);
+                    and_weight_many_into(&p.words, &cols_ref[start..], &mut fanout);
+                    for (off, &w) in fanout.iter().enumerate() {
+                        push_bounded(
+                            &mut heap,
+                            cfg.hopefuls,
+                            (w, pi as u32, (start + off) as u32),
+                        );
+                    }
+                }
+                pi += workers;
             }
-        }
+            heap
+        });
+        let heap = merge_bounded(heaps, cfg.hopefuls);
         if heap.is_empty() {
             break;
         }
@@ -154,7 +199,7 @@ fn product_search(work: &ColMatrix, cfg: &SearchConfig) -> (Vec<u32>, Vec<Produc
             .map(|Reverse((w, pi, j))| {
                 let parent = &hopefuls[pi as usize];
                 let mut words = parent.words.clone();
-                dcs_bitmap::words::and_assign(&mut words, work.column(j as usize));
+                dcs_bitmap::words::and_assign(&mut words, cols[j as usize]);
                 let mut members = parent.members.clone();
                 members.push(j);
                 Product {
@@ -185,19 +230,46 @@ fn record_best(hopefuls: &[Product], curve: &mut Vec<u32>, best: &mut Vec<Produc
     best.push(b.clone());
 }
 
+/// Offers `item` to a bounded min-heap keeping the `cap` largest
+/// candidates.
+///
+/// Eviction compares the *full* tuple, not just the weight: candidates
+/// form a total order, so the retained set is a canonical function of the
+/// candidate multiset — independent of offer order, and hence of how the
+/// fan-out was partitioned across workers.
 fn push_bounded(
     heap: &mut BinaryHeap<Reverse<(u32, u32, u32)>>,
     cap: usize,
     item: (u32, u32, u32),
 ) {
+    if cap == 0 {
+        return;
+    }
     if heap.len() < cap {
         heap.push(Reverse(item));
     } else if let Some(Reverse(min)) = heap.peek() {
-        if item.0 > min.0 {
+        if item > *min {
             heap.pop();
             heap.push(Reverse(item));
         }
     }
+}
+
+/// Merges per-worker bounded heaps into the canonical global top-`cap`
+/// heap. Correct because every member of the global top-`cap` is in its
+/// worker's local top-`cap`.
+fn merge_bounded(
+    heaps: Vec<BinaryHeap<Reverse<(u32, u32, u32)>>>,
+    cap: usize,
+) -> BinaryHeap<Reverse<(u32, u32, u32)>> {
+    let mut iter = heaps.into_iter();
+    let mut acc = iter.next().unwrap_or_default();
+    for heap in iter {
+        for Reverse(item) in heap {
+            push_bounded(&mut acc, cap, item);
+        }
+    }
+    acc
 }
 
 /// Iterated multi-pattern detection (the Section II-D layering for the
@@ -247,8 +319,16 @@ pub fn naive_detect(matrix: &ColMatrix, cfg: &SearchConfig) -> AlignedDetection 
 pub fn refined_detect(matrix: &ColMatrix, cfg: &SearchConfig) -> AlignedDetection {
     let n = matrix.ncols();
     let n_prime = cfg.n_prime.min(n);
-    // Indices of the n′ heaviest columns.
-    let weights = matrix.col_weights();
+    // Indices of the n′ heaviest columns; the weight pass is a full-matrix
+    // popcount, split over contiguous column chunks.
+    let weights: Vec<u32> = map_chunks(n, cfg.compute.workers_for(n), |range| {
+        range
+            .map(|j| weight(matrix.column(j)))
+            .collect::<Vec<u32>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect();
     let mut order: Vec<usize> = (0..n).collect();
     order.sort_unstable_by_key(|&j| Reverse(weights[j]));
     let selected: Vec<usize> = order.into_iter().take(n_prime).collect();
@@ -273,19 +353,36 @@ fn detect_inner(
     let core_cols: Vec<usize> = core.members.iter().map(|&k| mapping[k as usize]).collect();
 
     // Witness set: the core plus (refined only) every other column sharing
-    // ≥ weight(core) − γ ones with the core row vector.
+    // ≥ weight(core) − γ ones with the core row vector. This is the O(n)
+    // full-matrix sweep: workers take contiguous column chunks and batch
+    // `block_cols` columns per blocked-kernel call so the core row vector
+    // stays cache-hot across the batch.
     let mut cols = core_cols.clone();
     if expand {
         let thresh = core.weight.saturating_sub(cfg.gamma);
         let core_set: std::collections::HashSet<usize> = core_cols.iter().copied().collect();
-        for j in 0..matrix.ncols() {
-            if core_set.contains(&j) {
-                continue;
+        let block_cols = cfg.compute.effective_block_cols();
+        let n = matrix.ncols();
+        let survivors = map_chunks(n, cfg.compute.workers_for(n), |range| {
+            let mut out = Vec::new();
+            let mut batch_weights = vec![0u32; block_cols];
+            let mut start = range.start;
+            while start < range.end {
+                let end = (start + block_cols).min(range.end);
+                let batch: Vec<&[u64]> = (start..end).map(|j| matrix.column(j)).collect();
+                batch_weights[..batch.len()].fill(0);
+                and_weight_many_into(&core.words, &batch, &mut batch_weights);
+                for (off, &w) in batch_weights[..batch.len()].iter().enumerate() {
+                    let j = start + off;
+                    if w >= thresh && !core_set.contains(&j) {
+                        out.push(j);
+                    }
+                }
+                start = end;
             }
-            if and_weight(&core.words, matrix.column(j)) >= thresh {
-                cols.push(j);
-            }
-        }
+            out
+        });
+        cols.extend(survivors.into_iter().flatten());
         cols.sort_unstable();
     }
 
@@ -367,6 +464,7 @@ mod tests {
             gamma: 2,
             epsilon: 1e-3,
             termination: TerminationConfig::default(),
+            compute: ComputeBudget::sequential(),
         }
     }
 
@@ -409,7 +507,11 @@ mod tests {
             ..small_cfg()
         };
         let det = naive_detect(&mat, &cfg);
-        assert!(det.found, "naive missed pattern; curve {:?}", det.weight_curve);
+        assert!(
+            det.found,
+            "naive missed pattern; curve {:?}",
+            det.weight_curve
+        );
         let hits = det.cols.iter().filter(|c| cols.contains(c)).count();
         assert!(hits >= 5, "naive recovered {hits} pattern columns");
     }
@@ -529,5 +631,41 @@ mod tests {
             "expansion recovered only {hits}/{} columns",
             cols.len()
         );
+    }
+
+    #[test]
+    fn refined_detect_is_thread_count_invariant() {
+        // The parallel fan-outs use bounded heaps ordered by the full
+        // (weight, i, j) tuple, so the merged top-H — and therefore the
+        // whole search — must not depend on how work was partitioned.
+        let mut r = StdRng::seed_from_u64(51);
+        let (mat, _, _) = planted_matrix(&mut r, 96, 800, 30, 14);
+        let run = |threads: usize| {
+            let cfg = SearchConfig {
+                compute: ComputeBudget::with_threads(threads),
+                ..small_cfg()
+            };
+            refined_detect(&mat, &cfg)
+        };
+        let seq = run(1);
+        assert!(seq.found, "planted pattern not found");
+        for threads in [2, 8] {
+            let par = run(threads);
+            assert_eq!(par.found, seq.found, "threads={threads}: found differs");
+            assert_eq!(par.rows, seq.rows, "threads={threads}: rows differ");
+            assert_eq!(par.cols, seq.cols, "threads={threads}: cols differ");
+            assert_eq!(
+                par.core_cols, seq.core_cols,
+                "threads={threads}: core differs"
+            );
+            assert_eq!(
+                par.weight_curve, seq.weight_curve,
+                "threads={threads}: weight curve differs"
+            );
+            assert_eq!(
+                par.stopped_at, seq.stopped_at,
+                "threads={threads}: termination differs"
+            );
+        }
     }
 }

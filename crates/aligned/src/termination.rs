@@ -50,7 +50,10 @@ impl Default for TerminationConfig {
 ///
 /// `weights[k]` is the heaviest (k+2)-product weight after iteration k.
 pub fn stop_point(weights: &[u32], cfg: TerminationConfig) -> Option<usize> {
-    assert!(cfg.dive_coeff >= 0.0, "dive coefficient must be non-negative");
+    assert!(
+        cfg.dive_coeff >= 0.0,
+        "dive coefficient must be non-negative"
+    );
     assert!(
         cfg.plateau_ratio > 0.0 && cfg.plateau_ratio <= 1.0,
         "plateau ratio must be in (0,1]"
@@ -169,7 +172,9 @@ mod tests {
         // After the plateau at ~100, steps to 73 and 54 fall in the
         // ambiguous band (neither < w/2 + 2√w nor ≥ 0.85w at first);
         // the stop must stay at the true plateau end.
-        let w = [363u32, 242, 178, 147, 131, 119, 110, 106, 103, 101, 100, 73, 54, 41, 33];
+        let w = [
+            363u32, 242, 178, 147, 131, 119, 110, 106, 103, 101, 100, 73, 54, 41, 33,
+        ];
         assert_eq!(stop_point(&w, cfg()), Some(10));
     }
 

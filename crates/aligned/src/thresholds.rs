@@ -237,7 +237,10 @@ mod tests {
         let b100 = detectable_min_b(p, 100, 0.95, 10_000).unwrap();
         let b70 = detectable_min_b(p, 70, 0.95, 10_000).unwrap();
         let b25 = detectable_min_b(p, 25, 0.95, 10_000).unwrap();
-        assert!(b100 < b70 && b70 < b25, "ordering broken: {b100} {b70} {b25}");
+        assert!(
+            b100 < b70 && b70 < b25,
+            "ordering broken: {b100} {b70} {b25}"
+        );
         assert!(b100 <= 60, "a=100 needs b={b100}, paper says ≈30");
         assert!((50..=400).contains(&b70), "a=70 needs b={b70}, paper ≈99");
         assert!(b25 >= 1_000, "a=25 needs b={b25}, paper ≈3029");

@@ -53,6 +53,7 @@ fn multi_pattern(c: &mut Criterion) {
         gamma: 2,
         epsilon: 1e-3,
         termination: Default::default(),
+        compute: Default::default(),
     };
     c.bench_function("multi/aligned_detect_multi", |b| {
         b.iter(|| refined_detect_multi(&p.matrix, &cfg, 3).len())
@@ -124,7 +125,9 @@ fn wire_codec(c: &mut Criterion) {
     let wire = digest.encode_wire();
     let mut g = c.benchmark_group("wire");
     g.throughput(Throughput::Bytes(wire.len() as u64));
-    g.bench_function("unaligned_encode", |b| b.iter(|| digest.encode_wire().len()));
+    g.bench_function("unaligned_encode", |b| {
+        b.iter(|| digest.encode_wire().len())
+    });
     g.bench_function("unaligned_decode", |b| {
         b.iter(|| {
             dcs_collect::UnalignedDigest::decode_wire(black_box(&wire))

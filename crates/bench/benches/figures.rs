@@ -23,6 +23,7 @@ fn search_cfg() -> SearchConfig {
         gamma: 2,
         epsilon: 1e-3,
         termination: Default::default(),
+        compute: Default::default(),
     }
 }
 
@@ -98,8 +99,7 @@ fn table2_cotuning(c: &mut Criterion) {
     c.bench_function("table2/cotuned_threshold_g100", |b| {
         let grid = default_p1_grid(102_400);
         b.iter(|| {
-            cluster_threshold_cotuned(102_400, 100, 100, &grid, 1e-10, 0.95, 2_000)
-                .map(|t| t.m)
+            cluster_threshold_cotuned(102_400, 100, 100, &grid, 1e-10, 0.95, 2_000).map(|t| t.m)
         })
     });
 }

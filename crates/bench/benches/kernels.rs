@@ -14,15 +14,50 @@ use rand::{Rng, SeedableRng};
 
 fn bench_words(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(1);
-    // 1000-row columns (16 words) — the aligned case's unit of work.
-    let a: Vec<u64> = (0..16).map(|_| rng.gen()).collect();
-    let b: Vec<u64> = (0..16).map(|_| rng.gen()).collect();
+    // Scalar vs blocked kernels at the aligned column size (16 words =
+    // 1000 routers) and at a size where blocking matters (4096 words).
+    for nw in [16usize, 4096] {
+        let a: Vec<u64> = (0..nw).map(|_| rng.gen()).collect();
+        let b: Vec<u64> = (0..nw).map(|_| rng.gen()).collect();
+        let mut g = c.benchmark_group("words");
+        g.throughput(Throughput::Bytes((nw * 8) as u64));
+        g.bench_function(format!("weight_scalar_{nw}w"), |bch| {
+            bch.iter(|| words::weight_scalar(black_box(&a)))
+        });
+        g.bench_function(format!("weight_blocked_{nw}w"), |bch| {
+            bch.iter(|| words::weight(black_box(&a)))
+        });
+        g.bench_function(format!("and_weight_scalar_{nw}w"), |bch| {
+            bch.iter(|| words::and_weight_scalar(black_box(&a), black_box(&b)))
+        });
+        g.bench_function(format!("and_weight_blocked_{nw}w"), |bch| {
+            bch.iter(|| words::and_weight(black_box(&a), black_box(&b)))
+        });
+        g.finish();
+    }
+
+    // The batched sweep kernel vs a pairwise loop — the expansion sweep's
+    // access pattern (one base column against a block of candidates).
+    let nw = 4096;
+    let ncols = 16;
+    let base: Vec<u64> = (0..nw).map(|_| rng.gen()).collect();
+    let cols: Vec<Vec<u64>> = (0..ncols)
+        .map(|_| (0..nw).map(|_| rng.gen()).collect())
+        .collect();
+    let refs: Vec<&[u64]> = cols.iter().map(Vec::as_slice).collect();
     let mut g = c.benchmark_group("words");
-    g.throughput(Throughput::Bytes(16 * 8));
-    g.bench_function("and_weight_16w", |bch| {
-        bch.iter(|| words::and_weight(black_box(&a), black_box(&b)))
+    g.throughput(Throughput::Bytes((nw * 8 * (ncols + 1)) as u64));
+    g.bench_function(format!("and_weight_pairwise_x{ncols}_4096w"), |bch| {
+        bch.iter(|| {
+            refs.iter()
+                .map(|col| words::and_weight_scalar(black_box(&base), col))
+                .sum::<u32>()
+        })
     });
-    drop(g);
+    g.bench_function(format!("and_weight_many_x{ncols}_4096w"), |bch| {
+        bch.iter(|| words::and_weight_many(black_box(&base), black_box(&refs)))
+    });
+    g.finish();
 
     // 1024-bit rows — the unaligned case's unit of work.
     let r1 = Bitmap::from_indices(1024, (0..512).map(|i| i * 2));

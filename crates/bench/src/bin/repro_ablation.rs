@@ -112,11 +112,7 @@ fn ablate_gamma() {
         let det = dcs_aligned::refined_detect(&p.matrix, &cfg);
         let hits = det.cols.iter().filter(|c| p.cols.contains(c)).count();
         let fps = det.cols.len() - hits;
-        rows.push(vec![
-            gamma.to_string(),
-            hits.to_string(),
-            fps.to_string(),
-        ]);
+        rows.push(vec![gamma.to_string(), hits.to_string(), fps.to_string()]);
     }
     println!(
         "{}",

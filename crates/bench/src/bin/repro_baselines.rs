@@ -63,7 +63,12 @@ fn main() {
     acfg.search.n_prime = 400;
     acfg.search.hopefuls = 300;
     let report = AnalysisCenter::new(acfg).analyze_epoch(&digests);
-    let dcs_hits = report.aligned.routers.iter().filter(|&&r| r < INFECTED).count();
+    let dcs_hits = report
+        .aligned
+        .routers
+        .iter()
+        .filter(|&&r| r < INFECTED)
+        .count();
 
     // --- raw aggregation / fingerprints ---
     let mut raw = RawAggregationDetector::new(7);
@@ -74,7 +79,12 @@ fn main() {
     let raw_found = !exact.is_empty();
     let raw_hits = exact
         .first()
-        .map(|c| c.routers.iter().filter(|&&r| (r as usize) < INFECTED).count())
+        .map(|c| {
+            c.routers
+                .iter()
+                .filter(|&&r| (r as usize) < INFECTED)
+                .count()
+        })
         .unwrap_or(0);
 
     // --- local prevalence, per router ---
@@ -118,7 +128,12 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["method", "bytes shipped", "centre state", "detects the content?"],
+            &[
+                "method",
+                "bytes shipped",
+                "centre state",
+                "detects the content?"
+            ],
             &rows
         )
     );

@@ -26,7 +26,11 @@ fn main() {
     };
     let (a, b) = aligned_paper::SHOWCASE;
     let (a, b) = if scale.quick { (40, 20) } else { (a, b) };
-    let n_prime = if scale.quick { 400 } else { aligned_paper::N_PRIME };
+    let n_prime = if scale.quick {
+        400
+    } else {
+        aligned_paper::N_PRIME
+    };
 
     let mut rng = StdRng::seed_from_u64(0xF1607);
     let sm = screened_planted_matrix(&mut rng, m, n, a, b, n_prime);
@@ -46,7 +50,10 @@ fn main() {
         .enumerate()
         .map(|(i, &w)| ((i + 2) as f64, f64::from(w)))
         .collect();
-    println!("{}", render_series("product order k", "heaviest k-product weight", &points));
+    println!(
+        "{}",
+        render_series("product order k", "heaviest k-product weight", &points)
+    );
     match stop_point(&det.weight_curve, cfg.termination) {
         Some(stop) => println!(
             "termination procedure stops at product order {} (curve index {stop})",

@@ -24,7 +24,11 @@ fn main() {
     } else {
         &[60, 80, 100, 120, 140]
     };
-    let b_values: &[usize] = if scale.quick { &[10, 20] } else { &[20, 30, 40] };
+    let b_values: &[usize] = if scale.quick {
+        &[10, 20]
+    } else {
+        &[20, 30, 40]
+    };
     let cfg = repro_search_config();
 
     println!(

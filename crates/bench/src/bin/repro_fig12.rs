@@ -34,7 +34,12 @@ fn main() {
     }
     println!(
         "{}",
-        render_table(&["a (routers)", "non-natural min b", "detectable min b"], &rows)
+        render_table(
+            &["a (routers)", "non-natural min b", "detectable min b"],
+            &rows
+        )
     );
-    println!("(paper anchors: a=28→21 / a=70→10 non-natural; a=25→3029, a=70→99, a=100→30 detectable)");
+    println!(
+        "(paper anchors: a=28→21 / a=70→10 non-natural; a=25→3029, a=70→99, a=100→30 detectable)"
+    );
 }

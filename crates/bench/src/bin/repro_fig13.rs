@@ -8,9 +8,7 @@
 
 use dcs_bench::{banner, unaligned_paper, RunScale};
 use dcs_sim::table::{render_table, trim_float};
-use dcs_sim::unaligned::{
-    er_false_negative, er_false_positive, largest_component_samples, p2_for,
-};
+use dcs_sim::unaligned::{er_false_negative, er_false_positive, largest_component_samples, p2_for};
 
 fn main() {
     let scale = RunScale::from_env(100);

@@ -66,8 +66,11 @@ fn main() {
         vec![
             "unaligned".into(),
             format!("{} arrays x 1024 bits", ud.arrays.len()),
-            format!("{:.1}%", ud.arrays.iter().map(|a| a.fill_ratio()).sum::<f64>()
-                / ud.arrays.len() as f64 * 100.0),
+            format!(
+                "{:.1}%",
+                ud.arrays.iter().map(|a| a.fill_ratio()).sum::<f64>() / ud.arrays.len() as f64
+                    * 100.0
+            ),
             format!("{}", ud.raw_bytes),
             format!("{}", ud.encoded_len()),
             format!("{:.0}x", ud.compression_ratio()),
@@ -76,7 +79,14 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["collector", "digest shape", "fill", "raw bytes", "digest bytes", "ratio"],
+            &[
+                "collector",
+                "digest shape",
+                "fill",
+                "raw bytes",
+                "digest bytes",
+                "ratio"
+            ],
             &rows
         )
     );
@@ -88,5 +98,7 @@ fn main() {
         "unaligned packets sampled: {} of {} (>= 500-byte payloads only; 10 bits per packet)",
         ud.packets_sampled, ud.packets_seen
     );
-    println!("(paper: digests ~1000x smaller than raw traffic; bitmap ends the epoch at ~50% fill)");
+    println!(
+        "(paper: digests ~1000x smaller than raw traffic; bitmap ends the epoch at ~50% fill)"
+    );
 }

@@ -113,7 +113,15 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["run", "groups", "n1", "reported", "recall", "precision", "weight CV"],
+            &[
+                "run",
+                "groups",
+                "n1",
+                "reported",
+                "recall",
+                "precision",
+                "weight CV"
+            ],
             &rows
         )
     );

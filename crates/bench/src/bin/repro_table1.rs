@@ -20,7 +20,11 @@ fn main() {
         "Table I — greedy core finding: size, FN, FP",
         "n = 102,400 group-vertices; g = 100/110/120; recovery tiers 50/75/90%",
     );
-    let n = if scale.quick { 20_000 } else { unaligned_paper::N };
+    let n = if scale.quick {
+        20_000
+    } else {
+        unaligned_paper::N
+    };
     let p1 = if std::env::var("DCS_P1_PAPER").is_ok() {
         unaligned_paper::DETECT_P1_PAPER
     } else {
@@ -40,8 +44,7 @@ fn main() {
                 beta: (n1 / 2).max(20),
                 d: 2,
             };
-            let Some(n1) =
-                min_n1_for_recovery(seed, n, p1, p2, &cfg_for, tier, scale.reps, 2_000)
+            let Some(n1) = min_n1_for_recovery(seed, n, p1, p2, &cfg_for, tier, scale.reps, 2_000)
             else {
                 rows.push(vec![
                     g.to_string(),

@@ -26,15 +26,18 @@ fn main() {
                 format!("{:.2e}", t.p1),
                 format!("{:.4}", t.p2),
             ]),
-            None => rows.push(vec![g.to_string(), "-".into(), "-".into(), "-".into(), "-".into()]),
+            None => rows.push(vec![
+                g.to_string(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]),
         }
     }
     println!(
         "{}",
-        render_table(
-            &["g (pkts)", "min size m", "edge cut d", "p1", "p2"],
-            &rows
-        )
+        render_table(&["g (pkts)", "min size m", "edge cut d", "p1", "p2"], &rows)
     );
     println!("(paper: m = 297, 150, 95, 62, 46, 36, 28, 23 for g = 80 … 150)");
 }

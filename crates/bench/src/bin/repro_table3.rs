@@ -18,7 +18,11 @@ fn main() {
         "Table III — detectable thresholds of the greedy algorithm",
         "n = 102,400; g = 100/125/150; reliability: precision ≥ 0.9, recall ≥ 0.3",
     );
-    let n = if scale.quick { 20_000 } else { unaligned_paper::N };
+    let n = if scale.quick {
+        20_000
+    } else {
+        unaligned_paper::N
+    };
     let p1 = 2.0 / n as f64;
     println!("detection graph p1' = {p1:.2e}, reps = {}", scale.reps);
 
@@ -28,7 +32,10 @@ fn main() {
             d: 2,
         };
         let s = core_finding_stats(seed, n, p1, n1, p2, cfg, scale.reps);
-        (s, s.avg_false_positive <= 0.1 && 1.0 - s.avg_false_negative >= 0.3)
+        (
+            s,
+            s.avg_false_positive <= 0.1 && 1.0 - s.avg_false_negative >= 0.3,
+        )
     };
 
     let mut rows = Vec::new();

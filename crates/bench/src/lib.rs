@@ -57,9 +57,7 @@ impl RunScale {
         let threads = std::env::var("DCS_THREADS")
             .ok()
             .and_then(|v| v.parse().ok())
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism().map_or(4, |p| p.get().min(16))
-            });
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(4, |p| p.get().min(16)));
         let quick = std::env::var("DCS_SCALE").is_ok_and(|v| v == "quick");
         RunScale {
             reps: reps.max(1),
@@ -79,6 +77,7 @@ pub fn repro_search_config() -> SearchConfig {
         gamma: 2,
         epsilon: 1e-3,
         termination: Default::default(),
+        compute: Default::default(),
     }
 }
 

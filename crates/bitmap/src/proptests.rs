@@ -1,5 +1,12 @@
-//! Property-based tests for the matrix types and wire format.
+//! Property-based tests for the matrix types, wire format, and the
+//! blocked popcount kernels (which must be bit-identical to their
+//! `*_scalar` references for every slice length — unrolled body, lane
+//! remainder, and masked tails alike).
 
+use crate::words::{
+    and_weight, and_weight_many, and_weight_scalar, or_weight, or_weight_scalar, tail_mask, weight,
+    weight_scalar, words_for,
+};
 use crate::{Bitmap, ColMatrix, RowMatrix};
 use proptest::prelude::*;
 
@@ -100,5 +107,61 @@ proptest! {
             bytes[pos] ^= val;
         }
         let _ = Bitmap::decode(&bytes);
+    }
+
+    #[test]
+    fn blocked_weight_matches_scalar(words in proptest::collection::vec(any::<u64>(), 0..80)) {
+        prop_assert_eq!(weight(&words), weight_scalar(&words));
+    }
+
+    #[test]
+    fn blocked_and_or_match_scalar(
+        pairs in proptest::collection::vec((any::<u64>(), any::<u64>()), 0..80),
+    ) {
+        // Lengths 0..80 cover the scalar fallback below CSA_MIN_WORDS,
+        // the carry-save body, the lane remainder, and the empty slice.
+        let (a, b): (Vec<u64>, Vec<u64>) = pairs.into_iter().unzip();
+        prop_assert_eq!(and_weight(&a, &b), and_weight_scalar(&a, &b));
+        prop_assert_eq!(or_weight(&a, &b), or_weight_scalar(&a, &b));
+    }
+
+    #[test]
+    fn masked_tail_kernels_match_scalar(
+        bits in 1usize..3800,
+        raw_a in proptest::collection::vec(any::<u64>(), 60..61),
+        raw_b in proptest::collection::vec(any::<u64>(), 60..61),
+    ) {
+        // Slices shaped exactly like `bits`-bit vectors: `words_for(bits)`
+        // words with the final word masked by `tail_mask(bits)` — the
+        // invariant the matrix types maintain at their boundary.
+        let nw = words_for(bits);
+        let mut a = raw_a[..nw].to_vec();
+        let mut b = raw_b[..nw].to_vec();
+        a[nw - 1] &= tail_mask(bits);
+        b[nw - 1] &= tail_mask(bits);
+        prop_assert_eq!(weight(&a), weight_scalar(&a));
+        prop_assert_eq!(and_weight(&a, &b), and_weight_scalar(&a, &b));
+        prop_assert_eq!(or_weight(&a, &b), or_weight_scalar(&a, &b));
+    }
+
+    #[test]
+    fn and_weight_many_matches_pairwise_scalar(
+        base in proptest::collection::vec(any::<u64>(), 0..40),
+        ncols in 0usize..12,
+        fill in proptest::collection::vec(any::<u64>(), 0..480),
+    ) {
+        let cols: Vec<Vec<u64>> = (0..ncols)
+            .map(|c| {
+                (0..base.len())
+                    .map(|w| fill.get(c * base.len() + w).copied().unwrap_or(!0))
+                    .collect()
+            })
+            .collect();
+        let refs: Vec<&[u64]> = cols.iter().map(Vec::as_slice).collect();
+        let many = and_weight_many(&base, &refs);
+        prop_assert_eq!(many.len(), ncols);
+        for (k, col) in cols.iter().enumerate() {
+            prop_assert_eq!(many[k], and_weight_scalar(&base, col), "column {}", k);
+        }
     }
 }

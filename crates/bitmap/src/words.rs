@@ -3,8 +3,30 @@
 //! These free functions are the hot path of the whole analysis module: the
 //! aligned-case product iterations and the unaligned-case pairwise row
 //! correlation both reduce to "AND two word slices and count the ones".
-//! They are written so the optimiser can autovectorise them (straight-line
-//! iterator chains, no bounds checks after the `zip`).
+//!
+//! The popcount reductions ([`weight`], [`and_weight`], [`or_weight`]) are
+//! *blocked*: they walk the slices in [`LANES`]-word chunks and merge each
+//! chunk through a Harley–Seal carry-save adder tree, so eight words cost
+//! two `count_ones` calls (plus cheap bitwise ops) instead of eight. The
+//! carry registers (`ones`, `twos`) are independent accumulators carried
+//! across chunks and flushed once at the end. Slices shorter than
+//! [`CSA_MIN_WORDS`] take the straight-line path, which the optimiser
+//! auto-vectorises well and which wins below the tree's fixed overhead.
+//! The straight-line reference versions are kept as [`weight_scalar`] /
+//! [`and_weight_scalar`] / [`or_weight_scalar`]; the property tests
+//! assert the blocked kernels are bit-identical to them.
+//!
+//! # Length invariant
+//!
+//! Binary kernels require equal-length slices. Lengths are checked with
+//! `debug_assert_eq!` only: every caller in this workspace takes both
+//! operands from the same [`ColMatrix`](crate::ColMatrix) /
+//! [`RowMatrix`](crate::RowMatrix), whose constructors and `push_*`
+//! methods validate word counts (including tail-bit hygiene via
+//! [`tail_mask`]) once at the boundary, making per-call re-validation in
+//! the innermost loop pure overhead. Release builds feed mismatched
+//! lengths to `zip`, which silently truncates — so keep the invariant at
+//! the boundary.
 
 /// Number of bits in one storage word.
 pub const WORD_BITS: usize = 64;
@@ -29,31 +51,160 @@ pub const fn tail_mask(bits: usize) -> u64 {
     }
 }
 
-/// Population count of a word slice.
+/// Words per unrolled chunk of the blocked popcount kernels; one chunk is
+/// merged through the carry-save tree in a single loop iteration.
+pub const LANES: usize = 8;
+
+/// Minimum slice length (in words) for the carry-save path; shorter
+/// slices use the straight-line kernels, which win below the tree's
+/// fixed setup/flush overhead (measured crossover ≈ 3 chunks).
+pub const CSA_MIN_WORDS: usize = 4 * LANES;
+
+/// Words per cache block of [`and_weight_many`]: 4 KiB of the base slice,
+/// small enough to stay L1-resident while the batched columns stream by.
+const BLOCK_WORDS: usize = 512;
+
+/// Carry-save adder: adds three bit-columns, returning (sum, carry).
+#[inline(always)]
+fn csa(x: u64, y: u64, z: u64) -> (u64, u64) {
+    let u = x ^ y;
+    (u ^ z, (x & y) | (u & z))
+}
+
+/// Harley–Seal reduction: total population count of all words produced by
+/// `chunks`, using two `count_ones` per [`LANES`]-word chunk.
+///
+/// Each chunk's eight words are compressed through a CSA tree: four CSAs
+/// at the ones level, two at the twos level; the resulting "fours" carries
+/// are popcounted immediately (weight 4) while `ones`/`twos` ride across
+/// chunks and are flushed once at the end.
+#[inline(always)]
+fn csa_reduce(chunks: impl Iterator<Item = [u64; LANES]>) -> u64 {
+    let mut total = 0u64;
+    let mut ones = 0u64;
+    let mut twos = 0u64;
+    for w in chunks {
+        let (o1, t1) = csa(ones, w[0], w[1]);
+        let (o2, t2) = csa(o1, w[2], w[3]);
+        let (o3, t3) = csa(o2, w[4], w[5]);
+        let (o4, t4) = csa(o3, w[6], w[7]);
+        ones = o4;
+        let (tw1, f1) = csa(twos, t1, t2);
+        let (tw2, f2) = csa(tw1, t3, t4);
+        twos = tw2;
+        // popcount(f1) + popcount(f2) via two disjoint popcounts.
+        total += 4 * u64::from((f1 | f2).count_ones()) + 4 * u64::from((f1 & f2).count_ones());
+    }
+    total + 2 * u64::from(twos.count_ones()) + u64::from(ones.count_ones())
+}
+
+/// Population count of a word slice (blocked kernel).
 #[inline]
 pub fn weight(words: &[u64]) -> u32 {
+    if words.len() < CSA_MIN_WORDS {
+        return weight_scalar(words);
+    }
+    let chunks = words.chunks_exact(LANES);
+    let tail = chunks.remainder();
+    let main = csa_reduce(chunks.map(|c| core::array::from_fn(|l| c[l])));
+    main as u32 + weight_scalar(tail)
+}
+
+/// Straight-line reference implementation of [`weight`].
+#[inline]
+pub fn weight_scalar(words: &[u64]) -> u32 {
     words.iter().map(|w| w.count_ones()).sum()
 }
 
 /// Population count of the bitwise AND of two equal-length slices, without
 /// materialising the AND ("number of common 1's" in the paper's terms).
-///
-/// # Panics
-/// Panics if the slices have different lengths.
+/// Blocked kernel; see the module docs for the length invariant.
 #[inline]
 pub fn and_weight(a: &[u64], b: &[u64]) -> u32 {
-    assert_eq!(a.len(), b.len(), "and_weight: length mismatch");
+    debug_assert_eq!(a.len(), b.len(), "and_weight: length mismatch");
+    if a.len() < CSA_MIN_WORDS {
+        return and_weight_scalar(a, b);
+    }
+    let ca = a.chunks_exact(LANES);
+    let cb = b.chunks_exact(LANES);
+    let (ta, tb) = (ca.remainder(), cb.remainder());
+    let main = csa_reduce(
+        ca.zip(cb)
+            .map(|(x, y)| core::array::from_fn(|l| x[l] & y[l])),
+    );
+    main as u32 + and_weight_scalar(ta, tb)
+}
+
+/// Straight-line reference implementation of [`and_weight`].
+///
+/// # Panics
+/// Panics if the slices have different lengths (debug builds only).
+#[inline]
+pub fn and_weight_scalar(a: &[u64], b: &[u64]) -> u32 {
+    debug_assert_eq!(a.len(), b.len(), "and_weight_scalar: length mismatch");
     a.iter().zip(b).map(|(x, y)| (x & y).count_ones()).sum()
 }
 
 /// Population count of the bitwise OR of two equal-length slices.
-///
-/// # Panics
-/// Panics if the slices have different lengths.
+/// Blocked kernel; see the module docs for the length invariant.
 #[inline]
 pub fn or_weight(a: &[u64], b: &[u64]) -> u32 {
-    assert_eq!(a.len(), b.len(), "or_weight: length mismatch");
+    debug_assert_eq!(a.len(), b.len(), "or_weight: length mismatch");
+    if a.len() < CSA_MIN_WORDS {
+        return or_weight_scalar(a, b);
+    }
+    let ca = a.chunks_exact(LANES);
+    let cb = b.chunks_exact(LANES);
+    let (ta, tb) = (ca.remainder(), cb.remainder());
+    let main = csa_reduce(
+        ca.zip(cb)
+            .map(|(x, y)| core::array::from_fn(|l| x[l] | y[l])),
+    );
+    main as u32 + or_weight_scalar(ta, tb)
+}
+
+/// Straight-line reference implementation of [`or_weight`].
+#[inline]
+pub fn or_weight_scalar(a: &[u64], b: &[u64]) -> u32 {
+    debug_assert_eq!(a.len(), b.len(), "or_weight_scalar: length mismatch");
     a.iter().zip(b).map(|(x, y)| (x | y).count_ones()).sum()
+}
+
+/// AND-weight of one base slice against a batch of columns:
+/// `out[i] = and_weight(base, cols[i])`.
+///
+/// The base is walked in [`BLOCK_WORDS`]-word cache blocks and each block
+/// is reused across the whole batch before moving on, so for wide batches
+/// the base costs one cache fill per block instead of one per column.
+/// This is the kernel under the aligned search's candidate fan-out, where
+/// one core product is intersected with every remaining column.
+pub fn and_weight_many(base: &[u64], cols: &[&[u64]]) -> Vec<u32> {
+    let mut out = vec![0u32; cols.len()];
+    and_weight_many_into(base, cols, &mut out);
+    out
+}
+
+/// [`and_weight_many`] accumulating into a caller-provided buffer
+/// (`out[i] += …`), letting sweep loops reuse one allocation.
+///
+/// # Panics
+/// Panics if `out` is shorter than `cols` (debug builds only: mismatched
+/// column lengths).
+pub fn and_weight_many_into(base: &[u64], cols: &[&[u64]], out: &mut [u32]) {
+    assert!(
+        out.len() >= cols.len(),
+        "and_weight_many_into: out too short"
+    );
+    let mut start = 0;
+    while start < base.len() {
+        let end = (start + BLOCK_WORDS).min(base.len());
+        let base_block = &base[start..end];
+        for (o, col) in out.iter_mut().zip(cols) {
+            debug_assert_eq!(col.len(), base.len(), "and_weight_many: length mismatch");
+            *o += and_weight(base_block, &col[start..end]);
+        }
+        start = end;
+    }
 }
 
 /// In-place bitwise AND: `dst &= src`.
@@ -180,5 +331,68 @@ mod tests {
     fn iter_ones_empty() {
         let words = [0u64, 0];
         assert_eq!(iter_ones(&words).count(), 0);
+    }
+
+    /// Deterministic pseudo-random fill so these tests need no RNG dep.
+    fn splitmix_fill(len: usize, mut seed: u64) -> Vec<u64> {
+        (0..len)
+            .map(|_| {
+                seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = seed;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn blocked_kernels_match_scalar_across_lane_remainders() {
+        // Lengths from 0 to well past CSA_MIN_WORDS exercise the scalar
+        // fallback, the dispatch threshold, the carry-save body, and all
+        // possible lane-remainder sizes.
+        for len in 0..=CSA_MIN_WORDS + 3 * LANES {
+            let a = splitmix_fill(len, 1);
+            let b = splitmix_fill(len, 2);
+            assert_eq!(weight(&a), weight_scalar(&a), "weight len={len}");
+            assert_eq!(
+                and_weight(&a, &b),
+                and_weight_scalar(&a, &b),
+                "and_weight len={len}"
+            );
+            assert_eq!(
+                or_weight(&a, &b),
+                or_weight_scalar(&a, &b),
+                "or_weight len={len}"
+            );
+        }
+    }
+
+    #[test]
+    fn and_weight_many_crosses_block_boundary() {
+        // 1200 words spans two full cache blocks plus a partial third, so
+        // the per-block accumulation in `and_weight_many_into` is covered.
+        let len = 2 * BLOCK_WORDS + 176;
+        let base = splitmix_fill(len, 3);
+        let cols: Vec<Vec<u64>> = (0..5).map(|c| splitmix_fill(len, 10 + c)).collect();
+        let refs: Vec<&[u64]> = cols.iter().map(Vec::as_slice).collect();
+        let many = and_weight_many(&base, &refs);
+        for (k, col) in cols.iter().enumerate() {
+            assert_eq!(many[k], and_weight_scalar(&base, col), "column {k}");
+        }
+    }
+
+    #[test]
+    fn and_weight_many_into_leaves_prefix_only() {
+        let base = splitmix_fill(100, 7);
+        let cols: Vec<Vec<u64>> = (0..3).map(|c| splitmix_fill(100, 20 + c)).collect();
+        let refs: Vec<&[u64]> = cols.iter().map(Vec::as_slice).collect();
+        let mut out = [0, 0, 0, u32::MAX, u32::MAX];
+        and_weight_many_into(&base, &refs, &mut out);
+        for (k, col) in cols.iter().enumerate() {
+            assert_eq!(out[k], and_weight_scalar(&base, col));
+        }
+        // Slots past `cols.len()` are untouched.
+        assert_eq!(&out[3..], &[u32::MAX, u32::MAX]);
     }
 }

@@ -173,10 +173,7 @@ mod tests {
         let d1 = c1.finish_epoch();
         let d2 = c2.finish_epoch();
         assert_eq!(d1.bitmap.common_ones(&d2.bitmap), 1);
-        assert_eq!(
-            d1.bitmap.iter_ones().next(),
-            d2.bitmap.iter_ones().next()
-        );
+        assert_eq!(d1.bitmap.iter_ones().next(), d2.bitmap.iter_ones().next());
     }
 
     #[test]

@@ -167,8 +167,7 @@ impl UnalignedCollector {
             reduce(splitmix64(cfg.router_seed ^ (0xA11CE + i)), span) as usize
         };
         let offsets_primary: Vec<usize> = (0..k as u64).map(offset_at).collect();
-        let offsets_secondary: Vec<usize> =
-            (k as u64..2 * k as u64).map(offset_at).collect();
+        let offsets_secondary: Vec<usize> = (k as u64..2 * k as u64).map(offset_at).collect();
         let arrays = vec![Bitmap::new(cfg.array_bits); cfg.groups * k];
         UnalignedCollector {
             cfg,

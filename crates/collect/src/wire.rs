@@ -8,8 +8,8 @@
 //! version bytes so streams are self-describing.
 
 use crate::{AlignedDigest, UnalignedDigest};
-use dcs_bitmap::{Bitmap, DecodeError as BitmapError};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use dcs_bitmap::{Bitmap, DecodeError as BitmapError};
 use std::fmt;
 
 /// Magic for aligned digest frames (`b"DCSA"`).

@@ -27,8 +27,10 @@ pub struct AnalysisConfig {
     pub component_threshold: Option<usize>,
     /// Core-finding settings (β and d).
     pub corefind: CoreFindConfig,
-    /// Worker threads for the pairwise-correlation sweep.
-    pub threads: usize,
+    /// Threads and kernel blocking for the analysis sweeps (the aligned
+    /// search reads its own copy from `search.compute`; keeping one budget
+    /// here keeps both pipelines on the same setting).
+    pub compute: dcs_parallel::ComputeBudget,
 }
 
 impl AnalysisConfig {
@@ -46,8 +48,16 @@ impl AnalysisConfig {
             detect_p1: 8.0 / n,
             component_threshold: None,
             corefind: CoreFindConfig::default(),
-            threads: std::thread::available_parallelism().map_or(2, |p| p.get().min(8)),
+            compute: dcs_parallel::ComputeBudget::default(),
         }
+    }
+
+    /// Applies one compute budget to both pipelines (the unaligned sweeps
+    /// and the aligned search).
+    pub fn with_compute(mut self, compute: dcs_parallel::ComputeBudget) -> Self {
+        self.compute = compute;
+        self.search.compute = compute;
+        self
     }
 }
 
@@ -89,10 +99,8 @@ impl AnalysisCenter {
     /// The aligned pipeline: fuse per-router bitmaps into the m×n matrix
     /// and run the refined ASID search.
     pub fn analyze_aligned(&self, digests: &[RouterDigest]) -> AlignedReport {
-        let bitmaps: Vec<dcs_bitmap::Bitmap> = digests
-            .iter()
-            .map(|d| d.aligned.bitmap.clone())
-            .collect();
+        let bitmaps: Vec<dcs_bitmap::Bitmap> =
+            digests.iter().map(|d| d.aligned.bitmap.clone()).collect();
         let matrix = ColMatrix::from_router_bitmaps(&bitmaps);
         let det = refined_detect(&matrix, &self.cfg.search);
         AlignedReport {
@@ -133,8 +141,12 @@ impl AnalysisCenter {
         // Statistical test.
         let p_star_test = p_star_for_edge_prob(self.cfg.test_p1, pairs);
         let test_table = LambdaTable::new(ncols, p_star_test);
-        let test_graph =
-            build_group_graph_parallel(&rows, layout, &test_table, self.cfg.threads);
+        let test_graph = build_group_graph_parallel(
+            &rows,
+            layout,
+            &test_table,
+            self.cfg.compute.workers_for(n_groups),
+        );
         let er_cfg = match self.cfg.component_threshold {
             Some(t) => ErTestConfig {
                 component_threshold: t,
@@ -147,8 +159,12 @@ impl AnalysisCenter {
             // Detection graph with the laxer λ′ table.
             let p_star_det = p_star_for_edge_prob(self.cfg.detect_p1.min(0.999), pairs);
             let det_table = LambdaTable::new(ncols, p_star_det);
-            let det_graph =
-                build_group_graph_parallel(&rows, layout, &det_table, self.cfg.threads);
+            let det_graph = build_group_graph_parallel(
+                &rows,
+                layout,
+                &det_table,
+                self.cfg.compute.workers_for(n_groups),
+            );
             let pattern = find_pattern(&det_graph, self.cfg.corefind);
             let groups: Vec<usize> = pattern.vertices().iter().map(|&g| g as usize).collect();
             let mut routers: Vec<usize> = groups.iter().map(|&g| group_owner[g]).collect();
@@ -221,12 +237,7 @@ mod tests {
         let report = run_epoch(1, 24, 20, 30, false);
         assert!(report.aligned.found, "aligned pipeline missed the content");
         // The infected routers are 0..20; most must be reported.
-        let hits = report
-            .aligned
-            .routers
-            .iter()
-            .filter(|&&r| r < 20)
-            .count();
+        let hits = report.aligned.routers.iter().filter(|&&r| r < 20).count();
         assert!(hits >= 15, "only {hits}/20 infected routers reported");
         let fps = report.aligned.routers.len() - hits;
         assert!(fps <= 2, "{fps} clean routers falsely reported");

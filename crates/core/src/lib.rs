@@ -27,7 +27,7 @@ pub use capture::{GroupCapture, SignatureCapture};
 pub use center::{AnalysisCenter, AnalysisConfig};
 pub use deployment::{Deployment, DeploymentVerdict};
 pub use epochs::{catch_probability, AlarmTracker, EpochSampler};
-pub use monitor::{MonitoringPoint, MonitorConfig, RouterDigest};
+pub use monitor::{MonitorConfig, MonitoringPoint, RouterDigest};
 pub use report::{AlignedReport, EpochReport, UnalignedReport};
 
 /// Convenient glob-import surface.
@@ -36,7 +36,7 @@ pub mod prelude {
     pub use crate::center::{AnalysisCenter, AnalysisConfig};
     pub use crate::deployment::{Deployment, DeploymentVerdict};
     pub use crate::epochs::{AlarmTracker, EpochSampler};
-    pub use crate::monitor::{MonitoringPoint, MonitorConfig, RouterDigest};
+    pub use crate::monitor::{MonitorConfig, MonitoringPoint, RouterDigest};
     pub use crate::report::{AlignedReport, EpochReport, UnalignedReport};
     pub use dcs_aligned::{refined_detect, SearchConfig};
     pub use dcs_collect::{AlignedConfig, UnalignedConfig};

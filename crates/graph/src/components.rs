@@ -95,7 +95,9 @@ pub fn largest_component(g: &Graph) -> (usize, Vec<u32>) {
             best_rep = uf.find(v);
         }
     }
-    let members: Vec<u32> = (0..g.n() as u32).filter(|&v| uf.find(v) == best_rep).collect();
+    let members: Vec<u32> = (0..g.n() as u32)
+        .filter(|&v| uf.find(v) == best_rep)
+        .collect();
     (best as usize, members)
 }
 

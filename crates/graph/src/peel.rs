@@ -176,9 +176,7 @@ pub fn k_core(g: &Graph, k: usize) -> Vec<u32> {
     let n = g.n();
     let mut degree: Vec<usize> = (0..n as u32).map(|v| g.degree(v)).collect();
     let mut removed = vec![false; n];
-    let mut queue: Vec<u32> = (0..n as u32)
-        .filter(|&v| degree[v as usize] < k)
-        .collect();
+    let mut queue: Vec<u32> = (0..n as u32).filter(|&v| degree[v as usize] < k).collect();
     for v in &queue {
         removed[*v as usize] = true;
     }

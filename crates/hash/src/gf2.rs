@@ -116,7 +116,9 @@ pub fn is_irreducible64(low: u64) -> bool {
 pub fn find_irreducible64(seed: u64) -> u64 {
     let mut s = seed;
     loop {
-        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         // Force the constant term so x never divides the polynomial.
         let cand = s | 1;
         if is_irreducible64(cand) {

@@ -171,7 +171,10 @@ mod tests {
     #[test]
     fn equal_messages_equal_fingerprints() {
         let fp = RabinFingerprinter::new(DEFAULT_POLY);
-        assert_eq!(fp.fingerprint(b"hello world"), fp.fingerprint(b"hello world"));
+        assert_eq!(
+            fp.fingerprint(b"hello world"),
+            fp.fingerprint(b"hello world")
+        );
     }
 
     #[test]

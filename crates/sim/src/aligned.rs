@@ -215,8 +215,9 @@ pub fn paper_scale_trial(
     (det, sm.rows)
 }
 
-/// Detection ratio over `reps` trials, parallelised with crossbeam scoped
-/// threads (each trial is seeded independently).
+/// Detection ratio over `reps` trials, parallelised with scoped worker
+/// threads (each trial is seeded independently by its index, so the
+/// estimate is identical for any thread count).
 #[allow(clippy::too_many_arguments)] // flat args mirror the experiment factors
 pub fn detection_ratio(
     base_seed: u64,
@@ -231,24 +232,22 @@ pub fn detection_ratio(
 ) -> f64 {
     assert!(reps > 0 && threads > 0, "need work and workers");
     let counter = std::sync::atomic::AtomicUsize::new(0);
-    let hits = std::sync::atomic::AtomicUsize::new(0);
-    crossbeam::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let i = counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= reps {
-                    break;
-                }
-                let (det, truth) =
-                    paper_scale_trial(base_seed ^ (i as u64) << 20, m, n, a, b, n_prime, cfg);
-                if detection_hits_pattern(&det, &truth) {
-                    hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                }
-            });
+    let hit_counts = dcs_parallel::map_workers(threads.min(reps), |_| {
+        let mut local = 0usize;
+        loop {
+            let i = counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            if i >= reps {
+                break;
+            }
+            let (det, truth) =
+                paper_scale_trial(base_seed ^ (i as u64) << 20, m, n, a, b, n_prime, cfg);
+            if detection_hits_pattern(&det, &truth) {
+                local += 1;
+            }
         }
-    })
-    .expect("detection workers failed");
-    hits.load(std::sync::atomic::Ordering::Relaxed) as f64 / reps as f64
+        local
+    });
+    hit_counts.into_iter().sum::<usize>() as f64 / reps as f64
 }
 
 #[cfg(test)]
@@ -299,7 +298,7 @@ mod tests {
 
     #[test]
     fn screened_matrix_shape_and_truth() {
-        let mut r = rng(4);
+        let mut r = rng(8);
         let sm = screened_planted_matrix(&mut r, 200, 100_000, 40, 20, 300);
         assert_eq!(sm.matrix.ncols(), 300);
         assert_eq!(sm.matrix.nrows(), 200);
@@ -334,6 +333,7 @@ mod tests {
             gamma: 2,
             epsilon: 1e-3,
             termination: Default::default(),
+            compute: Default::default(),
         };
         let (det, truth) = paper_scale_trial(99, 200, 100_000, 40, 20, 300, &cfg);
         assert!(
@@ -352,6 +352,7 @@ mod tests {
             gamma: 2,
             epsilon: 1e-3,
             termination: Default::default(),
+            compute: Default::default(),
         };
         let strong = detection_ratio(7, 200, 100_000, 40, 20, 250, &cfg, 6, 3);
         let none = detection_ratio(8, 200, 100_000, 0, 0, 250, &cfg, 6, 3);

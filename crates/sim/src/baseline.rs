@@ -124,7 +124,10 @@ impl LocalPrevalenceDetector {
     /// Observes one packet.
     pub fn observe(&mut self, pkt: &Packet) {
         if pkt.has_payload() {
-            *self.counts.entry(self.hasher.hash64(&pkt.payload)).or_default() += 1;
+            *self
+                .counts
+                .entry(self.hasher.hash64(&pkt.payload))
+                .or_default() += 1;
         }
     }
 

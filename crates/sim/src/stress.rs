@@ -89,7 +89,10 @@ pub struct StressOutcome {
 
 /// Runs the full stress pipeline.
 pub fn run_stress(cfg: &StressConfig) -> StressOutcome {
-    assert!(cfg.n1 <= cfg.segments, "cannot infect more segments than exist");
+    assert!(
+        cfg.n1 <= cfg.segments,
+        "cannot infect more segments than exist"
+    );
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let k = 10usize; // arrays per group, paper geometry
 
@@ -102,8 +105,7 @@ pub fn run_stress(cfg: &StressConfig) -> StressOutcome {
     use rand::seq::SliceRandom;
     let mut seg_ids: Vec<usize> = (0..cfg.segments).collect();
     seg_ids.shuffle(&mut rng);
-    let infected: std::collections::HashSet<usize> =
-        seg_ids.into_iter().take(cfg.n1).collect();
+    let infected: std::collections::HashSet<usize> = seg_ids.into_iter().take(cfg.n1).collect();
 
     let mut rows = RowMatrix::new(1024);
     let mut truth_groups: Vec<u32> = Vec::new();
@@ -151,8 +153,7 @@ pub fn run_stress(cfg: &StressConfig) -> StressOutcome {
     let weights = rows.row_weights();
     let counts: Vec<usize> = weights.iter().map(|&w| w as usize).collect();
     let row_weight_cv = coefficient_of_variation(&counts);
-    let mean_row_weight =
-        weights.iter().map(|&w| f64::from(w)).sum::<f64>() / weights.len() as f64;
+    let mean_row_weight = weights.iter().map(|&w| f64::from(w)).sum::<f64>() / weights.len() as f64;
 
     // Detection-graph construction and core finding.
     let layout = GroupLayout { rows_per_group: k };
@@ -190,7 +191,11 @@ mod tests {
         assert_eq!(out.groups, 24 * 16);
         assert_eq!(out.truth_groups.len(), 18);
         // Burstiness must actually be present.
-        assert!(out.row_weight_cv > 0.1, "cv {} too smooth", out.row_weight_cv);
+        assert!(
+            out.row_weight_cv > 0.1,
+            "cv {} too smooth",
+            out.row_weight_cv
+        );
         // The detector should find a meaningful part of the pattern with
         // decent precision (exact numbers are the bench's business).
         assert!(out.recall > 0.2, "recall {}", out.recall);

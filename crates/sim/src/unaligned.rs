@@ -2,8 +2,8 @@
 //! abstraction the paper's own Section V-B simulations use: a background
 //! G(n, p₁) plus a planted G(n₁, p₂) among the pattern vertices.
 
-use dcs_graph::er::{gnp, gnp_planted, PlantedConfig};
 use dcs_graph::component_sizes;
+use dcs_graph::er::{gnp, gnp_planted, PlantedConfig};
 use dcs_stats::Ecdf;
 use dcs_unaligned::corefind::precision_recall;
 use dcs_unaligned::lambda::{p_star_for_edge_prob, LambdaTable};
@@ -264,6 +264,9 @@ mod tests {
             d: 2,
         };
         let s = core_finding_stats(6, n, p1, n1, 0.15, cfg, 6);
-        assert!(1.0 - s.avg_false_negative >= 0.35, "refound recovery too low");
+        assert!(
+            1.0 - s.avg_false_negative >= 0.35,
+            "refound recovery too low"
+        );
     }
 }

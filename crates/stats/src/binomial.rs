@@ -32,23 +32,22 @@ pub fn ln_binomial_pmf(k: u64, n: u64, p: f64) -> f64 {
 /// for convergence.
 pub fn betai(a: f64, b: f64, x: f64) -> f64 {
     assert!(a > 0.0 && b > 0.0, "betai requires a,b > 0 (a={a}, b={b})");
-    assert!((0.0..=1.0).contains(&x), "betai requires x in [0,1], got {x}");
+    assert!(
+        (0.0..=1.0).contains(&x),
+        "betai requires x in [0,1], got {x}"
+    );
     if x == 0.0 {
         return 0.0;
     }
     if x == 1.0 {
         return 1.0;
     }
-    let ln_front =
-        ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (-x).ln_1p();
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (-x).ln_1p();
     let front = ln_front.exp();
     if x < (a + 1.0) / (a + b + 2.0) {
         front * betacf(a, b, x) / a
     } else {
-        1.0 - (ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b)
-            + a * x.ln()
-            + b * (-x).ln_1p())
-        .exp()
+        1.0 - (ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (-x).ln_1p()).exp()
             * betacf(b, a, 1.0 - x)
             / b
     }

@@ -225,10 +225,7 @@ mod tests {
         let mut prev = 1.0f64;
         for t in 0..=400i64 {
             let s = hypergeom_sf(t, n, i, j);
-            assert!(
-                s <= prev + 1e-12,
-                "sf not monotone at t={t}: {s} > {prev}"
-            );
+            assert!(s <= prev + 1e-12, "sf not monotone at t={t}: {s} > {prev}");
             prev = s;
         }
     }

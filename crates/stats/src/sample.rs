@@ -38,7 +38,11 @@ pub fn sample_binomial<R: Rng + ?Sized>(rng: &mut R, n: u64, p: f64) -> u64 {
         return acc;
     }
     // Work with the smaller tail for stability, mirror at the end.
-    let (q, mirrored) = if p <= 0.5 { (p, false) } else { (1.0 - p, true) };
+    let (q, mirrored) = if p <= 0.5 {
+        (p, false)
+    } else {
+        (1.0 - p, true)
+    };
     let mean = n as f64 * q;
     let k = if mean <= 30.0 {
         inversion_binomial(rng, n, q)
@@ -176,8 +180,10 @@ mod tests {
         let mut r = rng();
         let n = 1000u64;
         let reps = 4000;
-        let mean: f64 =
-            (0..reps).map(|_| sample_binomial(&mut r, n, 0.5) as f64).sum::<f64>() / reps as f64;
+        let mean: f64 = (0..reps)
+            .map(|_| sample_binomial(&mut r, n, 0.5) as f64)
+            .sum::<f64>()
+            / reps as f64;
         // True mean 500, σ of the estimate ≈ 15.8/63 ≈ 0.25.
         assert!((mean - 500.0).abs() < 2.0, "mean {mean} far from 500");
     }
@@ -187,8 +193,10 @@ mod tests {
         let mut r = rng();
         let (n, p) = (10_000u64, 1e-3);
         let reps = 3000;
-        let mean: f64 =
-            (0..reps).map(|_| sample_binomial(&mut r, n, p) as f64).sum::<f64>() / reps as f64;
+        let mean: f64 = (0..reps)
+            .map(|_| sample_binomial(&mut r, n, p) as f64)
+            .sum::<f64>()
+            / reps as f64;
         assert!((mean - 10.0).abs() < 0.5, "mean {mean} far from 10");
     }
 
@@ -216,8 +224,10 @@ mod tests {
         let mut r = rng();
         let p = 0.2;
         let reps = 20_000;
-        let mean: f64 =
-            (0..reps).map(|_| sample_geometric(&mut r, p) as f64).sum::<f64>() / reps as f64;
+        let mean: f64 = (0..reps)
+            .map(|_| sample_geometric(&mut r, p) as f64)
+            .sum::<f64>()
+            / reps as f64;
         // E = (1-p)/p = 4.
         assert!((mean - 4.0).abs() < 0.15, "mean {mean} far from 4");
     }

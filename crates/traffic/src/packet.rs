@@ -50,7 +50,7 @@ impl FlowLabel {
             dst_ip: rng.gen(),
             src_port: rng.gen_range(1024..=u16::MAX),
             dst_port: *[80u16, 443, 25, 8080, 6881]
-                .get(rng.gen_range(0..5))
+                .get(rng.gen_range(0..5usize))
                 .expect("index in range"),
             proto: 6,
         }
@@ -123,10 +123,7 @@ mod tests {
             dst_port: 4,
             proto: 17,
         };
-        assert_eq!(
-            f.to_bytes(),
-            [0, 0, 0, 1, 0, 0, 0, 2, 0, 3, 0, 4, 17]
-        );
+        assert_eq!(f.to_bytes(), [0, 0, 0, 1, 0, 0, 0, 2, 0, 3, 0, 4, 17]);
     }
 
     #[test]

@@ -30,7 +30,9 @@ impl ContentObject {
     pub fn random<R: Rng + ?Sized>(rng: &mut R, len: usize) -> Self {
         let mut b = vec![0u8; len];
         rng.fill(b.as_mut_slice());
-        ContentObject { bytes: Bytes::from(b) }
+        ContentObject {
+            bytes: Bytes::from(b),
+        }
     }
 
     /// An object that packetises into exactly `packets` payloads of

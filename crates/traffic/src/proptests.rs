@@ -7,15 +7,20 @@ use bytes::Bytes;
 use proptest::prelude::*;
 
 fn arb_flow() -> impl Strategy<Value = FlowLabel> {
-    (any::<u32>(), any::<u32>(), any::<u16>(), any::<u16>(), any::<u8>()).prop_map(
-        |(src_ip, dst_ip, src_port, dst_port, proto)| FlowLabel {
+    (
+        any::<u32>(),
+        any::<u32>(),
+        any::<u16>(),
+        any::<u16>(),
+        any::<u8>(),
+    )
+        .prop_map(|(src_ip, dst_ip, src_port, dst_port, proto)| FlowLabel {
             src_ip,
             dst_ip,
             src_port,
             dst_port,
             proto,
-        },
-    )
+        })
 }
 
 fn arb_packet() -> impl Strategy<Value = Packet> {

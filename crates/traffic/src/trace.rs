@@ -71,7 +71,10 @@ impl<R: Read> TraceReader<R> {
         let mut magic = [0u8; 8];
         inner.read_exact(&mut magic)?;
         if magic != TRACE_MAGIC {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad trace magic"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "bad trace magic",
+            ));
         }
         let mut ver = [0u8; 2];
         inner.read_exact(&mut ver)?;
@@ -119,9 +122,7 @@ impl<R: Read> Iterator for TraceReader<R> {
 /// implies whole segments.
 pub fn segment_epochs(packets: &[Packet], epoch_packets: usize) -> Vec<&[Packet]> {
     assert!(epoch_packets > 0, "epoch size must be positive");
-    packets
-        .chunks_exact(epoch_packets)
-        .collect()
+    packets.chunks_exact(epoch_packets).collect()
 }
 
 #[cfg(test)]

@@ -137,13 +137,7 @@ mod tests {
                 p2: 0.17,
             },
         );
-        let res = find_pattern(
-            &g,
-            CoreFindConfig {
-                beta: 60,
-                d: 2,
-            },
-        );
+        let res = find_pattern(&g, CoreFindConfig { beta: 60, d: 2 });
         let reported = res.vertices();
         let (precision, recall) = precision_recall(&reported, &pattern);
         assert!(

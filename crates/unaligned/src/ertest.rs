@@ -43,10 +43,7 @@ impl ErTestConfig {
         assert!(n > 0, "empty graph");
         assert!(p1 > 0.0 && p1 < 1.0, "p1 must be in (0,1)");
         let c = n as f64 * p1; // mean degree; < 1 below the transition
-        assert!(
-            c < 1.0,
-            "p1 = {p1} is at or above the phase transition 1/n"
-        );
+        assert!(c < 1.0, "p1 = {p1} is at or above the phase transition 1/n");
         let rate_ref = 0.65_f64 - 1.0 - 0.65_f64.ln(); // ≈ 0.0808
         let rate = c - 1.0 - c.ln();
         let threshold = 9.0 * (n as f64).ln() * rate_ref / rate;

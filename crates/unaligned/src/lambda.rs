@@ -54,12 +54,9 @@ impl LambdaTable {
         if let Some(&v) = self.memo.read().get(&key) {
             return v;
         }
-        let v = hypergeom_tail_quantile(
-            self.p_star,
-            self.n_bits,
-            u64::from(key.0),
-            u64::from(key.1),
-        ) as u32;
+        let v =
+            hypergeom_tail_quantile(self.p_star, self.n_bits, u64::from(key.0), u64::from(key.1))
+                as u32;
         self.memo.write().insert(key, v);
         v
     }

@@ -34,7 +34,6 @@ pub mod multi;
 pub mod thresholds;
 
 pub use corefind::{find_pattern, CoreFindConfig, PatternResult};
-pub use multi::{find_patterns_multi, split_clusters, SeparatedPattern};
 pub use ertest::{er_test, ErTestConfig, ErTestResult};
 pub use graphbuild::{
     build_group_graph, build_group_graph_parallel, build_group_graph_sampled,
@@ -42,4 +41,5 @@ pub use graphbuild::{
 };
 pub use lambda::LambdaTable;
 pub use matchmodel::{offset_match_prob, pattern_edge_prob, MatchModel};
+pub use multi::{find_patterns_multi, split_clusters, SeparatedPattern};
 pub use thresholds::{cluster_threshold, ClusterThreshold};

@@ -37,10 +37,7 @@ pub fn split_clusters(graph: &Graph, vertices: &[u32]) -> Vec<Vec<u32>> {
     for (i, &v) in vertices.iter().enumerate() {
         clusters.entry(uf.find(i as u32)).or_default().push(v);
     }
-    let mut out: Vec<Vec<u32>> = clusters
-        .into_values()
-        .filter(|c| c.len() >= 2)
-        .collect();
+    let mut out: Vec<Vec<u32>> = clusters.into_values().filter(|c| c.len() >= 2).collect();
     out.sort_by_key(|c| std::cmp::Reverse(c.len()));
     for c in &mut out {
         c.sort_unstable();
@@ -240,14 +237,7 @@ mod tests {
     fn multi_detection_finds_both_patterns() {
         let mut rng = StdRng::seed_from_u64(2);
         let n = 10_000;
-        let g = two_cluster_graph(
-            &mut rng,
-            n,
-            2.0 / n as f64,
-            0..80,
-            4_000..4_060,
-            0.4,
-        );
+        let g = two_cluster_graph(&mut rng, n, 2.0 / n as f64, 0..80, 4_000..4_060, 0.4);
         let cfg = CoreFindConfig { beta: 40, d: 2 };
         let patterns = find_patterns_multi(&g, cfg, 4, 1.0);
         assert!(

@@ -109,12 +109,7 @@ pub fn cluster_threshold(
             }
         };
         if d_fp <= d_power {
-            return Some(ClusterThreshold {
-                m,
-                d: d_fp,
-                p1,
-                p2,
-            });
+            return Some(ClusterThreshold { m, d: d_fp, p1, p2 });
         }
     }
     None

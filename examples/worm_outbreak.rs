@@ -69,7 +69,8 @@ fn main() {
     let clean = epoch_digests(&mut rng, &monitor_cfg, &worm, &[], 0);
     let center = AnalysisCenter::new(analysis_cfg.clone());
     let clean_report = center.analyze_epoch(&clean);
-    let threshold = ((clean_report.unaligned.largest_component as f64 * 1.5).ceil() as usize).max(8);
+    let threshold =
+        ((clean_report.unaligned.largest_component as f64 * 1.5).ceil() as usize).max(8);
     println!(
         "calibration: clean largest component = {}, alarm threshold set to {}",
         clean_report.unaligned.largest_component, threshold
@@ -115,7 +116,9 @@ fn main() {
                 hits,
                 infected.len()
             );
-            println!("  -> hand the suspects' flow groups to packet logging for signature extraction");
+            println!(
+                "  -> hand the suspects' flow groups to packet logging for signature extraction"
+            );
         } else {
             println!("  infection still below the detectable threshold");
         }

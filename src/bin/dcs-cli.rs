@@ -111,7 +111,10 @@ fn gen_trace(args: &[String]) -> CliResult {
             Planting::aligned(object, size)
         };
         planting.plant_into(&mut rng, &mut traffic);
-        println!("planted {g}x{size}B content ({})", if unaligned { "unaligned" } else { "aligned" });
+        println!(
+            "planted {g}x{size}B content ({})",
+            if unaligned { "unaligned" } else { "aligned" }
+        );
     }
     let mut w = TraceWriter::new(BufWriter::new(File::create(out)?))?;
     w.write_all_packets(&traffic)?;

@@ -50,7 +50,10 @@ fn detects_infection_above_threshold() {
     let hits = report.aligned.routers.iter().filter(|&&r| r < 18).count();
     assert!(hits >= 14, "recovered only {hits}/18 infected routers");
     let false_routers = report.aligned.routers.len() - hits;
-    assert!(false_routers <= 2, "{false_routers} clean routers implicated");
+    assert!(
+        false_routers <= 2,
+        "{false_routers} clean routers implicated"
+    );
     // The signature should be close to the planted content size.
     assert!(
         (20..=40).contains(&report.aligned.content_packets),
@@ -71,7 +74,10 @@ fn small_infection_below_threshold_stays_quiet() {
     // deployment; the verdict must hold back even though the planted
     // columns exist.
     let report = run_epoch(3, 5, 30);
-    assert!(!report.aligned.found, "sub-threshold pattern falsely reported");
+    assert!(
+        !report.aligned.found,
+        "sub-threshold pattern falsely reported"
+    );
 }
 
 #[test]

@@ -73,7 +73,7 @@ fn sampled_analysis_end_to_end() {
     let mut rows = dcs_bitmap::RowMatrix::new(1024);
     let mut truth_groups: Vec<u32> = Vec::new();
     for router in 0..ROUTERS {
-        let mut traffic = gen::generate_epoch(
+        let traffic = gen::generate_epoch(
             &mut rng,
             &BackgroundConfig {
                 packets: 1_000,
@@ -87,8 +87,7 @@ fn sampled_analysis_end_to_end() {
         if infected.contains(&router) {
             for _ in 0..2 {
                 let inst = plant.instantiate(&mut rng);
-                truth_groups
-                    .push((router * GROUPS + collector.group_of(&inst[0])) as u32);
+                truth_groups.push((router * GROUPS + collector.group_of(&inst[0])) as u32);
                 for p in inst {
                     collector.observe(&p);
                 }
@@ -167,10 +166,8 @@ fn size_classed_collection_detects_per_class() {
         mid_bitmaps.push(d.class(SizeClass::Mid).bitmap.clone());
         large_bitmaps.push(d.class(SizeClass::Large).bitmap.clone());
     }
-    let mid_det = dcs_aligned::refined_detect(
-        &ColMatrix::from_router_bitmaps(&mid_bitmaps),
-        &search_cfg(),
-    );
+    let mid_det =
+        dcs_aligned::refined_detect(&ColMatrix::from_router_bitmaps(&mid_bitmaps), &search_cfg());
     assert!(mid_det.found, "mid class missed its 22 instances");
     let mid_rows_even = mid_det.rows.iter().filter(|r| *r % 2 == 0).count();
     assert!(

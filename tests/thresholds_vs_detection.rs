@@ -2,9 +2,7 @@
 //! dcs-unaligned) must predict what the Monte-Carlo detectors (dcs-sim)
 //! actually do.
 
-use dcs_aligned::thresholds::{
-    detectable_min_b, non_natural_min_b, DetectableParams,
-};
+use dcs_aligned::thresholds::{detectable_min_b, non_natural_min_b, DetectableParams};
 use dcs_sim::aligned::detection_ratio;
 use dcs_sim::unaligned::{er_false_negative, largest_component_samples, p2_for};
 use dcs_unaligned::thresholds::cluster_threshold;
@@ -31,6 +29,7 @@ fn search_cfg() -> dcs_aligned::SearchConfig {
         gamma: 2,
         epsilon: 1e-3,
         termination: Default::default(),
+        compute: Default::default(),
     }
 }
 

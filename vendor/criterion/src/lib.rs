@@ -1,0 +1,350 @@
+//! Minimal offline stand-in for `criterion`.
+//!
+//! Provides the API surface the workspace's benches use — `Criterion`
+//! with `sample_size` / `measurement_time` / `warm_up_time`, benchmark
+//! groups with throughput annotation and `bench_with_input`, `Bencher::
+//! iter`, `black_box`, and the `criterion_group!` / `criterion_main!`
+//! macros (both the config form and the plain list form).
+//!
+//! Measurement model: after a warm-up period, each sample runs a batch of
+//! iterations sized so one batch lasts roughly `measurement_time /
+//! sample_size`, and the reported figure is the best (minimum) mean
+//! ns/iter across samples — the low-noise estimator, suited to the
+//! single-CPU containers this repo is benchmarked in. No statistics
+//! beyond min/mean/max, no plots, no disk state.
+
+#![forbid(unsafe_code)]
+
+pub use std::hint::black_box;
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark harness.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the total time budget for timed samples.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up duration before timing starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl AsRef<str>,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = self.new_bencher();
+        f(&mut b);
+        b.report(id.as_ref(), None);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+
+    fn new_bencher(&self) -> Bencher {
+        Bencher {
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+            result: None,
+        }
+    }
+
+    #[doc(hidden)]
+    pub fn final_summary(&mut self) {}
+}
+
+/// Units for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifier for a parameterised benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new<P: Display>(name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Identifier that is just the parameter.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    throughput: Throughput_,
+}
+
+type Throughput_ = Option<Throughput>;
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(1);
+        self
+    }
+
+    /// Overrides the measurement budget for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl AsRef<str>,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = self.criterion.new_bencher();
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, id.as_ref()), self.throughput);
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = self.criterion.new_bencher();
+        f(&mut b, input);
+        b.report(&format!("{}/{}", self.name, id.id), self.throughput);
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Per-benchmark measurement state; `iter` runs and times the closure.
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    result: Option<Measurement>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Measurement {
+    min_ns: f64,
+    mean_ns: f64,
+    max_ns: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, keeping its output alive via `black_box`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up while estimating the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let est_ns = (warm_start.elapsed().as_nanos() as f64 / warm_iters.max(1) as f64).max(1.0);
+
+        let per_sample = self.measurement_time.as_nanos() as f64 / self.sample_size as f64;
+        let batch = ((per_sample / est_ns) as u64).max(1);
+
+        let mut means = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            means.push(t0.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        let min = means.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = means.iter().copied().fold(0.0f64, f64::max);
+        let mean = means.iter().sum::<f64>() / means.len() as f64;
+        self.result = Some(Measurement {
+            min_ns: min,
+            mean_ns: mean,
+            max_ns: max,
+        });
+    }
+
+    fn report(&self, id: &str, throughput: Throughput_) {
+        let Some(m) = self.result else {
+            println!("{id:<48} (no measurement)");
+            return;
+        };
+        let rate = match throughput {
+            Some(Throughput::Bytes(n)) => {
+                let gib = n as f64 / m.min_ns * 1e9 / (1u64 << 30) as f64;
+                format!("  {gib:>8.3} GiB/s")
+            }
+            Some(Throughput::Elements(n)) => {
+                let meps = n as f64 / m.min_ns * 1e9 / 1e6;
+                format!("  {meps:>8.3} Melem/s")
+            }
+            None => String::new(),
+        };
+        println!(
+            "{id:<48} [{} {} {}]{rate}",
+            fmt_ns(m.min_ns),
+            fmt_ns(m.mean_ns),
+            fmt_ns(m.max_ns)
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Declares a group of benchmark functions, optionally with a config.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generates `fn main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5))
+    }
+
+    #[test]
+    fn bench_function_runs() {
+        quick().bench_function("smoke/sum", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+        });
+    }
+
+    #[test]
+    fn group_with_throughput_and_input() {
+        let mut c = quick();
+        let mut g = c.benchmark_group("grp");
+        g.throughput(Throughput::Bytes(4096));
+        g.bench_with_input(
+            BenchmarkId::new("memset", 4096usize),
+            &4096usize,
+            |b, &n| {
+                b.iter(|| vec![0u8; n]);
+            },
+        );
+        g.bench_function("elements", |b| b.iter(|| black_box(1 + 1)));
+        g.finish();
+    }
+
+    criterion_group!(list_form, smoke_target);
+    criterion_group! {
+        name = config_form;
+        config = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(5));
+        targets = smoke_target
+    }
+
+    fn smoke_target(c: &mut Criterion) {
+        c.sample_size = 2;
+        c.measurement_time = Duration::from_millis(20);
+        c.warm_up_time = Duration::from_millis(5);
+        c.bench_function("macro/smoke", |b| b.iter(|| black_box(2 * 2)));
+    }
+
+    #[test]
+    fn macros_expand() {
+        list_form();
+        config_form();
+    }
+}

@@ -1,0 +1,407 @@
+//! Minimal offline stand-in for `serde_json`: renders the vendored
+//! `serde` [`Value`] tree to JSON text and parses JSON text back into it.
+//! Integers are kept exact (64-bit), so bitmap words survive round trips.
+
+#![forbid(unsafe_code)]
+
+use serde::{Deserialize, Serialize, Value};
+use std::fmt;
+
+/// Serialization / parse error.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Self {
+        Error(e.to_string())
+    }
+}
+
+/// Result alias matching upstream `serde_json`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serializes `value` to compact JSON.
+pub fn to_string<T: Serialize>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0)?;
+    Ok(out)
+}
+
+/// Serializes `value` to human-readable indented JSON.
+pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some("  "), 0)?;
+    Ok(out)
+}
+
+/// Parses JSON text into any [`Deserialize`] type.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::new(format!("trailing characters at byte {}", p.pos)));
+    }
+    Ok(T::from_value(&v)?)
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<&str>, depth: usize) -> Result<()> {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::Float(f) => {
+            if !f.is_finite() {
+                return Err(Error::new("non-finite float is not representable in JSON"));
+            }
+            let s = f.to_string();
+            out.push_str(&s);
+            // Keep the number recognisable as a float on re-parse.
+            if !s.contains(['.', 'e', 'E']) {
+                out.push_str(".0");
+            }
+        }
+        Value::Str(s) => write_escaped(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return Ok(());
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(out, item, indent, depth + 1)?;
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Object(pairs) => {
+            if pairs.is_empty() {
+                out.push_str("{}");
+                return Ok(());
+            }
+            out.push('{');
+            for (i, (k, item)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_escaped(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, depth + 1)?;
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+    Ok(())
+}
+
+fn newline_indent(out: &mut String, indent: Option<&str>, depth: usize) {
+    if let Some(pad) = indent {
+        out.push('\n');
+        for _ in 0..depth {
+            out.push_str(pad);
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') if self.eat_keyword("null") => Ok(Value::Null),
+            Some(b't') if self.eat_keyword("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::Str),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                loop {
+                    items.push(self.parse_value()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => {
+                            self.pos += 1;
+                        }
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Value::Array(items));
+                        }
+                        _ => return Err(Error::new(format!("bad array at byte {}", self.pos))),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut pairs = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Value::Object(pairs));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.parse_string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    let value = self.parse_value()?;
+                    pairs.push((key, value));
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => {
+                            self.pos += 1;
+                        }
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Value::Object(pairs));
+                        }
+                        _ => return Err(Error::new(format!("bad object at byte {}", self.pos))),
+                    }
+                }
+            }
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            other => Err(Error::new(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|b| b as char),
+                self.pos
+            ))),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error::new("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| Error::new("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| Error::new("bad \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| Error::new("bad \\u escape"))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::new("invalid \\u code point"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return Err(Error::new("bad escape sequence")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 encoded char.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| Error::new("invalid UTF-8 in string"))?;
+                    let c = rest.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::new("invalid number"))?;
+        if !is_float {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::UInt(u));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Int(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| Error::new(format!("invalid number `{text}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_roundtrip() {
+        assert_eq!(to_string(&42u64).unwrap(), "42");
+        assert_eq!(from_str::<u64>("42").unwrap(), 42);
+        assert_eq!(to_string(&(-3i64)).unwrap(), "-3");
+        assert_eq!(from_str::<i64>("-3").unwrap(), -3);
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(from_str::<f64>("1.5").unwrap(), 1.5);
+        assert_eq!(to_string(&true).unwrap(), "true");
+    }
+
+    #[test]
+    fn u64_words_are_exact() {
+        let words = vec![u64::MAX, u64::MAX - 1, 1u64 << 63];
+        let json = to_string(&words).unwrap();
+        assert_eq!(from_str::<Vec<u64>>(&json).unwrap(), words);
+    }
+
+    #[test]
+    fn floats_reparse_as_floats() {
+        let json = to_string(&2.0f64).unwrap();
+        assert_eq!(json, "2.0");
+        assert_eq!(from_str::<f64>(&json).unwrap(), 2.0);
+        // Sub-normal-ish scientific notation survives too.
+        let tiny = 6.5e-6f64;
+        assert_eq!(from_str::<f64>(&to_string(&tiny).unwrap()).unwrap(), tiny);
+    }
+
+    #[test]
+    fn strings_escape() {
+        let s = "a\"b\\c\nd\te\u{1}".to_string();
+        let json = to_string(&s).unwrap();
+        assert_eq!(from_str::<String>(&json).unwrap(), s);
+    }
+
+    #[test]
+    fn pretty_output_is_indented() {
+        let v = vec![1u32, 2];
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains('\n'));
+        assert_eq!(from_str::<Vec<u32>>(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn garbage_is_rejected() {
+        assert!(from_str::<u64>("").is_err());
+        assert!(from_str::<u64>("12 34").is_err());
+        assert!(from_str::<Vec<u64>>("[1, 2").is_err());
+        assert!(from_str::<String>("\"unterminated").is_err());
+    }
+}

@@ -11,10 +11,13 @@
 //! right before the second exponentially decreasing trend starts."
 //!
 //! The classifier therefore calls a step a **dive** when
-//! `w_{k+1} ≤ w_k/2 + c·√w_k`; with `c` a little above the max-selection
+//! `w_{k+1} < w_k/2 + c·√w_k`; with `c` a little above the max-selection
 //! bias (≈1.5), noise steps classify as dives while plateaus (weight ≈
-//! pattern height `a`) stay above the bound whenever `a/2 > c·√a`, i.e.
-//! patterns meaningfully taller than the noise floor `a ≈ (2c)²`.
+//! pattern height `a`) stay at or above the bound whenever `a/2 ≥ c·√a`,
+//! i.e. patterns at least as tall as the noise floor `a = (2c)²`. The
+//! comparison is strict so a perfectly flat step sitting exactly on the
+//! bound (a pattern of height exactly `(2c)²` — 16 rows at the default
+//! `c = 2`) reads as plateau, not dive.
 
 /// Tuning knobs of the curve reader.
 #[derive(Debug, Clone, Copy, serde::Serialize, serde::Deserialize)]
@@ -71,7 +74,9 @@ pub fn stop_point(weights: &[u32], cfg: TerminationConfig) -> Option<usize> {
         .windows(2)
         .map(|w| {
             let (prev, next) = (f64::from(w[0]), f64::from(w[1]));
-            if next <= prev / 2.0 + cfg.dive_coeff * prev.sqrt() {
+            // A dead curve (weight zero) is never a plateau, even though
+            // the strict bound below cannot classify a 0 → 0 step.
+            if next == 0.0 || next < prev / 2.0 + cfg.dive_coeff * prev.sqrt() {
                 Step::Dive
             } else if next >= cfg.plateau_ratio * prev {
                 Step::Plateau
@@ -159,6 +164,16 @@ mod tests {
         // perfectly flat step: patterns this small are indistinguishable
         // from max-selection noise and are deliberately not reported.
         assert_eq!(stop_point(&[10, 9, 9], cfg()), None);
+    }
+
+    #[test]
+    fn plateau_at_exactly_the_noise_floor_is_detected() {
+        // Height 16 sits exactly on the dive bound (16 = 16/2 + 2√16):
+        // the strict comparison must read flat steps there as plateau.
+        // Regression: a 20-row pattern degraded to 16 surviving rows was
+        // invisible with a non-strict bound.
+        let w = [17u32, 16, 16, 16, 16, 6, 4, 3];
+        assert_eq!(stop_point(&w, cfg()), Some(4));
     }
 
     #[test]

@@ -62,7 +62,9 @@ fn main() {
     let mut acfg = AnalysisConfig::for_groups(ROUTERS * 4);
     acfg.search.n_prime = 400;
     acfg.search.hopefuls = 300;
-    let report = AnalysisCenter::new(acfg).analyze_epoch(&digests);
+    let report = AnalysisCenter::new(acfg)
+        .analyze_epoch(&digests)
+        .expect("freshly collected digests form a quorum");
     let dcs_hits = report
         .aligned
         .routers

@@ -32,6 +32,10 @@ pub enum WireError {
     Bitmap(BitmapError),
     /// Structurally impossible field (e.g. zero arrays-per-group).
     Malformed(&'static str),
+    /// Encode-side failure: a field exceeds what the frame format can
+    /// carry (a frame must never be emitted with silently truncated
+    /// counts — it would decode to the wrong group layout).
+    TooLarge(&'static str),
 }
 
 impl fmt::Display for WireError {
@@ -42,6 +46,9 @@ impl fmt::Display for WireError {
             WireError::BadVersion(v) => write!(f, "unsupported digest version {v}"),
             WireError::Bitmap(e) => write!(f, "embedded bitmap: {e}"),
             WireError::Malformed(what) => write!(f, "malformed digest frame: {what}"),
+            WireError::TooLarge(what) => {
+                write!(f, "digest does not fit the wire format: {what}")
+            }
         }
     }
 }
@@ -132,7 +139,15 @@ impl AlignedDigest {
 
 impl UnalignedDigest {
     /// Encodes the digest into a binary frame.
-    pub fn encode_wire(&self) -> Bytes {
+    ///
+    /// Fails with [`WireError::TooLarge`] when `arrays_per_group` or the
+    /// array count exceeds the format's `u32` fields — emitting a frame
+    /// with truncated counts would decode to the wrong group layout.
+    pub fn encode_wire(&self) -> Result<Bytes, WireError> {
+        let arrays_per_group = u32::try_from(self.arrays_per_group)
+            .map_err(|_| WireError::TooLarge("arrays_per_group exceeds u32"))?;
+        let count = u32::try_from(self.arrays.len())
+            .map_err(|_| WireError::TooLarge("array count exceeds u32"))?;
         let body: usize = self.arrays.iter().map(Bitmap::encoded_len).sum();
         let mut buf = BytesMut::with_capacity(37 + body);
         buf.put_slice(&UNALIGNED_MAGIC);
@@ -140,12 +155,12 @@ impl UnalignedDigest {
         buf.put_u64_le(self.packets_seen);
         buf.put_u64_le(self.packets_sampled);
         buf.put_u64_le(self.raw_bytes);
-        buf.put_u32_le(self.arrays_per_group as u32);
-        buf.put_u32_le(self.arrays.len() as u32);
+        buf.put_u32_le(arrays_per_group);
+        buf.put_u32_le(count);
         for a in &self.arrays {
             buf.put_slice(&a.encode());
         }
-        buf.freeze()
+        Ok(buf.freeze())
     }
 
     /// Decodes a frame produced by [`UnalignedDigest::encode_wire`],
@@ -164,14 +179,24 @@ impl UnalignedDigest {
         if !count.is_multiple_of(arrays_per_group) {
             return Err(WireError::Malformed("array count not a group multiple"));
         }
-        let mut arrays = Vec::with_capacity(count.min(1 << 20));
-        for _ in 0..count {
-            arrays.push(take_bitmap(&mut buf)?);
+        // The declared count is attacker-controlled: every bitmap frame
+        // costs at least its 13-byte header, so a count the remaining
+        // bytes cannot possibly hold is rejected before any allocation.
+        const MIN_BITMAP_FRAME: usize = 13;
+        if count.saturating_mul(MIN_BITMAP_FRAME) > buf.len() {
+            return Err(WireError::Truncated);
         }
-        if let Some(first) = arrays.first() {
-            if arrays.iter().any(|a| a.len() != first.len()) {
-                return Err(WireError::Malformed("mixed array widths"));
+        let mut arrays: Vec<Bitmap> = Vec::with_capacity(count);
+        for _ in 0..count {
+            let bm = take_bitmap(&mut buf)?;
+            // Width agreement is checked as arrays are decoded, so a
+            // frame mixing widths is rejected without decoding the rest.
+            if let Some(first) = arrays.first() {
+                if bm.len() != first.len() {
+                    return Err(WireError::Malformed("mixed array widths"));
+                }
             }
+            arrays.push(bm);
         }
         Ok((
             UnalignedDigest {
@@ -223,7 +248,7 @@ mod tests {
     #[test]
     fn unaligned_roundtrip() {
         let (_, u) = digests();
-        let wire = u.encode_wire();
+        let wire = u.encode_wire().unwrap();
         let (back, used) = UnalignedDigest::decode_wire(&wire).unwrap();
         assert_eq!(used, wire.len());
         assert_eq!(back.arrays, u.arrays);
@@ -236,7 +261,7 @@ mod tests {
         let (a, u) = digests();
         let mut stream = Vec::new();
         stream.extend_from_slice(&a.encode_wire());
-        stream.extend_from_slice(&u.encode_wire());
+        stream.extend_from_slice(&u.encode_wire().unwrap());
         let (a2, used) = AlignedDigest::decode_wire(&stream).unwrap();
         let (u2, used2) = UnalignedDigest::decode_wire(&stream[used..]).unwrap();
         assert_eq!(used + used2, stream.len());
@@ -252,7 +277,7 @@ mod tests {
             Err(WireError::BadMagic(_))
         ));
         assert!(matches!(
-            AlignedDigest::decode_wire(&u.encode_wire()),
+            AlignedDigest::decode_wire(&u.encode_wire().unwrap()),
             Err(WireError::BadMagic(_))
         ));
     }
@@ -260,7 +285,7 @@ mod tests {
     #[test]
     fn truncations_rejected_everywhere() {
         let (a, u) = digests();
-        for wire in [a.encode_wire(), u.encode_wire()] {
+        for wire in [a.encode_wire(), u.encode_wire().unwrap()] {
             for cut in [0usize, 3, 5, 12, wire.len() - 1] {
                 let a_res = AlignedDigest::decode_wire(&wire[..cut]);
                 let u_res = UnalignedDigest::decode_wire(&wire[..cut]);
@@ -276,7 +301,7 @@ mod tests {
     #[test]
     fn malformed_group_count_rejected() {
         let (_, u) = digests();
-        let mut wire = u.encode_wire().to_vec();
+        let mut wire = u.encode_wire().unwrap().to_vec();
         // arrays_per_group lives at offset 29; set it to 3 (count is 40,
         // not a multiple of 3).
         wire[29] = 3;
@@ -284,6 +309,55 @@ mod tests {
             UnalignedDigest::decode_wire(&wire),
             Err(WireError::Malformed(_))
         ));
+    }
+
+    #[test]
+    fn oversized_counts_refused_at_encode() {
+        let (_, u) = digests();
+        // A structurally impossible arrays_per_group must not be silently
+        // truncated into a frame that decodes to a different group layout.
+        let bad = UnalignedDigest {
+            arrays_per_group: (u32::MAX as usize) + 1,
+            ..u.clone()
+        };
+        assert!(matches!(bad.encode_wire(), Err(WireError::TooLarge(_))));
+        assert!(u.encode_wire().is_ok(), "well-formed digest still encodes");
+    }
+
+    #[test]
+    fn inflated_array_count_rejected_before_allocation() {
+        let (_, u) = digests();
+        let mut wire = u.encode_wire().unwrap().to_vec();
+        // The count field lives at offset 33; declare u32::MAX arrays
+        // (a multiple of arrays_per_group is not even needed — make it
+        // one so the count check itself is what fires).
+        wire[29..33].copy_from_slice(&1u32.to_le_bytes());
+        wire[33..37].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(
+            UnalignedDigest::decode_wire(&wire),
+            Err(WireError::Truncated),
+            "declared count far beyond the buffer must be refused"
+        );
+    }
+
+    #[test]
+    fn mixed_widths_rejected_incrementally() {
+        // Hand-build a frame whose two arrays disagree on width; the
+        // decoder must reject at the second array, not after decoding all.
+        let a = Bitmap::from_indices(64, [1]);
+        let b = Bitmap::from_indices(128, [2]);
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&UNALIGNED_MAGIC);
+        wire.push(1); // version
+        wire.extend_from_slice(&[0u8; 24]); // packets_seen/sampled, raw_bytes
+        wire.extend_from_slice(&2u32.to_le_bytes()); // arrays_per_group
+        wire.extend_from_slice(&2u32.to_le_bytes()); // count
+        wire.extend_from_slice(&a.encode());
+        wire.extend_from_slice(&b.encode());
+        assert_eq!(
+            UnalignedDigest::decode_wire(&wire),
+            Err(WireError::Malformed("mixed array widths"))
+        );
     }
 
     #[test]
@@ -305,8 +379,78 @@ mod fuzz {
     use super::*;
     use proptest::prelude::*;
 
+    /// One valid frame of each kind, built from real collectors.
+    fn valid_frames() -> (Vec<u8>, Vec<u8>) {
+        use rand::{Rng as _, SeedableRng as _};
+        let mut r = rand::rngs::StdRng::seed_from_u64(11);
+        let mut a = crate::AlignedCollector::new(crate::AlignedConfig::small(1 << 10, 3));
+        let mut u = crate::UnalignedCollector::new(crate::UnalignedConfig::small(2, 3, 5));
+        for _ in 0..80 {
+            let mut payload = vec![0u8; 536];
+            r.fill(payload.as_mut_slice());
+            let p = dcs_traffic::Packet::new(dcs_traffic::FlowLabel::random(&mut r), payload);
+            a.observe(&p);
+            u.observe(&p);
+        }
+        (
+            a.finish_epoch().encode_wire().to_vec(),
+            u.finish_epoch().encode_wire().unwrap().to_vec(),
+        )
+    }
+
+    /// A decoded unaligned digest, however the bytes were mangled, must be
+    /// structurally sound: consistent group layout, uniform widths, and a
+    /// consumed length inside the buffer (no wrap-around).
+    fn assert_sound_unaligned(res: Result<(UnalignedDigest, usize), WireError>, len: usize) {
+        if let Ok((d, used)) = res {
+            assert!(used <= len, "consumed {used} of a {len}-byte buffer");
+            assert!(d.arrays_per_group > 0);
+            assert!(d.arrays.len().is_multiple_of(d.arrays_per_group));
+            if let Some(first) = d.arrays.first() {
+                assert!(d.arrays.iter().all(|a| a.len() == first.len()));
+            }
+        }
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Satellite coverage: every mutation of a valid frame —
+        /// truncation, multi-bit flips, spliced header bytes (magic,
+        /// version, counts) — decodes to a `WireError` or to a digest
+        /// whose structure is consistent; never a panic or wrap-around.
+        #[test]
+        fn mutated_frames_error_or_stay_sound(
+            cut_ppm in 0u32..1_000_000,
+            flips in proptest::collection::vec((any::<usize>(), 1u8..=255), 0..6),
+            splice_at in any::<usize>(),
+            splice in proptest::collection::vec(any::<u8>(), 0..8),
+        ) {
+            let (aligned, unaligned) = valid_frames();
+            for wire in [aligned, unaligned] {
+                // Strict-prefix truncation must always be an error.
+                let cut = (wire.len() as u64 * u64::from(cut_ppm) / 1_000_000) as usize;
+                prop_assert!(AlignedDigest::decode_wire(&wire[..cut]).is_err());
+                prop_assert!(UnalignedDigest::decode_wire(&wire[..cut]).is_err());
+
+                // Bit flips + a spliced run anywhere (this covers bad
+                // magic, bad version and inconsistent count fields).
+                let mut mangled = wire.clone();
+                for &(pos, mask) in &flips {
+                    let p = pos % mangled.len();
+                    mangled[p] ^= mask;
+                }
+                for (i, &b) in splice.iter().enumerate() {
+                    let p = (splice_at.wrapping_add(i)) % mangled.len();
+                    mangled[p] = b;
+                }
+                let _ = AlignedDigest::decode_wire(&mangled);
+                assert_sound_unaligned(
+                    UnalignedDigest::decode_wire(&mangled),
+                    mangled.len(),
+                );
+            }
+        }
 
         #[test]
         fn decoders_never_panic_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
@@ -330,7 +474,7 @@ mod fuzz {
                     payload,
                 ));
             }
-            let mut wire = col.finish_epoch().encode_wire().to_vec();
+            let mut wire = col.finish_epoch().encode_wire().unwrap().to_vec();
             if pos < wire.len() {
                 wire[pos] ^= val;
             }

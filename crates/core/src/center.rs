@@ -1,6 +1,7 @@
 //! The central analysis module: fuses digests, runs both detection
 //! pipelines, emits reports.
 
+use crate::ingest::{self, Exclusion, IngestError, IngestReport, RouterFault};
 use crate::monitor::RouterDigest;
 use crate::report::{AlignedReport, EpochReport, UnalignedReport};
 use dcs_aligned::{refined_detect, SearchConfig};
@@ -31,6 +32,16 @@ pub struct AnalysisConfig {
     /// search reads its own copy from `search.compute`; keeping one budget
     /// here keeps both pipelines on the same setting).
     pub compute: dcs_parallel::ComputeBudget,
+    /// Minimum number of validated digest bundles required to analyse an
+    /// epoch (the graceful-degradation floor): with fewer survivors,
+    /// [`AnalysisCenter::analyze_epoch`] returns
+    /// [`IngestError::QuorumTooSmall`] instead of running the pipelines
+    /// on a sliver of the deployment. 1 = run on whatever survives.
+    pub min_quorum: usize,
+}
+
+fn default_min_quorum() -> usize {
+    1
 }
 
 impl AnalysisConfig {
@@ -49,7 +60,14 @@ impl AnalysisConfig {
             component_threshold: None,
             corefind: CoreFindConfig::default(),
             compute: dcs_parallel::ComputeBudget::default(),
+            min_quorum: default_min_quorum(),
         }
+    }
+
+    /// Sets the minimum surviving-bundle count required to analyse.
+    pub fn with_min_quorum(mut self, min_quorum: usize) -> Self {
+        self.min_quorum = min_quorum;
+        self
     }
 
     /// Applies one compute budget to both pipelines (the unaligned sweeps
@@ -80,25 +98,70 @@ impl AnalysisCenter {
 
     /// Runs both pipelines over one epoch's digests.
     ///
-    /// # Panics
-    /// Panics if `digests` is empty or the digests are dimensionally
-    /// inconsistent (different bitmap widths / group shapes).
-    pub fn analyze_epoch(&self, digests: &[RouterDigest]) -> EpochReport {
-        assert!(!digests.is_empty(), "no digests to analyse");
-        let raw_bytes: u64 = digests.iter().map(RouterDigest::raw_bytes).sum();
+    /// The batch is validated first (see [`crate::ingest`]): bundles with
+    /// the wrong shape, duplicate router ids or a desynced epoch id are
+    /// excluded — with per-bundle accounting in the returned report's
+    /// `ingest` field — and the pipelines run on the surviving quorum.
+    /// An empty batch or one below the configured
+    /// [`min_quorum`](AnalysisConfig::min_quorum) is a typed
+    /// [`IngestError`], never a panic.
+    pub fn analyze_epoch(&self, digests: &[RouterDigest]) -> Result<EpochReport, IngestError> {
+        let (accepted, report) = ingest::validate(digests, self.cfg.min_quorum)?;
+        Ok(self.analyze_validated(&accepted, report))
+    }
+
+    /// Runs both pipelines over one epoch of *wire frames*, as shipped by
+    /// [`RouterDigest::encode_wire`]. Frames that fail to decode are
+    /// excluded with a [`RouterFault::Wire`] entry; the rest go through
+    /// the same validation and quorum policy as [`Self::analyze_epoch`].
+    pub fn analyze_epoch_wire<B: AsRef<[u8]>>(
+        &self,
+        frames: &[B],
+    ) -> Result<EpochReport, IngestError> {
+        let mut decoded: Vec<(usize, RouterDigest)> = Vec::new();
+        let mut excluded: Vec<Exclusion> = Vec::new();
+        for (index, frame) in frames.iter().enumerate() {
+            match RouterDigest::decode_wire(frame.as_ref()) {
+                Ok((digest, _)) => decoded.push((index, digest)),
+                Err(e) => excluded.push(Exclusion {
+                    index,
+                    router_id: None,
+                    fault: RouterFault::Wire(e.to_string()),
+                }),
+            }
+        }
+        let candidates: Vec<(usize, &RouterDigest)> =
+            decoded.iter().map(|(i, d)| (*i, d)).collect();
+        let (accepted, report) =
+            ingest::validate_batch(frames.len(), candidates, excluded, self.cfg.min_quorum)?;
+        Ok(self.analyze_validated(&accepted, report))
+    }
+
+    /// Both pipelines over an already-validated batch.
+    fn analyze_validated(&self, digests: &[&RouterDigest], ingest: IngestReport) -> EpochReport {
+        let raw_bytes: u64 = digests.iter().map(|d| d.raw_bytes()).sum();
         let digest_bytes: u64 = digests.iter().map(|d| d.encoded_len() as u64).sum();
         EpochReport {
             routers: digests.len(),
             raw_bytes,
             digest_bytes,
-            aligned: self.analyze_aligned(digests),
-            unaligned: self.analyze_unaligned(digests),
+            aligned: self.aligned_pipeline(digests),
+            unaligned: self.unaligned_pipeline(digests),
+            ingest,
         }
     }
 
     /// The aligned pipeline: fuse per-router bitmaps into the m×n matrix
     /// and run the refined ASID search.
+    ///
+    /// Assumes a validated batch (equal bitmap widths); prefer
+    /// [`Self::analyze_epoch`], which validates first.
     pub fn analyze_aligned(&self, digests: &[RouterDigest]) -> AlignedReport {
+        let refs: Vec<&RouterDigest> = digests.iter().collect();
+        self.aligned_pipeline(&refs)
+    }
+
+    fn aligned_pipeline(&self, digests: &[&RouterDigest]) -> AlignedReport {
         let bitmaps: Vec<dcs_bitmap::Bitmap> =
             digests.iter().map(|d| d.aligned.bitmap.clone()).collect();
         let matrix = ColMatrix::from_router_bitmaps(&bitmaps);
@@ -118,7 +181,15 @@ impl AnalysisCenter {
     /// The unaligned pipeline: fuse rows vertically, build the test graph,
     /// run the ER test, and — on alarm — localise with the detection
     /// graph.
+    ///
+    /// Assumes a validated batch (consistent group shapes); prefer
+    /// [`Self::analyze_epoch`], which validates first.
     pub fn analyze_unaligned(&self, digests: &[RouterDigest]) -> UnalignedReport {
+        let refs: Vec<&RouterDigest> = digests.iter().collect();
+        self.unaligned_pipeline(&refs)
+    }
+
+    fn unaligned_pipeline(&self, digests: &[&RouterDigest]) -> UnalignedReport {
         let first = &digests[0].unaligned;
         let k = first.arrays_per_group;
         let ncols = first.arrays.first().map_or(0, dcs_bitmap::Bitmap::len);
@@ -229,7 +300,9 @@ mod tests {
         let mut acfg = AnalysisConfig::for_groups(routers * 4);
         acfg.search.n_prime = 400;
         acfg.search.hopefuls = 300;
-        AnalysisCenter::new(acfg).analyze_epoch(&digests)
+        AnalysisCenter::new(acfg)
+            .analyze_epoch(&digests)
+            .expect("clean digests form a quorum")
     }
 
     #[test]
@@ -263,8 +336,143 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "no digests")]
-    fn empty_digests_rejected() {
-        AnalysisCenter::new(AnalysisConfig::for_groups(4)).analyze_epoch(&[]);
+    fn empty_digests_are_a_typed_error_not_a_panic() {
+        let err = AnalysisCenter::new(AnalysisConfig::for_groups(4))
+            .analyze_epoch(&[])
+            .unwrap_err();
+        assert_eq!(err, IngestError::NoDigests);
+        assert_eq!(err.to_string(), "no digests to analyse");
+    }
+
+    /// A quarter of the routers ship malformed bundles; the pipelines
+    /// must still run on the surviving quorum and find the content, with
+    /// the exclusions accounted for.
+    #[test]
+    fn degraded_epoch_still_detects_on_the_quorum() {
+        let mut r = StdRng::seed_from_u64(6);
+        let mcfg = MonitorConfig::small(7, 1 << 14, 4);
+        let obj = ContentObject::random_with_packets(&mut r, 30, 536);
+        let plant = Planting::aligned(obj, 536);
+        let bg = BackgroundConfig {
+            packets: 800,
+            flows: 200,
+            zipf_exponent: 1.0,
+            size_mix: SizeMix::constant(536),
+        };
+        let routers = 24;
+        let mut digests = Vec::new();
+        for id in 0..routers {
+            let mut traffic = gen::generate_epoch(&mut r, &bg);
+            if id < 20 {
+                plant.plant_into(&mut r, &mut traffic);
+            }
+            let mut mp = MonitoringPoint::new(id, &mcfg);
+            mp.observe_all(&traffic);
+            digests.push(mp.finish_epoch());
+        }
+        // Fault 6 of 24: wrong aligned width, desync, empty arrays — and
+        // a duplicate of router 1 appended on top.
+        digests[0].aligned.bitmap = dcs_bitmap::Bitmap::new(1 << 10);
+        digests[5].epoch_id = 99;
+        digests[10].unaligned.arrays.clear();
+        digests[15].unaligned.arrays_per_group = 3;
+        digests[20].aligned.bitmap = dcs_bitmap::Bitmap::new(1 << 10);
+        let dup = digests[1].clone();
+        digests.push(dup);
+
+        let mut acfg = AnalysisConfig::for_groups(routers * 4);
+        acfg.search.n_prime = 400;
+        acfg.search.hopefuls = 300;
+        let report = AnalysisCenter::new(acfg)
+            .analyze_epoch(&digests)
+            .expect("19 surviving routers are a quorum");
+        assert_eq!(report.ingest.submitted, 25);
+        assert_eq!(report.ingest.excluded.len(), 6);
+        assert_eq!(report.routers, 19);
+        assert!(report.ingest.is_degraded());
+        assert!(
+            report.aligned.found,
+            "aligned pipeline missed the content on the quorum"
+        );
+        let hits = report
+            .aligned
+            .routers
+            .iter()
+            .filter(|&&r| r < 20 && !matches!(r, 0 | 5 | 10 | 15))
+            .count();
+        assert!(hits >= 12, "only {hits}/16 surviving infected reported");
+    }
+
+    #[test]
+    fn quorum_floor_is_enforced() {
+        let mut r = StdRng::seed_from_u64(5);
+        let mcfg = MonitorConfig::small(7, 1 << 12, 4);
+        let bg = BackgroundConfig {
+            packets: 200,
+            flows: 50,
+            zipf_exponent: 1.0,
+            size_mix: SizeMix::constant(536),
+        };
+        let mut digests: Vec<RouterDigest> = (0..4)
+            .map(|id| {
+                let traffic = gen::generate_epoch(&mut r, &bg);
+                let mut mp = MonitoringPoint::new(id, &mcfg);
+                mp.observe_all(&traffic);
+                mp.finish_epoch()
+            })
+            .collect();
+        for d in digests.iter_mut().take(3) {
+            d.unaligned.arrays.clear();
+        }
+        let cfg = AnalysisConfig::for_groups(16).with_min_quorum(3);
+        let err = AnalysisCenter::new(cfg)
+            .analyze_epoch(&digests)
+            .unwrap_err();
+        match err {
+            IngestError::QuorumTooSmall { required, report } => {
+                assert_eq!(required, 3);
+                assert_eq!(report.accepted.len(), 1);
+            }
+            other => panic!("expected QuorumTooSmall, got {other:?}"),
+        }
+    }
+
+    /// The wire ingest path: one truncated frame and one garbage frame
+    /// are excluded as wire faults; the rest analyse normally.
+    #[test]
+    fn wire_ingest_excludes_undecodable_frames() {
+        let mut r = StdRng::seed_from_u64(6);
+        let mcfg = MonitorConfig::small(7, 1 << 12, 4);
+        let bg = BackgroundConfig {
+            packets: 300,
+            flows: 80,
+            zipf_exponent: 1.0,
+            size_mix: SizeMix::constant(536),
+        };
+        let mut frames: Vec<Vec<u8>> = (0..6)
+            .map(|id| {
+                let traffic = gen::generate_epoch(&mut r, &bg);
+                let mut mp = MonitoringPoint::new(id, &mcfg);
+                mp.observe_all(&traffic);
+                mp.finish_epoch()
+                    .encode_wire()
+                    .expect("bundle fits the wire format")
+                    .to_vec()
+            })
+            .collect();
+        let cut = frames[2].len() / 2;
+        frames[2].truncate(cut);
+        frames[4] = vec![0xAB; 40];
+
+        let report = AnalysisCenter::new(AnalysisConfig::for_groups(24))
+            .analyze_epoch_wire(&frames)
+            .expect("four surviving frames are a quorum");
+        assert_eq!(report.routers, 4);
+        assert_eq!(report.ingest.accepted, vec![0, 1, 3, 5]);
+        assert_eq!(report.ingest.excluded.len(), 2);
+        for e in &report.ingest.excluded {
+            assert_eq!(e.router_id, None);
+            assert!(matches!(e.fault, RouterFault::Wire(_)), "{:?}", e.fault);
+        }
     }
 }

@@ -111,7 +111,12 @@ impl Deployment {
                 point.finish_epoch()
             })
             .collect();
-        let report = self.center.analyze_epoch(&digests);
+        // The deployment collects from its own points, so the batch is
+        // self-consistent and always forms a quorum.
+        let report = self
+            .center
+            .analyze_epoch(&digests)
+            .expect("self-collected digests always form a quorum");
         let stable_aligned = self.aligned_tracker.record(report.aligned.found);
         let stable_unaligned = self.unaligned_tracker.record(report.unaligned.alarm);
         Some(DeploymentVerdict {
@@ -261,6 +266,7 @@ mod tests {
                     // Global groups 8..12 belong to router 2 (4 per router).
                     suspected_groups: vec![9, 11],
                 },
+                ingest: Default::default(),
             },
             stable_aligned: false,
             stable_unaligned: true,

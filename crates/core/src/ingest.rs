@@ -1,0 +1,606 @@
+//! Validation of shipped digest bundles before fusion — the ingest layer.
+//!
+//! The paper assumes the analysis centre receives one clean digest per
+//! monitored link per epoch. A production centre does not: frames arrive
+//! truncated or bit-flipped off the measurement plane, routers double-ship
+//! after a retransmit, a rebooted router lags an epoch behind, and a
+//! misconfigured one ships digests of the wrong shape. This module turns
+//! that mess into
+//!
+//! * the largest internally consistent subset of digests — the **quorum**
+//!   both detection pipelines then run on — and
+//! * a typed, per-bundle account of everything excluded and why
+//!   ([`IngestReport`]), surfaced in every
+//!   [`EpochReport`](crate::report::EpochReport) so degraded epochs are
+//!   visible rather than silent.
+//!
+//! The epoch's reference shape (aligned bitmap width, arrays per group,
+//! unaligned array width, epoch id) is chosen by **majority vote** among
+//! the internally coherent bundles, so a single corrupt digest at the
+//! front of the batch cannot poison the epoch. Only when fewer than the
+//! configured quorum of bundles survive does ingest fail as a whole, with
+//! a typed [`IngestError`] instead of a panic.
+
+use crate::monitor::RouterDigest;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Why one submitted digest bundle was excluded from an epoch's fusion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RouterFault {
+    /// The wire frame failed to decode (rendered
+    /// [`WireError`](dcs_collect::WireError)).
+    Wire(String),
+    /// A bundle for the same router id was already accepted this epoch.
+    DuplicateRouter {
+        /// Batch index of the bundle that was accepted first.
+        first_index: usize,
+    },
+    /// The unaligned digest ships no arrays at all.
+    EmptyUnaligned,
+    /// `arrays_per_group` is zero or does not divide the array count.
+    GroupLayout {
+        /// Arrays shipped.
+        arrays: usize,
+        /// Claimed arrays per group.
+        arrays_per_group: usize,
+    },
+    /// The aligned bitmap width disagrees with the epoch consensus.
+    AlignedWidth {
+        /// Consensus width in bits.
+        expected: usize,
+        /// This bundle's width.
+        got: usize,
+    },
+    /// `arrays_per_group` disagrees with the epoch consensus.
+    ArraysPerGroup {
+        /// Consensus arrays per group.
+        expected: usize,
+        /// This bundle's value.
+        got: usize,
+    },
+    /// An unaligned array width disagrees — internally (mixed widths in
+    /// one digest) or with the epoch consensus.
+    ArrayWidth {
+        /// Expected width in bits.
+        expected: usize,
+        /// Offending width.
+        got: usize,
+    },
+    /// The bundle's epoch id disagrees with the epoch consensus.
+    EpochDesync {
+        /// Consensus epoch id.
+        expected: u64,
+        /// This bundle's epoch id.
+        got: u64,
+    },
+}
+
+impl fmt::Display for RouterFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouterFault::Wire(e) => write!(f, "wire frame rejected: {e}"),
+            RouterFault::DuplicateRouter { first_index } => {
+                write!(f, "duplicate router id (first seen at index {first_index})")
+            }
+            RouterFault::EmptyUnaligned => write!(f, "unaligned digest ships no arrays"),
+            RouterFault::GroupLayout {
+                arrays,
+                arrays_per_group,
+            } => write!(
+                f,
+                "{arrays} arrays do not form whole groups of {arrays_per_group}"
+            ),
+            RouterFault::AlignedWidth { expected, got } => {
+                write!(f, "aligned bitmap width {got}, epoch consensus {expected}")
+            }
+            RouterFault::ArraysPerGroup { expected, got } => {
+                write!(f, "arrays per group {got}, epoch consensus {expected}")
+            }
+            RouterFault::ArrayWidth { expected, got } => {
+                write!(f, "array width {got}, expected {expected}")
+            }
+            RouterFault::EpochDesync { expected, got } => {
+                write!(f, "epoch id {got}, epoch consensus {expected}")
+            }
+        }
+    }
+}
+
+// The vendored serde derive handles named-field structs and unit enums
+// only, so the data-carrying fault enums serialize by hand as tagged
+// objects: {"kind": <variant>, ...fields}.
+impl serde::Serialize for RouterFault {
+    fn to_value(&self) -> serde::Value {
+        let tag = |kind: &str| ("kind".to_string(), serde::Value::Str(kind.to_string()));
+        let uint = |name: &str, v: usize| (name.to_string(), serde::Value::UInt(v as u64));
+        serde::Value::Object(match self {
+            RouterFault::Wire(e) => vec![
+                tag("wire"),
+                ("error".to_string(), serde::Value::Str(e.clone())),
+            ],
+            RouterFault::DuplicateRouter { first_index } => {
+                vec![tag("duplicate_router"), uint("first_index", *first_index)]
+            }
+            RouterFault::EmptyUnaligned => vec![tag("empty_unaligned")],
+            RouterFault::GroupLayout {
+                arrays,
+                arrays_per_group,
+            } => vec![
+                tag("group_layout"),
+                uint("arrays", *arrays),
+                uint("arrays_per_group", *arrays_per_group),
+            ],
+            RouterFault::AlignedWidth { expected, got } => vec![
+                tag("aligned_width"),
+                uint("expected", *expected),
+                uint("got", *got),
+            ],
+            RouterFault::ArraysPerGroup { expected, got } => vec![
+                tag("arrays_per_group"),
+                uint("expected", *expected),
+                uint("got", *got),
+            ],
+            RouterFault::ArrayWidth { expected, got } => vec![
+                tag("array_width"),
+                uint("expected", *expected),
+                uint("got", *got),
+            ],
+            RouterFault::EpochDesync { expected, got } => vec![
+                tag("epoch_desync"),
+                ("expected".to_string(), serde::Value::UInt(*expected)),
+                ("got".to_string(), serde::Value::UInt(*got)),
+            ],
+        })
+    }
+}
+
+impl serde::Deserialize for RouterFault {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let kind = String::from_value(v.field("kind")?)?;
+        let uint =
+            |name: &str| -> Result<usize, serde::Error> { usize::from_value(v.field(name)?) };
+        Ok(match kind.as_str() {
+            "wire" => RouterFault::Wire(String::from_value(v.field("error")?)?),
+            "duplicate_router" => RouterFault::DuplicateRouter {
+                first_index: uint("first_index")?,
+            },
+            "empty_unaligned" => RouterFault::EmptyUnaligned,
+            "group_layout" => RouterFault::GroupLayout {
+                arrays: uint("arrays")?,
+                arrays_per_group: uint("arrays_per_group")?,
+            },
+            "aligned_width" => RouterFault::AlignedWidth {
+                expected: uint("expected")?,
+                got: uint("got")?,
+            },
+            "arrays_per_group" => RouterFault::ArraysPerGroup {
+                expected: uint("expected")?,
+                got: uint("got")?,
+            },
+            "array_width" => RouterFault::ArrayWidth {
+                expected: uint("expected")?,
+                got: uint("got")?,
+            },
+            "epoch_desync" => RouterFault::EpochDesync {
+                expected: u64::from_value(v.field("expected")?)?,
+                got: u64::from_value(v.field("got")?)?,
+            },
+            other => {
+                return Err(serde::Error::new(format!(
+                    "unknown router fault kind `{other}`"
+                )))
+            }
+        })
+    }
+}
+
+/// One excluded bundle: its position in the submitted batch, the router id
+/// when the bundle decoded far enough to know it, and the fault.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Exclusion {
+    /// Position of the bundle in the submitted batch.
+    pub index: usize,
+    /// Router id, when recoverable (wire-level rejects have none).
+    pub router_id: Option<usize>,
+    /// Why the bundle was excluded.
+    pub fault: RouterFault,
+}
+
+/// Per-epoch ingest accounting: what was fused, what was excluded and why.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IngestReport {
+    /// Bundles submitted for the epoch (wire frames or digests).
+    pub submitted: usize,
+    /// Router ids fused into the epoch, in acceptance order.
+    pub accepted: Vec<usize>,
+    /// Everything excluded, with batch position and reason.
+    pub excluded: Vec<Exclusion>,
+}
+
+impl IngestReport {
+    /// Whether any bundle was excluded this epoch.
+    pub fn is_degraded(&self) -> bool {
+        !self.excluded.is_empty()
+    }
+
+    /// Fraction of submitted bundles that survived validation.
+    pub fn accepted_fraction(&self) -> f64 {
+        if self.submitted == 0 {
+            0.0
+        } else {
+            self.accepted.len() as f64 / self.submitted as f64
+        }
+    }
+}
+
+/// Fatal ingest failures: nothing (or not enough) left to analyse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IngestError {
+    /// The epoch contained no digests at all.
+    NoDigests,
+    /// Fewer than the configured quorum of bundles survived validation;
+    /// the report records every exclusion.
+    QuorumTooSmall {
+        /// Minimum accepted bundles required to analyse.
+        required: usize,
+        /// The full ingest accounting for the failed epoch.
+        report: IngestReport,
+    },
+}
+
+impl fmt::Display for IngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IngestError::NoDigests => write!(f, "no digests to analyse"),
+            IngestError::QuorumTooSmall { required, report } => {
+                write!(
+                    f,
+                    "only {} of {} digest bundles usable, quorum requires {required}",
+                    report.accepted.len(),
+                    report.submitted
+                )?;
+                if let Some(e) = report.excluded.first() {
+                    write!(f, " (first fault, bundle {}: {})", e.index, e.fault)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+impl serde::Serialize for IngestError {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(match self {
+            IngestError::NoDigests => {
+                vec![("kind".to_string(), serde::Value::Str("no_digests".into()))]
+            }
+            IngestError::QuorumTooSmall { required, report } => vec![
+                (
+                    "kind".to_string(),
+                    serde::Value::Str("quorum_too_small".into()),
+                ),
+                ("required".to_string(), serde::Value::UInt(*required as u64)),
+                ("report".to_string(), report.to_value()),
+            ],
+        })
+    }
+}
+
+impl serde::Deserialize for IngestError {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        match String::from_value(v.field("kind")?)?.as_str() {
+            "no_digests" => Ok(IngestError::NoDigests),
+            "quorum_too_small" => Ok(IngestError::QuorumTooSmall {
+                required: usize::from_value(v.field("required")?)?,
+                report: IngestReport::from_value(v.field("report")?)?,
+            }),
+            other => Err(serde::Error::new(format!(
+                "unknown ingest error kind `{other}`"
+            ))),
+        }
+    }
+}
+
+/// The reference shape a digest bundle must match to be fused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Shape {
+    aligned_bits: usize,
+    arrays_per_group: usize,
+    array_bits: usize,
+    epoch_id: u64,
+}
+
+impl Shape {
+    fn of(d: &RouterDigest) -> Shape {
+        Shape {
+            aligned_bits: d.aligned.bitmap.len(),
+            arrays_per_group: d.unaligned.arrays_per_group,
+            array_bits: d
+                .unaligned
+                .arrays
+                .first()
+                .map_or(0, dcs_bitmap::Bitmap::len),
+            epoch_id: d.epoch_id,
+        }
+    }
+}
+
+/// Checks one bundle in isolation; `None` means internally coherent.
+fn internal_fault(d: &RouterDigest) -> Option<RouterFault> {
+    let u = &d.unaligned;
+    if u.arrays.is_empty() {
+        return Some(RouterFault::EmptyUnaligned);
+    }
+    if u.arrays_per_group == 0 || !u.arrays.len().is_multiple_of(u.arrays_per_group) {
+        return Some(RouterFault::GroupLayout {
+            arrays: u.arrays.len(),
+            arrays_per_group: u.arrays_per_group,
+        });
+    }
+    let width = u.arrays[0].len();
+    if let Some(bad) = u.arrays.iter().find(|a| a.len() != width) {
+        return Some(RouterFault::ArrayWidth {
+            expected: width,
+            got: bad.len(),
+        });
+    }
+    None
+}
+
+/// Validates a batch of already-decoded digests against each other and
+/// the quorum floor. See [`validate_batch`] for the full-control variant.
+pub fn validate(
+    digests: &[RouterDigest],
+    min_quorum: usize,
+) -> Result<(Vec<&RouterDigest>, IngestReport), IngestError> {
+    validate_batch(
+        digests.len(),
+        digests.iter().enumerate().collect(),
+        Vec::new(),
+        min_quorum,
+    )
+}
+
+/// Validates candidate digests (batch index, digest) plus exclusions
+/// already recorded upstream (e.g. wire frames that failed to decode).
+/// `submitted` is the original batch size including those prior rejects.
+///
+/// Returns the accepted digests (in batch order) and the full accounting,
+/// or a typed error when the batch is empty or the quorum is missed.
+pub fn validate_batch(
+    submitted: usize,
+    candidates: Vec<(usize, &RouterDigest)>,
+    prior_exclusions: Vec<Exclusion>,
+    min_quorum: usize,
+) -> Result<(Vec<&RouterDigest>, IngestReport), IngestError> {
+    if submitted == 0 {
+        return Err(IngestError::NoDigests);
+    }
+    let mut excluded = prior_exclusions;
+
+    // Majority vote over the shape of every internally coherent bundle;
+    // ties break towards the earliest-seen shape.
+    let mut votes: HashMap<Shape, (usize, usize)> = HashMap::new();
+    for (order, (_, d)) in candidates.iter().enumerate() {
+        if internal_fault(d).is_none() {
+            let entry = votes.entry(Shape::of(d)).or_insert((0, order));
+            entry.0 += 1;
+        }
+    }
+    let consensus = votes
+        .iter()
+        .max_by(|(_, (ca, fa)), (_, (cb, fb))| ca.cmp(cb).then(fb.cmp(fa)))
+        .map(|(shape, _)| *shape);
+
+    let mut accepted: Vec<&RouterDigest> = Vec::new();
+    let mut accepted_ids: Vec<usize> = Vec::new();
+    let mut first_seen: HashMap<usize, usize> = HashMap::new();
+    for (index, d) in candidates {
+        let fault = internal_fault(d).or_else(|| {
+            let shape = Shape::of(d);
+            // `consensus` exists whenever at least one bundle passed the
+            // internal checks — which this one did.
+            let c = consensus.expect("coherent bundle implies a consensus shape");
+            if shape.aligned_bits != c.aligned_bits {
+                Some(RouterFault::AlignedWidth {
+                    expected: c.aligned_bits,
+                    got: shape.aligned_bits,
+                })
+            } else if shape.arrays_per_group != c.arrays_per_group {
+                Some(RouterFault::ArraysPerGroup {
+                    expected: c.arrays_per_group,
+                    got: shape.arrays_per_group,
+                })
+            } else if shape.array_bits != c.array_bits {
+                Some(RouterFault::ArrayWidth {
+                    expected: c.array_bits,
+                    got: shape.array_bits,
+                })
+            } else if shape.epoch_id != c.epoch_id {
+                Some(RouterFault::EpochDesync {
+                    expected: c.epoch_id,
+                    got: shape.epoch_id,
+                })
+            } else {
+                first_seen
+                    .get(&d.router_id)
+                    .map(|&first_index| RouterFault::DuplicateRouter { first_index })
+            }
+        });
+        match fault {
+            Some(fault) => excluded.push(Exclusion {
+                index,
+                router_id: Some(d.router_id),
+                fault,
+            }),
+            None => {
+                first_seen.insert(d.router_id, index);
+                accepted.push(d);
+                accepted_ids.push(d.router_id);
+            }
+        }
+    }
+
+    excluded.sort_by_key(|e| e.index);
+    let report = IngestReport {
+        submitted,
+        accepted: accepted_ids,
+        excluded,
+    };
+    let required = min_quorum.max(1);
+    if report.accepted.len() < required {
+        return Err(IngestError::QuorumTooSmall { required, report });
+    }
+    Ok((accepted, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcs_bitmap::Bitmap;
+    use dcs_collect::{AlignedDigest, UnalignedDigest};
+
+    /// A minimal coherent bundle: one 64-bit aligned bitmap, 2×2 arrays
+    /// of 32 bits.
+    fn bundle(router_id: usize, epoch_id: u64) -> RouterDigest {
+        RouterDigest {
+            router_id,
+            epoch_id,
+            aligned: AlignedDigest {
+                bitmap: Bitmap::from_indices(64, [router_id % 64]),
+                packets_seen: 10,
+                packets_hashed: 10,
+                raw_bytes: 1000,
+            },
+            unaligned: UnalignedDigest {
+                arrays: vec![Bitmap::from_indices(32, [1]); 4],
+                arrays_per_group: 2,
+                packets_seen: 10,
+                packets_sampled: 10,
+                raw_bytes: 1000,
+            },
+        }
+    }
+
+    #[test]
+    fn clean_batch_accepts_everything() {
+        let digests: Vec<_> = (0..5).map(|r| bundle(r, 3)).collect();
+        let (accepted, report) = validate(&digests, 1).unwrap();
+        assert_eq!(accepted.len(), 5);
+        assert_eq!(report.accepted, vec![0, 1, 2, 3, 4]);
+        assert!(!report.is_degraded());
+        assert_eq!(report.accepted_fraction(), 1.0);
+    }
+
+    #[test]
+    fn empty_batch_is_a_typed_error() {
+        assert_eq!(validate(&[], 1).unwrap_err(), IngestError::NoDigests);
+    }
+
+    #[test]
+    fn corrupt_first_bundle_cannot_poison_the_consensus() {
+        // The first digest has a wrong aligned width; majority wins.
+        let mut digests: Vec<_> = (0..4).map(|r| bundle(r, 0)).collect();
+        digests[0].aligned.bitmap = Bitmap::new(128);
+        let (accepted, report) = validate(&digests, 1).unwrap();
+        assert_eq!(accepted.len(), 3);
+        assert_eq!(report.accepted, vec![1, 2, 3]);
+        assert_eq!(report.excluded.len(), 1);
+        assert_eq!(report.excluded[0].index, 0);
+        assert_eq!(report.excluded[0].router_id, Some(0));
+        assert_eq!(
+            report.excluded[0].fault,
+            RouterFault::AlignedWidth {
+                expected: 64,
+                got: 128
+            }
+        );
+    }
+
+    #[test]
+    fn duplicate_router_keeps_the_first_copy() {
+        let mut digests: Vec<_> = (0..3).map(|r| bundle(r, 0)).collect();
+        digests.push(bundle(1, 0));
+        let (_, report) = validate(&digests, 1).unwrap();
+        assert_eq!(report.accepted, vec![0, 1, 2]);
+        assert_eq!(
+            report.excluded[0].fault,
+            RouterFault::DuplicateRouter { first_index: 1 }
+        );
+    }
+
+    #[test]
+    fn desynced_epoch_is_excluded() {
+        let mut digests: Vec<_> = (0..4).map(|r| bundle(r, 7)).collect();
+        digests[2].epoch_id = 6;
+        let (_, report) = validate(&digests, 1).unwrap();
+        assert_eq!(report.accepted, vec![0, 1, 3]);
+        assert_eq!(
+            report.excluded[0].fault,
+            RouterFault::EpochDesync {
+                expected: 7,
+                got: 6
+            }
+        );
+    }
+
+    #[test]
+    fn incoherent_group_layout_and_empty_arrays_are_flagged() {
+        let mut digests: Vec<_> = (0..4).map(|r| bundle(r, 0)).collect();
+        digests[1].unaligned.arrays.pop(); // 3 arrays, 2 per group
+        digests[3].unaligned.arrays.clear();
+        let (_, report) = validate(&digests, 1).unwrap();
+        assert_eq!(report.accepted, vec![0, 2]);
+        assert_eq!(
+            report.excluded[0].fault,
+            RouterFault::GroupLayout {
+                arrays: 3,
+                arrays_per_group: 2
+            }
+        );
+        assert_eq!(report.excluded[1].fault, RouterFault::EmptyUnaligned);
+    }
+
+    #[test]
+    fn quorum_floor_fails_typed() {
+        let mut digests: Vec<_> = (0..4).map(|r| bundle(r, 0)).collect();
+        for d in digests.iter_mut().take(3) {
+            d.unaligned.arrays.clear();
+        }
+        let err = validate(&digests, 2).unwrap_err();
+        match err {
+            IngestError::QuorumTooSmall { required, report } => {
+                assert_eq!(required, 2);
+                assert_eq!(report.accepted, vec![3]);
+                assert_eq!(report.excluded.len(), 3);
+            }
+            other => panic!("expected QuorumTooSmall, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn all_incoherent_batch_fails_without_panicking() {
+        let mut digests: Vec<_> = (0..2).map(|r| bundle(r, 0)).collect();
+        for d in &mut digests {
+            d.unaligned.arrays.clear();
+        }
+        assert!(matches!(
+            validate(&digests, 1),
+            Err(IngestError::QuorumTooSmall { .. })
+        ));
+    }
+
+    #[test]
+    fn report_serde_roundtrip() {
+        let mut digests: Vec<_> = (0..3).map(|r| bundle(r, 0)).collect();
+        digests[1].epoch_id = 9;
+        let (_, report) = validate(&digests, 1).unwrap();
+        let json = serde_json::to_string(&report).unwrap();
+        let back: IngestReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+    }
+}

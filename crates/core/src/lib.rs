@@ -20,6 +20,7 @@ pub mod capture;
 pub mod center;
 pub mod deployment;
 pub mod epochs;
+pub mod ingest;
 pub mod monitor;
 pub mod report;
 
@@ -27,6 +28,7 @@ pub use capture::{GroupCapture, SignatureCapture};
 pub use center::{AnalysisCenter, AnalysisConfig};
 pub use deployment::{Deployment, DeploymentVerdict};
 pub use epochs::{catch_probability, AlarmTracker, EpochSampler};
+pub use ingest::{Exclusion, IngestError, IngestReport, RouterFault};
 pub use monitor::{MonitorConfig, MonitoringPoint, RouterDigest};
 pub use report::{AlignedReport, EpochReport, UnalignedReport};
 
@@ -36,6 +38,7 @@ pub mod prelude {
     pub use crate::center::{AnalysisCenter, AnalysisConfig};
     pub use crate::deployment::{Deployment, DeploymentVerdict};
     pub use crate::epochs::{AlarmTracker, EpochSampler};
+    pub use crate::ingest::{Exclusion, IngestError, IngestReport, RouterFault};
     pub use crate::monitor::{MonitorConfig, MonitoringPoint, RouterDigest};
     pub use crate::report::{AlignedReport, EpochReport, UnalignedReport};
     pub use dcs_aligned::{refined_detect, SearchConfig};

@@ -1,8 +1,9 @@
 //! One monitoring point: both collectors wired to a router's traffic.
 
+use bytes::{BufMut, Bytes, BytesMut};
 use dcs_collect::{
     AlignedCollector, AlignedConfig, AlignedDigest, UnalignedCollector, UnalignedConfig,
-    UnalignedDigest,
+    UnalignedDigest, WireError,
 };
 use dcs_traffic::Packet;
 
@@ -32,11 +33,21 @@ impl MonitorConfig {
 pub struct RouterDigest {
     /// The shipping router's index.
     pub router_id: usize,
+    /// The epoch this bundle summarises (0-based per monitoring point);
+    /// the ingest layer rejects bundles that desync from the epoch's
+    /// consensus id.
+    pub epoch_id: u64,
     /// Aligned-case digest.
     pub aligned: AlignedDigest,
     /// Unaligned-case digest.
     pub unaligned: UnalignedDigest,
 }
+
+/// Magic for whole-bundle wire frames (`b"DCSR"`).
+pub const BUNDLE_MAGIC: [u8; 4] = *b"DCSR";
+
+const BUNDLE_VERSION: u8 = 1;
+const BUNDLE_HEADER: usize = 21; // magic + version + router_id + epoch_id
 
 impl RouterDigest {
     /// Total encoded digest bytes (both cases).
@@ -48,6 +59,55 @@ impl RouterDigest {
     pub fn raw_bytes(&self) -> u64 {
         self.aligned.raw_bytes
     }
+
+    /// Encodes the whole bundle as one wire frame: bundle header (magic,
+    /// version, router id, epoch id), then the aligned and unaligned
+    /// digest frames. This is what the measurement plane ships.
+    pub fn encode_wire(&self) -> Result<Bytes, WireError> {
+        let aligned = self.aligned.encode_wire();
+        let unaligned = self.unaligned.encode_wire()?;
+        let mut buf = BytesMut::with_capacity(BUNDLE_HEADER + aligned.len() + unaligned.len());
+        buf.put_slice(&BUNDLE_MAGIC);
+        buf.put_u8(BUNDLE_VERSION);
+        buf.put_u64_le(self.router_id as u64);
+        buf.put_u64_le(self.epoch_id);
+        buf.put_slice(&aligned);
+        buf.put_slice(&unaligned);
+        Ok(buf.freeze())
+    }
+
+    /// Decodes a frame produced by [`RouterDigest::encode_wire`],
+    /// returning the bundle and the bytes consumed. Never panics on
+    /// arbitrary input — every failure is a typed [`WireError`].
+    pub fn decode_wire(buf: &[u8]) -> Result<(RouterDigest, usize), WireError> {
+        if buf.len() < BUNDLE_HEADER {
+            return Err(WireError::Truncated);
+        }
+        if buf[..4] != BUNDLE_MAGIC {
+            let mut m = [0u8; 4];
+            m.copy_from_slice(&buf[..4]);
+            return Err(WireError::BadMagic(m));
+        }
+        if buf[4] != BUNDLE_VERSION {
+            return Err(WireError::BadVersion(buf[4]));
+        }
+        let router_id = u64::from_le_bytes(buf[5..13].try_into().expect("8-byte slice"));
+        let router_id = usize::try_from(router_id)
+            .map_err(|_| WireError::Malformed("router id exceeds usize"))?;
+        let epoch_id = u64::from_le_bytes(buf[13..21].try_into().expect("8-byte slice"));
+        let rest = &buf[BUNDLE_HEADER..];
+        let (aligned, used_a) = AlignedDigest::decode_wire(rest)?;
+        let (unaligned, used_u) = UnalignedDigest::decode_wire(&rest[used_a..])?;
+        Ok((
+            RouterDigest {
+                router_id,
+                epoch_id,
+                aligned,
+                unaligned,
+            },
+            BUNDLE_HEADER + used_a + used_u,
+        ))
+    }
 }
 
 /// A monitoring point running both streaming modules over one router's
@@ -55,6 +115,7 @@ impl RouterDigest {
 #[derive(Debug)]
 pub struct MonitoringPoint {
     router_id: usize,
+    epoch: u64,
     aligned: AlignedCollector,
     unaligned: UnalignedCollector,
 }
@@ -69,9 +130,15 @@ impl MonitoringPoint {
             .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(router_id as u64 + 1));
         MonitoringPoint {
             router_id,
+            epoch: 0,
             aligned: AlignedCollector::new(cfg.aligned.clone()),
             unaligned: UnalignedCollector::new(ucfg),
         }
+    }
+
+    /// Epochs this point has finished (= the next bundle's epoch id).
+    pub fn epochs_finished(&self) -> u64 {
+        self.epoch
     }
 
     /// The router this point monitors.
@@ -104,8 +171,11 @@ impl MonitoringPoint {
 
     /// Closes the epoch and ships the digest bundle.
     pub fn finish_epoch(&mut self) -> RouterDigest {
+        let epoch_id = self.epoch;
+        self.epoch += 1;
         RouterDigest {
             router_id: self.router_id,
+            epoch_id,
             aligned: self.aligned.finish_epoch(),
             unaligned: self.unaligned.finish_epoch(),
         }
@@ -136,10 +206,69 @@ mod tests {
         mp.observe_all(&pkts);
         let d = mp.finish_epoch();
         assert_eq!(d.router_id, 3);
+        assert_eq!(d.epoch_id, 0);
         assert_eq!(d.aligned.packets_seen, 500);
         assert_eq!(d.unaligned.packets_sampled, 500);
         assert!(d.raw_bytes() > 0);
         assert!(d.encoded_len() > 0);
+        // The next epoch's bundle carries the next id.
+        assert_eq!(mp.epochs_finished(), 1);
+        assert_eq!(mp.finish_epoch().epoch_id, 1);
+    }
+
+    #[test]
+    fn bundle_wire_roundtrip() {
+        let mut r = StdRng::seed_from_u64(2);
+        let cfg = MonitorConfig::small(7, 1 << 12, 4);
+        let mut mp = MonitoringPoint::new(9, &cfg);
+        let pkts = gen::generate_epoch(
+            &mut r,
+            &BackgroundConfig {
+                packets: 300,
+                flows: 60,
+                zipf_exponent: 1.0,
+                size_mix: SizeMix::constant(536),
+            },
+        );
+        mp.observe_all(&pkts);
+        mp.finish_epoch(); // burn epoch 0
+        mp.observe_all(&pkts);
+        let d = mp.finish_epoch();
+        let wire = d.encode_wire().expect("bundle fits the wire format");
+        let (back, used) = RouterDigest::decode_wire(&wire).expect("roundtrip");
+        assert_eq!(used, wire.len());
+        assert_eq!(back.router_id, 9);
+        assert_eq!(back.epoch_id, 1);
+        assert_eq!(back.aligned.bitmap, d.aligned.bitmap);
+        assert_eq!(back.unaligned, d.unaligned);
+    }
+
+    #[test]
+    fn bundle_wire_rejects_corruption_without_panicking() {
+        let cfg = MonitorConfig::small(7, 1 << 10, 2);
+        let mut mp = MonitoringPoint::new(1, &cfg);
+        let wire = mp
+            .finish_epoch()
+            .encode_wire()
+            .expect("bundle fits the wire format");
+        for cut in 0..wire.len() {
+            assert!(
+                RouterDigest::decode_wire(&wire[..cut]).is_err(),
+                "strict prefix of {cut} bytes decoded"
+            );
+        }
+        let mut bad = wire.to_vec();
+        bad[0] = b'X';
+        assert!(matches!(
+            RouterDigest::decode_wire(&bad),
+            Err(dcs_collect::WireError::BadMagic(_))
+        ));
+        let mut bad = wire.to_vec();
+        bad[4] = 9;
+        assert!(matches!(
+            RouterDigest::decode_wire(&bad),
+            Err(dcs_collect::WireError::BadVersion(9))
+        ));
     }
 
     #[test]

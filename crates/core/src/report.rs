@@ -1,5 +1,6 @@
 //! Detection reports emitted by the analysis centre.
 
+use crate::ingest::IngestReport;
 use serde::{Deserialize, Serialize};
 
 /// Outcome of the aligned-case pipeline for one epoch.
@@ -47,6 +48,9 @@ pub struct EpochReport {
     pub aligned: AlignedReport,
     /// Unaligned-case verdict.
     pub unaligned: UnalignedReport,
+    /// Ingest accounting: which routers were fused, which bundles were
+    /// excluded and why. A degraded (but analysable) epoch shows up here.
+    pub ingest: IngestReport,
 }
 
 impl EpochReport {
@@ -82,6 +86,15 @@ mod tests {
                 suspected_routers: vec![],
                 suspected_groups: vec![],
             },
+            ingest: IngestReport {
+                submitted: 5,
+                accepted: vec![0, 1, 2, 3],
+                excluded: vec![crate::ingest::Exclusion {
+                    index: 4,
+                    router_id: None,
+                    fault: crate::ingest::RouterFault::Wire("digest frame truncated".into()),
+                }],
+            },
         }
     }
 
@@ -100,5 +113,7 @@ mod tests {
         let back: EpochReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back.aligned.routers, r.aligned.routers);
         assert_eq!(back.unaligned.component_threshold, 100);
+        assert_eq!(back.ingest, r.ingest);
+        assert!(back.ingest.is_degraded());
     }
 }

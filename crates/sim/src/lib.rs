@@ -13,6 +13,9 @@
 //!   single-vantage prevalence detector (EarlyBird-style, §VI);
 //! * [`stress`] — the Section V-B.4 stress test: a bursty synthetic trace
 //!   pushed through the real collector → matrix → graph → detection path;
+//! * [`faults`] — seeded fault injection on the digest shipping path
+//!   (drops, truncation, bit flips, duplicates, epoch desync), for
+//!   exercising the analysis centre's ingest layer;
 //! * [`table`] — plain-text row/series formatting for the `repro_*`
 //!   binaries.
 
@@ -21,6 +24,7 @@
 
 pub mod aligned;
 pub mod baseline;
+pub mod faults;
 pub mod stress;
 pub mod table;
 pub mod unaligned;

@@ -62,7 +62,9 @@ fn main() {
             point.observe_all(&traffic);
             digests.push(point.finish_epoch());
         }
-        let report = center.analyze_epoch(&digests);
+        let report = center
+            .analyze_epoch(&digests)
+            .expect("freshly collected digests form a quorum");
         println!(
             "epoch {epoch}: {serving}/{ROUTERS} routers serving; found = {}; {} routers flagged; \
              {} signature indices; compression {:.0}x",

@@ -49,7 +49,9 @@ fn main() {
     analysis_cfg.search.n_prime = 400;
     analysis_cfg.search.hopefuls = 300;
     let center = AnalysisCenter::new(analysis_cfg);
-    let report = center.analyze_epoch(&digests);
+    let report = center
+        .analyze_epoch(&digests)
+        .expect("freshly collected digests form a quorum");
 
     println!(
         "digests: {} bytes summarising {} bytes of traffic ({:.0}x compression)",

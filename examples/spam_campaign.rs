@@ -74,7 +74,9 @@ fn main() {
     // ~30 relay flow-groups carry the blast; size the core accordingly.
     analysis_cfg.corefind = CoreFindConfig { beta: 12, d: 2 };
     let center = AnalysisCenter::new(analysis_cfg);
-    let report = center.analyze_epoch(&digests);
+    let report = center
+        .analyze_epoch(&digests)
+        .expect("freshly collected digests form a quorum");
 
     println!(
         "ER test: largest component {} vs threshold {} -> alarm = {}",

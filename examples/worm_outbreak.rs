@@ -68,7 +68,9 @@ fn main() {
     // alarm threshold with 1.5x headroom (clamped to a sane floor).
     let clean = epoch_digests(&mut rng, &monitor_cfg, &worm, &[], 0);
     let center = AnalysisCenter::new(analysis_cfg.clone());
-    let clean_report = center.analyze_epoch(&clean);
+    let clean_report = center
+        .analyze_epoch(&clean)
+        .expect("freshly collected digests form a quorum");
     let threshold =
         ((clean_report.unaligned.largest_component as f64 * 1.5).ceil() as usize).max(8);
     println!(
@@ -86,7 +88,9 @@ fn main() {
         infected.extend(start..start + new_count);
 
         let digests = epoch_digests(&mut rng, &monitor_cfg, &worm, &infected, 2);
-        let report = center.analyze_epoch(&digests);
+        let report = center
+            .analyze_epoch(&digests)
+            .expect("freshly collected digests form a quorum");
         println!(
             "\nepoch {epoch}: {} routers infected ({} total)",
             new_count,

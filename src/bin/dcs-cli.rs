@@ -186,7 +186,7 @@ fn analyze(args: &[String]) -> CliResult {
     if let Some(t) = threshold {
         cfg.component_threshold = Some(t);
     }
-    let report = AnalysisCenter::new(cfg).analyze_epoch(&digests);
+    let report = AnalysisCenter::new(cfg).analyze_epoch(&digests)?;
     println!("{}", serde_json::to_string_pretty(&report)?);
     Ok(())
 }

@@ -40,7 +40,9 @@ fn run_epoch(seed: u64, infected: usize, content_packets: usize) -> dcs::core::E
     let mut cfg = AnalysisConfig::for_groups(ROUTERS * 4);
     cfg.search.n_prime = 400;
     cfg.search.hopefuls = 300;
-    AnalysisCenter::new(cfg).analyze_epoch(&digests)
+    AnalysisCenter::new(cfg)
+        .analyze_epoch(&digests)
+        .expect("freshly collected digests form a quorum")
 }
 
 #[test]

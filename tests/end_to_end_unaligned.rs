@@ -50,7 +50,9 @@ fn center(threshold: Option<usize>) -> AnalysisCenter {
 /// Calibrate the alarm threshold on a clean epoch, as an operator would.
 fn calibrated_threshold() -> usize {
     let clean = epoch(900, &[], 0, 150);
-    let report = center(Some(usize::MAX)).analyze_epoch(&clean);
+    let report = center(Some(usize::MAX))
+        .analyze_epoch(&clean)
+        .expect("freshly collected digests form a quorum");
     ((report.unaligned.largest_component * 3) / 2).max(8)
 }
 
@@ -59,7 +61,9 @@ fn worm_is_caught_and_localised() {
     let threshold = calibrated_threshold();
     let infected: Vec<usize> = (0..18).collect();
     let digests = epoch(10, &infected, 2, 150);
-    let report = center(Some(threshold)).analyze_epoch(&digests);
+    let report = center(Some(threshold))
+        .analyze_epoch(&digests)
+        .expect("freshly collected digests form a quorum");
     assert!(
         report.unaligned.alarm,
         "largest {} under threshold {threshold}",
@@ -80,7 +84,9 @@ fn worm_is_caught_and_localised() {
 fn clean_epoch_does_not_alarm() {
     let threshold = calibrated_threshold();
     let digests = epoch(11, &[], 0, 150);
-    let report = center(Some(threshold)).analyze_epoch(&digests);
+    let report = center(Some(threshold))
+        .analyze_epoch(&digests)
+        .expect("freshly collected digests form a quorum");
     assert!(!report.unaligned.alarm);
     assert!(report.unaligned.suspected_routers.is_empty());
     assert!(report.unaligned.suspected_groups.is_empty());
@@ -90,7 +96,9 @@ fn clean_epoch_does_not_alarm() {
 fn tiny_infection_stays_below_threshold() {
     let threshold = calibrated_threshold();
     let digests = epoch(12, &[0, 1], 1, 150);
-    let report = center(Some(threshold)).analyze_epoch(&digests);
+    let report = center(Some(threshold))
+        .analyze_epoch(&digests)
+        .expect("freshly collected digests form a quorum");
     assert!(
         !report.unaligned.alarm,
         "2 infected routers should sit below the detectable threshold \
@@ -105,7 +113,9 @@ fn aligned_pipeline_ignores_unaligned_content() {
     // must not fire on unaligned-planted content.
     let infected: Vec<usize> = (0..18).collect();
     let digests = epoch(13, &infected, 1, 150);
-    let report = center(Some(8)).analyze_epoch(&digests);
+    let report = center(Some(8))
+        .analyze_epoch(&digests)
+        .expect("freshly collected digests form a quorum");
     assert!(
         !report.aligned.found,
         "aligned search fired on shifted content"

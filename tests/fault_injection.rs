@@ -1,0 +1,181 @@
+//! Fault-injection matrix: every [`FaultKind`] against the analysis
+//! centre's wire ingest path, proving graceful degradation — the epoch
+//! still analyses on the surviving quorum, the planted content is still
+//! detected with ≤ 25% of routers faulted, and every exclusion is
+//! accounted for. No fault may panic the centre.
+
+use dcs::prelude::*;
+use dcs::sim::faults::{ship_with_faults, FaultKind, FaultPlan, ALL_FAULTS};
+use dcs_core::{IngestError, RouterFault};
+use dcs_traffic::gen::{self, SizeMix};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const ROUTERS: usize = 24;
+const INFECTED: usize = 20;
+/// 6 of 24 = 25% of the deployment faulted.
+const VICTIMS: [usize; 6] = [0, 5, 10, 15, 20, 23];
+
+/// One clean epoch: the first `INFECTED` routers carry a common aligned
+/// content object on top of distinct background traffic.
+fn collect_epoch(seed: u64) -> Vec<RouterDigest> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mcfg = MonitorConfig::small(7, 1 << 14, 4);
+    let object = ContentObject::random_with_packets(&mut rng, 30, 536);
+    let plant = Planting::aligned(object, 536);
+    let bg = BackgroundConfig {
+        packets: 800,
+        flows: 200,
+        zipf_exponent: 1.0,
+        size_mix: SizeMix::constant(536),
+    };
+    (0..ROUTERS)
+        .map(|id| {
+            let mut traffic = gen::generate_epoch(&mut rng, &bg);
+            if id < INFECTED {
+                plant.plant_into(&mut rng, &mut traffic);
+            }
+            let mut point = MonitoringPoint::new(id, &mcfg);
+            point.observe_all(&traffic);
+            point.finish_epoch()
+        })
+        .collect()
+}
+
+fn center() -> AnalysisCenter {
+    let mut cfg = AnalysisConfig::for_groups(ROUTERS * 4);
+    cfg.search.n_prime = 400;
+    cfg.search.hopefuls = 300;
+    AnalysisCenter::new(cfg)
+}
+
+/// Runs one matrix entry and applies the invariants every fault kind must
+/// satisfy: the epoch analyses, accounting balances, and the content is
+/// still found on the quorum.
+fn run_entry(seed: u64, kind: FaultKind) -> EpochReport {
+    let digests = collect_epoch(seed);
+    let plan = FaultPlan::uniform(&VICTIMS, kind);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xFA01);
+    let frames = ship_with_faults(&mut rng, &digests, &plan);
+    let report = center()
+        .analyze_epoch_wire(&frames)
+        .unwrap_or_else(|e| panic!("{kind:?}: quorum of 18+ must analyse, got {e}"));
+    assert_eq!(report.ingest.submitted, frames.len(), "{kind:?}");
+    assert_eq!(
+        report.ingest.accepted.len() + report.ingest.excluded.len(),
+        report.ingest.submitted,
+        "{kind:?}: accounting must balance"
+    );
+    assert_eq!(report.routers, report.ingest.accepted.len(), "{kind:?}");
+    assert!(
+        report.aligned.found,
+        "{kind:?}: content lost with only 25% of routers faulted"
+    );
+    // At least 12 of the 16 surviving infected routers must be named
+    // (victims 0, 5, 10, 15 are infected; 20 and 23 are clean).
+    let hits = report
+        .aligned
+        .routers
+        .iter()
+        .filter(|&&r| r < INFECTED && !VICTIMS.contains(&r))
+        .count();
+    assert!(
+        hits >= 12,
+        "{kind:?}: only {hits}/16 surviving infected hit"
+    );
+    report
+}
+
+#[test]
+fn fault_matrix_drop() {
+    let report = run_entry(21, FaultKind::Drop);
+    // Dropped frames never arrive: a smaller, clean batch.
+    assert_eq!(report.ingest.submitted, ROUTERS - VICTIMS.len());
+    assert!(!report.ingest.is_degraded());
+}
+
+#[test]
+fn fault_matrix_truncate() {
+    let report = run_entry(22, FaultKind::Truncate);
+    assert_eq!(report.ingest.excluded.len(), VICTIMS.len());
+    for e in &report.ingest.excluded {
+        assert!(VICTIMS.contains(&e.index));
+        assert_eq!(e.router_id, None, "undecodable frames have no id");
+        assert!(matches!(e.fault, RouterFault::Wire(_)));
+    }
+}
+
+#[test]
+fn fault_matrix_bit_flip() {
+    // A flipped bit may land in a bitmap payload (frame still decodes,
+    // noise only) or in framing metadata (frame excluded); both are
+    // acceptable — the invariants of `run_entry` are what matter. Sweep
+    // several seeds so both regimes are exercised.
+    for seed in [23, 123, 223, 323] {
+        let report = run_entry(seed, FaultKind::BitFlip);
+        for e in &report.ingest.excluded {
+            assert!(VICTIMS.contains(&e.index), "only victims may be excluded");
+        }
+    }
+}
+
+#[test]
+fn fault_matrix_duplicate() {
+    let report = run_entry(24, FaultKind::Duplicate);
+    assert_eq!(report.ingest.submitted, ROUTERS + VICTIMS.len());
+    assert_eq!(report.ingest.accepted.len(), ROUTERS);
+    assert_eq!(report.ingest.excluded.len(), VICTIMS.len());
+    for e in &report.ingest.excluded {
+        assert!(matches!(e.fault, RouterFault::DuplicateRouter { .. }));
+    }
+}
+
+#[test]
+fn fault_matrix_desync() {
+    let report = run_entry(25, FaultKind::Desync);
+    assert_eq!(report.ingest.excluded.len(), VICTIMS.len());
+    for e in &report.ingest.excluded {
+        assert!(matches!(
+            e.fault,
+            RouterFault::EpochDesync { expected: 0, .. }
+        ));
+    }
+}
+
+#[test]
+fn fault_matrix_mixed_random_plan() {
+    let digests = collect_epoch(26);
+    let mut rng = StdRng::seed_from_u64(26 ^ 0xFA01);
+    let plan = FaultPlan::random(&mut rng, ROUTERS, 6);
+    let frames = ship_with_faults(&mut rng, &digests, &plan);
+    let report = center()
+        .analyze_epoch_wire(&frames)
+        .expect("mixed faults on 25% of routers must still analyse");
+    assert!(report.aligned.found);
+    assert!(report.ingest.accepted.len() >= ROUTERS - 6);
+}
+
+#[test]
+fn all_routers_truncated_is_a_typed_quorum_failure() {
+    let digests = collect_epoch(27);
+    let victims: Vec<usize> = (0..ROUTERS).collect();
+    let plan = FaultPlan::uniform(&victims, FaultKind::Truncate);
+    let mut rng = StdRng::seed_from_u64(27);
+    let frames = ship_with_faults(&mut rng, &digests, &plan);
+    let err = center().analyze_epoch_wire(&frames).unwrap_err();
+    match err {
+        IngestError::QuorumTooSmall { required, report } => {
+            assert_eq!(required, 1);
+            assert!(report.accepted.is_empty());
+            assert_eq!(report.excluded.len(), ROUTERS);
+        }
+        other => panic!("expected QuorumTooSmall, got {other:?}"),
+    }
+}
+
+#[test]
+fn every_fault_kind_is_covered_by_the_matrix() {
+    // Keep this test in sync with the matrix above: if a kind is added to
+    // ALL_FAULTS without a matrix entry, fail loudly.
+    assert_eq!(ALL_FAULTS.len(), 5);
+}

@@ -27,9 +27,66 @@ use crate::termination::{stop_point, TerminationConfig};
 use crate::thresholds::ln_natural_occurrence;
 use dcs_bitmap::words::{and_weight, and_weight_many_into, iter_ones, weight};
 use dcs_bitmap::ColMatrix;
-use dcs_parallel::{map_chunks, map_workers, ComputeBudget};
+use dcs_parallel::{map_chunks, map_workers, map_workers_scratch, ComputeBudget};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::time::Instant;
+
+/// Reusable buffers for repeated refined detections (one per epoch).
+///
+/// Holds everything [`refined_detect_cached`] needs between the fused
+/// matrix and the detection report: the column ranking, the screened
+/// working matrix, and the per-worker fan-out buffers of the product
+/// search. All of it is allocated on the first epoch and reused —
+/// steady-state detection performs no per-epoch screening allocations
+/// beyond what the candidate products themselves need.
+#[derive(Debug)]
+pub struct SearchScratch {
+    /// Column indices ranked by descending weight (truncated to n′).
+    order: Vec<usize>,
+    /// The screened working matrix (the n′ heaviest columns).
+    work: ColMatrix,
+    /// Per-worker fan-out buffers of the product search.
+    fanouts: Vec<Vec<u32>>,
+}
+
+impl Default for SearchScratch {
+    fn default() -> Self {
+        SearchScratch {
+            order: Vec::new(),
+            work: ColMatrix::new(0, 0),
+            fanouts: Vec::new(),
+        }
+    }
+}
+
+impl SearchScratch {
+    /// Empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        SearchScratch::default()
+    }
+
+    /// Capacities of the internal buffers (column order, screened matrix
+    /// words, summed fan-out slots) — diagnostic hook for steady-state
+    /// reuse tests: across epochs of equal shape these must not grow.
+    pub fn capacities(&self) -> [usize; 3] {
+        [
+            self.order.capacity(),
+            self.work.word_capacity(),
+            self.fanouts.iter().map(Vec::capacity).sum(),
+        ]
+    }
+}
+
+/// Wall-clock nanoseconds of the two stages behind
+/// [`refined_detect_cached`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SearchTimings {
+    /// Ranking the columns and materialising the n′ heaviest (screening).
+    pub screen_ns: u64,
+    /// Product search, expansion sweep and verdict.
+    pub sweep_ns: u64,
+}
 
 /// Tuning parameters of the greedy search.
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
@@ -108,8 +165,13 @@ struct Product {
 }
 
 /// Runs the greedy core search on `work` (a column subset of the original
-/// matrix). Returns the best product per iteration.
-fn product_search(work: &ColMatrix, cfg: &SearchConfig) -> (Vec<u32>, Vec<Product>) {
+/// matrix). Returns the best product per iteration. `fanouts` provides
+/// per-worker fan-out buffers, reused across iterations and calls.
+fn product_search(
+    work: &ColMatrix,
+    cfg: &SearchConfig,
+    fanouts: &mut Vec<Vec<u32>>,
+) -> (Vec<u32>, Vec<Product>) {
     let n = work.ncols();
     let mut curve = Vec::new();
     let mut best_per_iter: Vec<Product> = Vec::new();
@@ -166,9 +228,8 @@ fn product_search(work: &ColMatrix, cfg: &SearchConfig) -> (Vec<u32>, Vec<Produc
         let workers = cfg.compute.workers_for(hopefuls.len());
         let hopefuls_ref = &hopefuls;
         let cols_ref = &cols;
-        let heaps = map_workers(workers, |t| {
+        let heaps = map_workers_scratch(workers, fanouts, Vec::new, |t, fanout| {
             let mut heap: BinaryHeap<Reverse<(u32, u32, u32)>> = BinaryHeap::new();
-            let mut fanout: Vec<u32> = Vec::new();
             let mut pi = t;
             while pi < hopefuls_ref.len() {
                 let p = &hopefuls_ref[pi];
@@ -176,7 +237,7 @@ fn product_search(work: &ColMatrix, cfg: &SearchConfig) -> (Vec<u32>, Vec<Produc
                 if start < n {
                     fanout.clear();
                     fanout.resize(n - start, 0);
-                    and_weight_many_into(&p.words, &cols_ref[start..], &mut fanout);
+                    and_weight_many_into(&p.words, &cols_ref[start..], fanout);
                     for (off, &w) in fanout.iter().enumerate() {
                         push_bounded(
                             &mut heap,
@@ -311,16 +372,17 @@ pub fn refined_detect_multi(
 /// no screening, no expansion sweep.
 pub fn naive_detect(matrix: &ColMatrix, cfg: &SearchConfig) -> AlignedDetection {
     let identity: Vec<usize> = (0..matrix.ncols()).collect();
-    detect_inner(matrix, matrix, &identity, cfg, false)
+    detect_inner(matrix, matrix, &identity, cfg, false, &mut Vec::new())
 }
 
 /// The refined algorithm (Figure 6): screen the n′ heaviest columns, find
 /// a core there, then sweep all columns with the core row vector.
 pub fn refined_detect(matrix: &ColMatrix, cfg: &SearchConfig) -> AlignedDetection {
     let n = matrix.ncols();
-    let n_prime = cfg.n_prime.min(n);
-    // Indices of the n′ heaviest columns; the weight pass is a full-matrix
-    // popcount, split over contiguous column chunks.
+    // The weight pass is a full-matrix popcount, split over contiguous
+    // column chunks. (The streaming ingest path skips it entirely: the
+    // fusion transpose hands [`refined_detect_cached`] the weights it
+    // accumulated while scattering.)
     let weights: Vec<u32> = map_chunks(n, cfg.compute.workers_for(n), |range| {
         range
             .map(|j| weight(matrix.column(j)))
@@ -329,11 +391,57 @@ pub fn refined_detect(matrix: &ColMatrix, cfg: &SearchConfig) -> AlignedDetectio
     .into_iter()
     .flatten()
     .collect();
-    let mut order: Vec<usize> = (0..n).collect();
-    order.sort_unstable_by_key(|&j| Reverse(weights[j]));
-    let selected: Vec<usize> = order.into_iter().take(n_prime).collect();
-    let work = matrix.select_columns(&selected);
-    detect_inner(matrix, &work, &selected, cfg, true)
+    let mut scratch = SearchScratch::new();
+    refined_detect_cached(matrix, &weights, cfg, &mut scratch).0
+}
+
+/// [`refined_detect`] with the column weights precomputed (by the fusion
+/// transpose) and every screening buffer drawn from `scratch` — the
+/// steady-state epoch path. Returns the detection and per-stage timings.
+///
+/// Screening selects the n′ heaviest columns by the total order
+/// `(weight desc, index asc)` via an O(n) partition + O(n′ log n′) sort
+/// instead of sorting all n columns.
+///
+/// # Panics
+/// Panics if `weights.len() != matrix.ncols()`.
+pub fn refined_detect_cached(
+    matrix: &ColMatrix,
+    weights: &[u32],
+    cfg: &SearchConfig,
+    scratch: &mut SearchScratch,
+) -> (AlignedDetection, SearchTimings) {
+    let n = matrix.ncols();
+    assert_eq!(weights.len(), n, "one weight per column");
+    let n_prime = cfg.n_prime.min(n);
+    let t0 = Instant::now();
+    let order = &mut scratch.order;
+    order.clear();
+    order.extend(0..n);
+    if n_prime < n {
+        order.select_nth_unstable_by_key(n_prime, |&j| (Reverse(weights[j]), j));
+        order.truncate(n_prime);
+    }
+    order.sort_unstable_by_key(|&j| (Reverse(weights[j]), j));
+    matrix.select_columns_into(order, &mut scratch.work);
+    let screen_ns = t0.elapsed().as_nanos() as u64;
+    let t1 = Instant::now();
+    let det = detect_inner(
+        matrix,
+        &scratch.work,
+        &scratch.order,
+        cfg,
+        true,
+        &mut scratch.fanouts,
+    );
+    let sweep_ns = t1.elapsed().as_nanos() as u64;
+    (
+        det,
+        SearchTimings {
+            screen_ns,
+            sweep_ns,
+        },
+    )
 }
 
 /// Shared tail: search `work` (whose column `k` is original column
@@ -344,8 +452,9 @@ fn detect_inner(
     mapping: &[usize],
     cfg: &SearchConfig,
     expand: bool,
+    fanouts: &mut Vec<Vec<u32>>,
 ) -> AlignedDetection {
-    let (curve, best) = product_search(work, cfg);
+    let (curve, best) = product_search(work, cfg, fanouts);
     let Some(stop) = stop_point(&curve, cfg.termination) else {
         return AlignedDetection::not_found(curve);
     };
@@ -631,6 +740,29 @@ mod tests {
             "expansion recovered only {hits}/{} columns",
             cols.len()
         );
+    }
+
+    #[test]
+    fn cached_detect_matches_uncached_and_reuses_scratch() {
+        let mut r = StdRng::seed_from_u64(52);
+        let (mat, _, _) = planted_matrix(&mut r, 96, 800, 30, 12);
+        let cfg = small_cfg();
+        let plain = refined_detect(&mat, &cfg);
+        let weights = mat.col_weights();
+        let mut scratch = SearchScratch::new();
+        let (cached, timings) = refined_detect_cached(&mat, &weights, &cfg, &mut scratch);
+        assert_eq!(cached.found, plain.found);
+        assert_eq!(cached.rows, plain.rows);
+        assert_eq!(cached.cols, plain.cols);
+        assert_eq!(cached.core_cols, plain.core_cols);
+        assert_eq!(cached.weight_curve, plain.weight_curve);
+        assert!(timings.sweep_ns > 0);
+        // A second epoch through the same scratch must not regrow the
+        // screening buffers.
+        let order_cap = scratch.order.capacity();
+        let (again, _) = refined_detect_cached(&mat, &weights, &cfg, &mut scratch);
+        assert_eq!(again.cols, plain.cols);
+        assert_eq!(scratch.order.capacity(), order_cap);
     }
 
     #[test]

@@ -8,8 +8,36 @@
 //! thousands of columns is a linear scan.
 
 use crate::words::{self, words_for, WORD_BITS};
-use crate::Bitmap;
+use crate::{Bitmap, WordSource};
 use serde::{Deserialize, Serialize};
+
+/// In-place transpose of a 64×64 bit block.
+///
+/// On entry `a[r]` holds row `r` with column `c` at bit position `c`
+/// (LSB-first, the crate's bit order); on exit `a[c]` holds column `c`
+/// with row `r` at bit position `r`. Classic recursive block-swap
+/// butterfly (Hacker's Delight §7-3, adapted to LSB-first): at block
+/// size `j`, bits of the low rows' high-column halves swap with the
+/// high rows' low-column halves.
+fn transpose64(a: &mut [u64; 64]) {
+    let mut j = 32;
+    // Mask with bit p set iff p & j == 0 (the low-column half of each
+    // 2j-wide block); recomputed as j halves.
+    let mut m: u64 = 0x0000_0000_FFFF_FFFF;
+    while j != 0 {
+        let mut k = 0;
+        while k < 64 {
+            let t = ((a[k] >> j) ^ a[k + j]) & m;
+            a[k] ^= t << j;
+            a[k + j] ^= t;
+            // Skip k values with the j bit set: those are high rows,
+            // already handled as partners.
+            k = (k + j + 1) & !j;
+        }
+        j >>= 1;
+        m ^= m << j;
+    }
+}
 
 /// A column-major bit matrix with `nrows` (routers) and `ncols` (hash
 /// indices) — the aligned-case fused digest.
@@ -35,13 +63,23 @@ impl ColMatrix {
 
     /// Fuses one n-bit digest per router into an m×n column-major matrix.
     ///
-    /// Row r of the result is router r's bitmap; the transpose is performed
-    /// by walking each bitmap's set bits (cheap because digests are at most
-    /// half full).
+    /// Row r of the result is router r's bitmap; the transpose runs at
+    /// word level through [`ColMatrix::fuse_rows_into`].
     ///
     /// # Panics
     /// Panics if the bitmaps do not all share the same length.
     pub fn from_router_bitmaps(bitmaps: &[Bitmap]) -> Self {
+        let mut m = ColMatrix::new(0, 0);
+        let mut weights = Vec::new();
+        m.fuse_rows_into(bitmaps, &mut weights);
+        m
+    }
+
+    /// Reference implementation of [`ColMatrix::from_router_bitmaps`]:
+    /// the original per-bit `iter_ones`/`set` transpose, kept only as
+    /// the oracle the word-level path is tested against.
+    #[cfg(test)]
+    pub(crate) fn from_router_bitmaps_per_bit(bitmaps: &[Bitmap]) -> Self {
         let nrows = bitmaps.len();
         let ncols = bitmaps.first().map_or(0, Bitmap::len);
         let mut m = ColMatrix::new(nrows, ncols);
@@ -52,6 +90,68 @@ impl ColMatrix {
             }
         }
         m
+    }
+
+    /// Reshapes to an all-zero `nrows × ncols` matrix, reusing the
+    /// backing allocation when its capacity allows.
+    fn reset(&mut self, nrows: usize, ncols: usize) {
+        self.nrows = nrows;
+        self.ncols = ncols;
+        self.words_per_col = words_for(nrows);
+        self.data.clear();
+        self.data.resize(self.words_per_col * ncols, 0);
+    }
+
+    /// Fuses `rows` (one n-bit digest per router, owned bitmaps or
+    /// borrowed wire views — anything [`WordSource`]) into this matrix,
+    /// replacing its previous contents and reusing its allocation.
+    ///
+    /// The transpose runs on 64-row × 64-column word tiles: gather one
+    /// word from each of 64 rows, [`transpose64`] the block in
+    /// registers, scatter the 64 resulting row-words into their
+    /// columns. Column weights are accumulated into `weights` during
+    /// the scatter (`weights[c]` = number of 1s in column `c`), so
+    /// callers get the screening pass's input for free — no separate
+    /// whole-matrix popcount sweep.
+    ///
+    /// # Panics
+    /// Panics if the rows do not all share the same bit length.
+    pub fn fuse_rows_into<S: WordSource>(&mut self, rows: &[S], weights: &mut Vec<u32>) {
+        let nrows = rows.len();
+        let ncols = rows.first().map_or(0, WordSource::bit_len);
+        for r in rows {
+            assert_eq!(r.bit_len(), ncols, "router digests must have equal width");
+        }
+        self.reset(nrows, ncols);
+        weights.clear();
+        weights.resize(ncols, 0);
+        let row_words = words_for(ncols);
+        let wpc = self.words_per_col;
+        for rb in 0..wpc {
+            let row0 = rb * WORD_BITS;
+            let band = &rows[row0..(row0 + WORD_BITS).min(nrows)];
+            for cw in 0..row_words {
+                let mut block = [0u64; WORD_BITS];
+                let mut any = 0u64;
+                for (i, r) in band.iter().enumerate() {
+                    let w = r.word(cw);
+                    block[i] = w;
+                    any |= w;
+                }
+                if any == 0 {
+                    // The matrix was reset to zero: nothing to scatter,
+                    // and the weights gain nothing.
+                    continue;
+                }
+                transpose64(&mut block);
+                let c0 = cw * WORD_BITS;
+                let cols_here = (ncols - c0).min(WORD_BITS);
+                for (c, &w) in block[..cols_here].iter().enumerate() {
+                    self.data[(c0 + c) * wpc + rb] = w;
+                    weights[c0 + c] += w.count_ones();
+                }
+            }
+        }
     }
 
     /// Number of rows (routers).
@@ -123,16 +223,25 @@ impl ColMatrix {
     /// # Panics
     /// Panics if any index is out of range.
     pub fn select_columns(&self, cols: &[usize]) -> ColMatrix {
-        let mut out = ColMatrix {
-            nrows: self.nrows,
-            ncols: cols.len(),
-            words_per_col: self.words_per_col,
-            data: Vec::with_capacity(self.words_per_col * cols.len()),
-        };
+        let mut out = ColMatrix::new(0, 0);
+        self.select_columns_into(cols, &mut out);
+        out
+    }
+
+    /// [`ColMatrix::select_columns`] into a caller-provided matrix,
+    /// reusing its allocation (the epoch scratch path).
+    ///
+    /// # Panics
+    /// Panics if any index is out of range.
+    pub fn select_columns_into(&self, cols: &[usize], out: &mut ColMatrix) {
+        out.nrows = self.nrows;
+        out.ncols = cols.len();
+        out.words_per_col = self.words_per_col;
+        out.data.clear();
+        out.data.reserve(self.words_per_col * cols.len());
         for &j in cols {
             out.data.extend_from_slice(self.column(j));
         }
-        out
     }
 
     /// Number of rows where columns `i` and `j` are both 1 (weight of the
@@ -145,6 +254,12 @@ impl ColMatrix {
     /// Approximate heap footprint in bytes.
     pub fn byte_size(&self) -> usize {
         self.data.len() * 8
+    }
+
+    /// Capacity of the backing word store — diagnostic hook for
+    /// steady-state reuse tests (a reused matrix must not regrow).
+    pub fn word_capacity(&self) -> usize {
+        self.data.capacity()
     }
 }
 
@@ -210,5 +325,114 @@ mod tests {
         let r0 = Bitmap::new(8);
         let r1 = Bitmap::new(9);
         ColMatrix::from_router_bitmaps(&[r0, r1]);
+    }
+
+    /// Deterministic pseudo-random bitmaps (no RNG dependency here).
+    fn splitmix_bitmaps(nrows: usize, bits: usize, mut seed: u64) -> Vec<Bitmap> {
+        (0..nrows)
+            .map(|_| {
+                let words = (0..words_for(bits))
+                    .map(|_| {
+                        seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                        let mut z = seed;
+                        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                        z ^ (z >> 31)
+                    })
+                    .enumerate()
+                    .map(|(i, w)| {
+                        if i + 1 == words_for(bits) {
+                            w & words::tail_mask(bits)
+                        } else {
+                            w
+                        }
+                    })
+                    .collect();
+                Bitmap::from_words(bits, words)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn transpose64_matches_per_bit_definition() {
+        let mut block = [0u64; 64];
+        let mut seed = 42u64;
+        for w in &mut block {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            *w = seed;
+        }
+        let original = block;
+        transpose64(&mut block);
+        for (r, &orig_row) in original.iter().enumerate() {
+            for (c, &new_row) in block.iter().enumerate() {
+                assert_eq!(
+                    new_row >> r & 1,
+                    orig_row >> c & 1,
+                    "transpose mismatch at ({r}, {c})"
+                );
+            }
+        }
+        // The transpose is an involution.
+        transpose64(&mut block);
+        assert_eq!(block, original);
+    }
+
+    #[test]
+    fn word_level_fusion_matches_per_bit_oracle() {
+        // Shapes straddling every boundary: row counts around the 64-row
+        // band edge, widths around the 64-column word edge.
+        for &(nrows, bits) in &[
+            (1usize, 1usize),
+            (3, 64),
+            (63, 65),
+            (64, 64),
+            (65, 127),
+            (70, 200),
+            (130, 300),
+        ] {
+            let bitmaps = splitmix_bitmaps(nrows, bits, (nrows * bits) as u64);
+            let fused = ColMatrix::from_router_bitmaps(&bitmaps);
+            let oracle = ColMatrix::from_router_bitmaps_per_bit(&bitmaps);
+            assert_eq!(fused, oracle, "shape {nrows}x{bits}");
+        }
+    }
+
+    #[test]
+    fn fuse_rows_into_weights_match_col_weights() {
+        let bitmaps = splitmix_bitmaps(70, 500, 7);
+        let mut m = ColMatrix::new(0, 0);
+        let mut weights = Vec::new();
+        m.fuse_rows_into(&bitmaps, &mut weights);
+        assert_eq!(weights, m.col_weights());
+    }
+
+    #[test]
+    fn fuse_rows_into_reuses_capacity_across_epochs() {
+        let mut m = ColMatrix::new(0, 0);
+        let mut weights = Vec::new();
+        m.fuse_rows_into(&splitmix_bitmaps(70, 500, 1), &mut weights);
+        let data_cap = m.data.capacity();
+        let w_cap = weights.capacity();
+        // A same-shape refuse must not grow either allocation.
+        m.fuse_rows_into(&splitmix_bitmaps(70, 500, 2), &mut weights);
+        assert_eq!(m.data.capacity(), data_cap);
+        assert_eq!(weights.capacity(), w_cap);
+        assert_eq!(
+            ColMatrix::from_router_bitmaps_per_bit(&splitmix_bitmaps(70, 500, 2)),
+            m
+        );
+    }
+
+    #[test]
+    fn select_columns_into_reuses_allocation() {
+        let m = ColMatrix::from_router_bitmaps(&splitmix_bitmaps(10, 100, 3));
+        let mut out = ColMatrix::new(0, 0);
+        m.select_columns_into(&[1, 5, 99], &mut out);
+        let cap = out.data.capacity();
+        m.select_columns_into(&[0, 2, 98], &mut out);
+        assert_eq!(out.data.capacity(), cap);
+        assert_eq!(out.column(0), m.column(0));
+        assert_eq!(out.column(1), m.column(2));
+        assert_eq!(out.column(2), m.column(98));
     }
 }

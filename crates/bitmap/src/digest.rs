@@ -7,7 +7,7 @@
 //! magnitude versus raw traffic) can be measured on actual bytes.
 
 use crate::words::{tail_mask, words_for};
-use crate::Bitmap;
+use crate::{Bitmap, WordSource};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::fmt;
 
@@ -105,6 +105,102 @@ impl Bitmap {
     }
 }
 
+/// A validated, borrowed view over one encoded bitmap frame.
+///
+/// [`BitmapView::parse`] performs exactly the validation of
+/// [`Bitmap::decode`] — magic, version, truncation, tail hygiene — but
+/// borrows the word bytes in place instead of copying them into an
+/// owned `Vec<u64>`. Words are read with unaligned little-endian loads
+/// ([`u64::from_le_bytes`]): wire frames carry variable-length headers,
+/// so the word region has no alignment guarantee.
+///
+/// This is the zero-copy leaf of the streaming ingest path: the fusion
+/// transpose reads router digests straight out of the received frame
+/// bytes through the [`WordSource`] impl, with no intermediate digest
+/// allocation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BitmapView<'a> {
+    len: usize,
+    /// Exactly `words_for(len) * 8` bytes of little-endian words.
+    body: &'a [u8],
+}
+
+impl<'a> BitmapView<'a> {
+    /// Validates the frame at the front of `buf` and returns a view over
+    /// it. Trailing bytes beyond the frame are ignored, exactly as in
+    /// [`Bitmap::decode`]; use [`BitmapView::encoded_len`] to advance.
+    pub fn parse(buf: &'a [u8]) -> Result<BitmapView<'a>, DecodeError> {
+        if buf.len() < 13 {
+            return Err(DecodeError::Truncated {
+                needed: 13,
+                got: buf.len(),
+            });
+        }
+        let mut magic = [0u8; 4];
+        magic.copy_from_slice(&buf[..4]);
+        if magic != DIGEST_MAGIC {
+            return Err(DecodeError::BadMagic(magic));
+        }
+        let version = buf[4];
+        if version != VERSION {
+            return Err(DecodeError::BadVersion(version));
+        }
+        let len = u64::from_le_bytes(buf[5..13].try_into().expect("8-byte slice")) as usize;
+        let nwords = words_for(len);
+        let Some(body) = buf[13..].get(..nwords * 8) else {
+            return Err(DecodeError::Truncated {
+                needed: 13 + nwords * 8,
+                got: buf.len(),
+            });
+        };
+        let view = BitmapView { len, body };
+        if nwords > 0 && view.word(nwords - 1) & !tail_mask(len) != 0 {
+            return Err(DecodeError::DirtyTail);
+        }
+        Ok(view)
+    }
+
+    /// Logical length in bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the bitmap has zero bits.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Size in bytes of the frame this view covers (header + body).
+    #[inline]
+    pub fn encoded_len(&self) -> usize {
+        13 + self.body.len()
+    }
+
+    /// Copies the view into an owned [`Bitmap`].
+    pub fn to_bitmap(&self) -> Bitmap {
+        let words = (0..self.word_len()).map(|i| self.word(i)).collect();
+        Bitmap::from_words(self.len, words)
+    }
+}
+
+impl WordSource for BitmapView<'_> {
+    #[inline]
+    fn bit_len(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    fn word(&self, i: usize) -> u64 {
+        u64::from_le_bytes(
+            self.body[i * 8..i * 8 + 8]
+                .try_into()
+                .expect("8-byte slice"),
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -177,5 +273,56 @@ mod tests {
         let raw_epoch_bytes = 2_400_000_000u64 / 8;
         let ratio = raw_epoch_bytes as f64 / bm.encoded_len() as f64;
         assert!(ratio > 500.0, "compression ratio {ratio} too small");
+    }
+
+    #[test]
+    fn view_agrees_with_owned_decode() {
+        let bm = Bitmap::from_indices(1000, [0, 63, 64, 512, 999]);
+        let bytes = bm.encode();
+        let view = BitmapView::parse(&bytes).unwrap();
+        assert_eq!(view.len(), bm.len());
+        assert_eq!(view.encoded_len(), bm.encoded_len());
+        for (i, &w) in bm.words().iter().enumerate() {
+            assert_eq!(view.word(i), w, "word {i}");
+        }
+        assert_eq!(view.to_bitmap(), bm);
+    }
+
+    #[test]
+    fn view_ignores_trailing_bytes_like_decode() {
+        let bm = Bitmap::from_indices(128, [7]);
+        let mut bytes = bm.encode().to_vec();
+        bytes.extend_from_slice(&[0xAB; 9]);
+        let view = BitmapView::parse(&bytes).unwrap();
+        assert_eq!(view.encoded_len(), bm.encoded_len());
+        assert_eq!(view.to_bitmap(), bm);
+    }
+
+    #[test]
+    fn view_rejects_what_decode_rejects() {
+        let bm = Bitmap::from_indices(128, [5]);
+        let bytes = bm.encode();
+        for cut in [0, 4, 12, bytes.len() - 1] {
+            assert!(matches!(
+                BitmapView::parse(&bytes[..cut]),
+                Err(DecodeError::Truncated { .. })
+            ));
+        }
+        let mut bad = bytes.to_vec();
+        bad[0] = b'X';
+        assert!(matches!(
+            BitmapView::parse(&bad),
+            Err(DecodeError::BadMagic(_))
+        ));
+        let mut bad = bytes.to_vec();
+        bad[4] = 9;
+        assert_eq!(BitmapView::parse(&bad), Err(DecodeError::BadVersion(9)));
+        // Dirty tail: declare 4 bits but set bit 10.
+        let mut dirty = Vec::new();
+        dirty.extend_from_slice(&DIGEST_MAGIC);
+        dirty.push(1);
+        dirty.extend_from_slice(&4u64.to_le_bytes());
+        dirty.extend_from_slice(&(1u64 << 10).to_le_bytes());
+        assert_eq!(BitmapView::parse(&dirty), Err(DecodeError::DirtyTail));
     }
 }

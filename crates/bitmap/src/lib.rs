@@ -15,13 +15,19 @@
 //! that **bits past the logical length are always zero**, so `count_ones`
 //! and the AND/popcount kernels never need trailing masks.
 
-#![forbid(unsafe_code)]
+// `unsafe` is denied everywhere except the SIMD module, which needs it
+// for the AVX2 intrinsics and carries the crate's only `allow`.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod bitmap;
 mod col_matrix;
 mod digest;
 mod row_matrix;
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+mod simd;
+mod source;
 pub mod words;
 
 #[cfg(test)]
@@ -29,5 +35,7 @@ mod proptests;
 
 pub use bitmap::Bitmap;
 pub use col_matrix::ColMatrix;
-pub use digest::{DecodeError, DIGEST_MAGIC};
+pub use digest::{BitmapView, DecodeError, DIGEST_MAGIC};
 pub use row_matrix::RowMatrix;
+pub use source::WordSource;
+pub use words::Kernel;

@@ -4,10 +4,10 @@
 //! remainder, and masked tails alike).
 
 use crate::words::{
-    and_weight, and_weight_many, and_weight_scalar, or_weight, or_weight_scalar, tail_mask, weight,
-    weight_scalar, words_for,
+    and_weight_many, and_weight_scalar, and_weight_with, available_kernels, or_weight_scalar,
+    or_weight_with, tail_mask, weight_scalar, weight_with, words_for,
 };
-use crate::{Bitmap, ColMatrix, RowMatrix};
+use crate::{Bitmap, BitmapView, ColMatrix, RowMatrix, WordSource};
 use proptest::prelude::*;
 
 fn arb_bitmaps(max_rows: usize, width: usize) -> impl Strategy<Value = Vec<Bitmap>> {
@@ -110,19 +110,23 @@ proptest! {
     }
 
     #[test]
-    fn blocked_weight_matches_scalar(words in proptest::collection::vec(any::<u64>(), 0..80)) {
-        prop_assert_eq!(weight(&words), weight_scalar(&words));
+    fn every_kernel_weight_matches_scalar(words in proptest::collection::vec(any::<u64>(), 0..80)) {
+        for &k in available_kernels() {
+            prop_assert_eq!(weight_with(k, &words), weight_scalar(&words), "{:?}", k);
+        }
     }
 
     #[test]
-    fn blocked_and_or_match_scalar(
+    fn every_kernel_and_or_match_scalar(
         pairs in proptest::collection::vec((any::<u64>(), any::<u64>()), 0..80),
     ) {
-        // Lengths 0..80 cover the scalar fallback below CSA_MIN_WORDS,
-        // the carry-save body, the lane remainder, and the empty slice.
+        // Lengths 0..80 cover each kernel's short-slice fallback, the
+        // carry-save body, the lane/vector remainder, and the empty slice.
         let (a, b): (Vec<u64>, Vec<u64>) = pairs.into_iter().unzip();
-        prop_assert_eq!(and_weight(&a, &b), and_weight_scalar(&a, &b));
-        prop_assert_eq!(or_weight(&a, &b), or_weight_scalar(&a, &b));
+        for &k in available_kernels() {
+            prop_assert_eq!(and_weight_with(k, &a, &b), and_weight_scalar(&a, &b), "{:?}", k);
+            prop_assert_eq!(or_weight_with(k, &a, &b), or_weight_scalar(&a, &b), "{:?}", k);
+        }
     }
 
     #[test]
@@ -133,15 +137,71 @@ proptest! {
     ) {
         // Slices shaped exactly like `bits`-bit vectors: `words_for(bits)`
         // words with the final word masked by `tail_mask(bits)` — the
-        // invariant the matrix types maintain at their boundary.
+        // invariant the matrix types maintain at their boundary. Every
+        // dispatch target must agree on them.
         let nw = words_for(bits);
         let mut a = raw_a[..nw].to_vec();
         let mut b = raw_b[..nw].to_vec();
         a[nw - 1] &= tail_mask(bits);
         b[nw - 1] &= tail_mask(bits);
-        prop_assert_eq!(weight(&a), weight_scalar(&a));
-        prop_assert_eq!(and_weight(&a, &b), and_weight_scalar(&a, &b));
-        prop_assert_eq!(or_weight(&a, &b), or_weight_scalar(&a, &b));
+        for &k in available_kernels() {
+            prop_assert_eq!(weight_with(k, &a), weight_scalar(&a), "{:?}", k);
+            prop_assert_eq!(and_weight_with(k, &a, &b), and_weight_scalar(&a, &b), "{:?}", k);
+            prop_assert_eq!(or_weight_with(k, &a, &b), or_weight_scalar(&a, &b), "{:?}", k);
+        }
+    }
+
+    #[test]
+    fn word_level_fusion_matches_per_bit_oracle(bitmaps in arb_bitmaps(130, 300)) {
+        let fused = ColMatrix::from_router_bitmaps(&bitmaps);
+        let oracle = ColMatrix::from_router_bitmaps_per_bit(&bitmaps);
+        prop_assert_eq!(&fused, &oracle);
+        let mut reused = ColMatrix::new(0, 0);
+        let mut weights = Vec::new();
+        reused.fuse_rows_into(&bitmaps, &mut weights);
+        prop_assert_eq!(&reused, &oracle);
+        prop_assert_eq!(weights, oracle.col_weights());
+    }
+
+    #[test]
+    fn bitmap_view_agrees_with_owned_decode(
+        len in 0usize..4_000,
+        idxs in proptest::collection::vec(any::<usize>(), 0..64),
+    ) {
+        let bm = Bitmap::from_indices(len.max(1), idxs.into_iter().map(|i| i % len.max(1)));
+        let bytes = bm.encode();
+        let owned = Bitmap::decode(&bytes).unwrap();
+        let view = BitmapView::parse(&bytes).unwrap();
+        prop_assert_eq!(view.len(), owned.len());
+        prop_assert_eq!(view.encoded_len(), owned.encoded_len());
+        prop_assert_eq!(&view.to_bitmap(), &owned);
+        for (i, &w) in owned.words().iter().enumerate() {
+            prop_assert_eq!(view.word(i), w, "word {}", i);
+        }
+    }
+
+    #[test]
+    fn bitmap_view_errors_match_owned_decode_on_mutations(
+        idxs in proptest::collection::vec(0usize..512, 0..16),
+        pos in 0usize..64,
+        val in any::<u8>(),
+        cut_ppm in 0u32..=1_000_000,
+    ) {
+        // View parsing and owned decoding face the same wire: on any
+        // mutated frame they must agree exactly — both Ok with equal
+        // content, or the same typed error. Neither may panic.
+        let bm = Bitmap::from_indices(512, idxs);
+        let mut bytes = bm.encode().to_vec();
+        if pos < bytes.len() {
+            bytes[pos] ^= val;
+        }
+        let cut = (bytes.len() as u64 * u64::from(cut_ppm) / 1_000_000) as usize;
+        let mangled = &bytes[..cut];
+        match (Bitmap::decode(mangled), BitmapView::parse(mangled)) {
+            (Ok(owned), Ok(view)) => prop_assert_eq!(view.to_bitmap(), owned),
+            (Err(e_owned), Err(e_view)) => prop_assert_eq!(e_owned, e_view),
+            (owned, view) => prop_assert!(false, "decode {:?} but view {:?}", owned.is_ok(), view.is_ok()),
+        }
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! pairwise sweep walks memory linearly.
 
 use crate::words::{self, tail_mask, words_for};
-use crate::Bitmap;
+use crate::{Bitmap, WordSource};
 use serde::{Deserialize, Serialize};
 
 /// A row-major bit matrix with fixed row width.
@@ -69,6 +69,31 @@ impl RowMatrix {
     #[inline]
     pub fn words_per_row(&self) -> usize {
         self.words_per_row
+    }
+
+    /// Drops all rows and re-targets the matrix to `ncols`-bit rows,
+    /// keeping the backing allocation. The epoch-scratch reuse hook: an
+    /// analysis centre resets one matrix per epoch instead of building a
+    /// fresh one, so steady-state fusion allocates nothing.
+    pub fn reset(&mut self, ncols: usize) {
+        self.ncols = ncols;
+        self.words_per_row = words_for(ncols);
+        self.nrows = 0;
+        self.data.clear();
+    }
+
+    /// Appends one row read from any word source — an owned [`Bitmap`] or
+    /// a borrowed [`BitmapView`](crate::BitmapView) straight off the wire.
+    ///
+    /// # Panics
+    /// Panics if `row.bit_len() != ncols`.
+    pub fn push_row_from<S: WordSource>(&mut self, row: &S) {
+        assert_eq!(row.bit_len(), self.ncols, "push_row_from: width mismatch");
+        self.data.reserve(self.words_per_row);
+        for w in 0..self.words_per_row {
+            self.data.push(row.word(w));
+        }
+        self.nrows += 1;
     }
 
     /// Appends one row given as a bitmap.
@@ -149,6 +174,12 @@ impl RowMatrix {
     pub fn byte_size(&self) -> usize {
         self.data.len() * 8
     }
+
+    /// Capacity of the backing word store — diagnostic hook for
+    /// steady-state reuse tests (a reused matrix must not regrow).
+    pub fn word_capacity(&self) -> usize {
+        self.data.capacity()
+    }
 }
 
 #[cfg(test)]
@@ -222,5 +253,36 @@ mod tests {
     fn byte_size_tracks_rows() {
         let m = sample();
         assert_eq!(m.byte_size(), 3 * 2 * 8);
+    }
+
+    #[test]
+    fn push_row_from_matches_push_bitmap() {
+        let rows = [
+            Bitmap::from_indices(100, [0, 1, 2, 99]),
+            Bitmap::from_indices(100, [63, 64]),
+        ];
+        let mut a = RowMatrix::new(100);
+        let mut b = RowMatrix::new(100);
+        for r in &rows {
+            a.push_bitmap(r);
+            b.push_row_from(r);
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn reset_keeps_capacity_across_epochs() {
+        let mut m = sample();
+        let cap = m.word_capacity();
+        assert!(cap >= 6);
+        m.reset(100);
+        assert_eq!(m.nrows(), 0);
+        assert_eq!(m.word_capacity(), cap);
+        m.push_bitmap(&Bitmap::from_indices(100, [7]));
+        assert_eq!(m.word_capacity(), cap, "refill within capacity regrew");
+        // Re-targeting to a narrower width also keeps the allocation.
+        m.reset(64);
+        assert_eq!(m.words_per_row(), 1);
+        assert_eq!(m.word_capacity(), cap);
     }
 }

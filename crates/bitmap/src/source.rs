@@ -1,0 +1,61 @@
+//! Read-only word-level access to bit-vector rows.
+//!
+//! The fusion transpose ([`ColMatrix::fuse_rows_into`]) consumes rows
+//! word by word and does not care whether they are owned [`Bitmap`]s or
+//! borrowed wire views ([`BitmapView`]); this trait is the one seam
+//! between the two, so the zero-copy ingest path and the owned path
+//! share a single transpose implementation.
+//!
+//! [`ColMatrix::fuse_rows_into`]: crate::ColMatrix::fuse_rows_into
+//! [`BitmapView`]: crate::BitmapView
+
+use crate::words::words_for;
+use crate::Bitmap;
+
+/// A packed bit vector readable as little-endian 64-bit words.
+///
+/// Implementations must uphold the crate-wide invariant: bits at
+/// positions `>= bit_len()` in the final word are zero. Both
+/// implementations in this crate validate that at their boundary
+/// ([`Bitmap::from_words`] and `BitmapView::parse`).
+pub trait WordSource {
+    /// Logical length in bits.
+    fn bit_len(&self) -> usize;
+
+    /// The `i`-th word: bit `b` of word `i` is vector position
+    /// `64 * i + b`.
+    ///
+    /// # Panics
+    /// Panics if `i >= word_len()`.
+    fn word(&self, i: usize) -> u64;
+
+    /// Number of words (`ceil(bit_len / 64)`).
+    #[inline]
+    fn word_len(&self) -> usize {
+        words_for(self.bit_len())
+    }
+}
+
+impl WordSource for Bitmap {
+    #[inline]
+    fn bit_len(&self) -> usize {
+        self.len()
+    }
+
+    #[inline]
+    fn word(&self, i: usize) -> u64 {
+        self.words()[i]
+    }
+}
+
+impl<S: WordSource + ?Sized> WordSource for &S {
+    #[inline]
+    fn bit_len(&self) -> usize {
+        (**self).bit_len()
+    }
+
+    #[inline]
+    fn word(&self, i: usize) -> u64 {
+        (**self).word(i)
+    }
+}

@@ -4,17 +4,28 @@
 //! aligned-case product iterations and the unaligned-case pairwise row
 //! correlation both reduce to "AND two word slices and count the ones".
 //!
-//! The popcount reductions ([`weight`], [`and_weight`], [`or_weight`]) are
-//! *blocked*: they walk the slices in [`LANES`]-word chunks and merge each
-//! chunk through a Harley–Seal carry-save adder tree, so eight words cost
-//! two `count_ones` calls (plus cheap bitwise ops) instead of eight. The
-//! carry registers (`ones`, `twos`) are independent accumulators carried
-//! across chunks and flushed once at the end. Slices shorter than
-//! [`CSA_MIN_WORDS`] take the straight-line path, which the optimiser
-//! auto-vectorises well and which wins below the tree's fixed overhead.
-//! The straight-line reference versions are kept as [`weight_scalar`] /
-//! [`and_weight_scalar`] / [`or_weight_scalar`]; the property tests
-//! assert the blocked kernels are bit-identical to them.
+//! The popcount reductions ([`weight`], [`and_weight`], [`or_weight`])
+//! dispatch at runtime to the best kernel the host supports (see
+//! [`Kernel`]): an AVX2 nibble-lookup vector popcount on x86-64 CPUs
+//! that have it, otherwise the portable *blocked* kernels
+//! ([`weight_blocked`] and friends), which walk the slices in
+//! [`LANES`]-word chunks and merge each chunk through a Harley–Seal
+//! carry-save adder tree, so eight words cost two `count_ones` calls
+//! (plus cheap bitwise ops) instead of eight. The carry registers
+//! (`ones`, `twos`) are independent accumulators carried across chunks
+//! and flushed once at the end. Slices shorter than [`CSA_MIN_WORDS`]
+//! (blocked) or `AVX2_MIN_WORDS` (vector) take the straight-line path,
+//! which the optimiser auto-vectorises well and which wins below each
+//! kernel's fixed overhead. The straight-line reference versions are
+//! kept as [`weight_scalar`] / [`and_weight_scalar`] /
+//! [`or_weight_scalar`]; the property tests assert every dispatch
+//! target is bit-identical to them.
+//!
+//! The dispatch decision is made once and cached in an atomic
+//! ([`active_kernel`]). `DCS_FORCE_SCALAR=1` in the environment pins the
+//! scalar reference path (CI uses this to keep the portable fallback
+//! green on AVX2 hosts); [`force_kernel`] overrides the cache from
+//! tests and benches.
 //!
 //! # Length invariant
 //!
@@ -28,8 +39,90 @@
 //! lengths to `zip`, which silently truncates — so keep the invariant at
 //! the boundary.
 
+use std::sync::atomic::{AtomicU8, Ordering};
+
 /// Number of bits in one storage word.
 pub const WORD_BITS: usize = 64;
+
+/// A popcount kernel implementation the runtime dispatcher can select.
+///
+/// All three produce bit-identical results (asserted by the property
+/// tests); they differ only in speed and portability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Kernel {
+    /// Straight-line portable loop (`*_scalar`): the reference semantics.
+    Scalar = 1,
+    /// Harley–Seal carry-save blocked kernels: the portable default.
+    Blocked = 2,
+    /// AVX2 nibble-lookup vector popcount (x86-64 with AVX2 only).
+    Avx2 = 3,
+}
+
+/// Cached dispatch decision: 0 = unresolved, else a `Kernel` discriminant.
+static ACTIVE: AtomicU8 = AtomicU8::new(0);
+
+/// The kernel the dispatcher currently routes [`weight`] /
+/// [`and_weight`] / [`or_weight`] (and through them
+/// [`and_weight_many`]) to. Resolved once via feature detection on
+/// first use, then served from an atomic.
+#[inline]
+pub fn active_kernel() -> Kernel {
+    match ACTIVE.load(Ordering::Relaxed) {
+        1 => Kernel::Scalar,
+        2 => Kernel::Blocked,
+        3 => Kernel::Avx2,
+        _ => resolve_and_cache(),
+    }
+}
+
+#[cold]
+fn resolve_and_cache() -> Kernel {
+    let k = detect_kernel();
+    ACTIVE.store(k as u8, Ordering::Relaxed);
+    k
+}
+
+/// The best kernel this host supports, honouring the
+/// `DCS_FORCE_SCALAR` environment override (any value other than `0`
+/// pins [`Kernel::Scalar`]).
+pub fn detect_kernel() -> Kernel {
+    if std::env::var_os("DCS_FORCE_SCALAR").is_some_and(|v| v != "0") {
+        return Kernel::Scalar;
+    }
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        return Kernel::Avx2;
+    }
+    Kernel::Blocked
+}
+
+/// Kernels usable on this host: always [`Kernel::Scalar`] and
+/// [`Kernel::Blocked`]; [`Kernel::Avx2`] when the CPU has it. Tests
+/// iterate this list to assert bit-identity across dispatch targets.
+pub fn available_kernels() -> &'static [Kernel] {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        return &[Kernel::Scalar, Kernel::Blocked, Kernel::Avx2];
+    }
+    &[Kernel::Scalar, Kernel::Blocked]
+}
+
+/// Overrides the dispatch cache (tests and benches); `None` clears the
+/// override so the next call re-detects. The effect is process-global.
+///
+/// # Panics
+/// Panics if `Kernel::Avx2` is forced on a host without AVX2 — the
+/// vector kernels would be unsound to execute there.
+pub fn force_kernel(kernel: Option<Kernel>) {
+    if kernel == Some(Kernel::Avx2) {
+        assert!(
+            available_kernels().contains(&Kernel::Avx2),
+            "cannot force the AVX2 kernel: host lacks AVX2"
+        );
+    }
+    ACTIVE.store(kernel.map_or(0, |k| k as u8), Ordering::Relaxed);
+}
 
 /// Number of `u64` words needed to store `bits` bits.
 #[inline]
@@ -98,9 +191,41 @@ fn csa_reduce(chunks: impl Iterator<Item = [u64; LANES]>) -> u64 {
     total + 2 * u64::from(twos.count_ones()) + u64::from(ones.count_ones())
 }
 
-/// Population count of a word slice (blocked kernel).
+/// Population count of a word slice (runtime-dispatched kernel).
 #[inline]
 pub fn weight(words: &[u64]) -> u32 {
+    weight_with(active_kernel(), words)
+}
+
+/// [`weight`] through an explicitly chosen kernel (tests and benches).
+#[inline]
+pub fn weight_with(kernel: Kernel, words: &[u64]) -> u32 {
+    match kernel {
+        Kernel::Scalar => weight_scalar(words),
+        Kernel::Blocked => weight_blocked(words),
+        Kernel::Avx2 => weight_avx2(words),
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[inline]
+fn weight_avx2(words: &[u64]) -> u32 {
+    if words.len() < crate::simd::AVX2_MIN_WORDS {
+        weight_scalar(words)
+    } else {
+        crate::simd::weight(words)
+    }
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+#[inline]
+fn weight_avx2(words: &[u64]) -> u32 {
+    weight_blocked(words)
+}
+
+/// Population count of a word slice (portable blocked kernel).
+#[inline]
+pub fn weight_blocked(words: &[u64]) -> u32 {
     if words.len() < CSA_MIN_WORDS {
         return weight_scalar(words);
     }
@@ -118,9 +243,42 @@ pub fn weight_scalar(words: &[u64]) -> u32 {
 
 /// Population count of the bitwise AND of two equal-length slices, without
 /// materialising the AND ("number of common 1's" in the paper's terms).
-/// Blocked kernel; see the module docs for the length invariant.
+/// Runtime-dispatched kernel; see the module docs for the length invariant.
 #[inline]
 pub fn and_weight(a: &[u64], b: &[u64]) -> u32 {
+    and_weight_with(active_kernel(), a, b)
+}
+
+/// [`and_weight`] through an explicitly chosen kernel (tests and benches).
+#[inline]
+pub fn and_weight_with(kernel: Kernel, a: &[u64], b: &[u64]) -> u32 {
+    match kernel {
+        Kernel::Scalar => and_weight_scalar(a, b),
+        Kernel::Blocked => and_weight_blocked(a, b),
+        Kernel::Avx2 => and_weight_avx2(a, b),
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[inline]
+fn and_weight_avx2(a: &[u64], b: &[u64]) -> u32 {
+    debug_assert_eq!(a.len(), b.len(), "and_weight: length mismatch");
+    if a.len() < crate::simd::AVX2_MIN_WORDS {
+        and_weight_scalar(a, b)
+    } else {
+        crate::simd::and_weight(a, b)
+    }
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+#[inline]
+fn and_weight_avx2(a: &[u64], b: &[u64]) -> u32 {
+    and_weight_blocked(a, b)
+}
+
+/// Portable blocked implementation of [`and_weight`].
+#[inline]
+pub fn and_weight_blocked(a: &[u64], b: &[u64]) -> u32 {
     debug_assert_eq!(a.len(), b.len(), "and_weight: length mismatch");
     if a.len() < CSA_MIN_WORDS {
         return and_weight_scalar(a, b);
@@ -146,9 +304,42 @@ pub fn and_weight_scalar(a: &[u64], b: &[u64]) -> u32 {
 }
 
 /// Population count of the bitwise OR of two equal-length slices.
-/// Blocked kernel; see the module docs for the length invariant.
+/// Runtime-dispatched kernel; see the module docs for the length invariant.
 #[inline]
 pub fn or_weight(a: &[u64], b: &[u64]) -> u32 {
+    or_weight_with(active_kernel(), a, b)
+}
+
+/// [`or_weight`] through an explicitly chosen kernel (tests and benches).
+#[inline]
+pub fn or_weight_with(kernel: Kernel, a: &[u64], b: &[u64]) -> u32 {
+    match kernel {
+        Kernel::Scalar => or_weight_scalar(a, b),
+        Kernel::Blocked => or_weight_blocked(a, b),
+        Kernel::Avx2 => or_weight_avx2(a, b),
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[inline]
+fn or_weight_avx2(a: &[u64], b: &[u64]) -> u32 {
+    debug_assert_eq!(a.len(), b.len(), "or_weight: length mismatch");
+    if a.len() < crate::simd::AVX2_MIN_WORDS {
+        or_weight_scalar(a, b)
+    } else {
+        crate::simd::or_weight(a, b)
+    }
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+#[inline]
+fn or_weight_avx2(a: &[u64], b: &[u64]) -> u32 {
+    or_weight_blocked(a, b)
+}
+
+/// Portable blocked implementation of [`or_weight`].
+#[inline]
+pub fn or_weight_blocked(a: &[u64], b: &[u64]) -> u32 {
     debug_assert_eq!(a.len(), b.len(), "or_weight: length mismatch");
     if a.len() < CSA_MIN_WORDS {
         return or_weight_scalar(a, b);
@@ -347,25 +538,44 @@ mod tests {
     }
 
     #[test]
-    fn blocked_kernels_match_scalar_across_lane_remainders() {
-        // Lengths from 0 to well past CSA_MIN_WORDS exercise the scalar
-        // fallback, the dispatch threshold, the carry-save body, and all
-        // possible lane-remainder sizes.
-        for len in 0..=CSA_MIN_WORDS + 3 * LANES {
-            let a = splitmix_fill(len, 1);
-            let b = splitmix_fill(len, 2);
-            assert_eq!(weight(&a), weight_scalar(&a), "weight len={len}");
-            assert_eq!(
-                and_weight(&a, &b),
-                and_weight_scalar(&a, &b),
-                "and_weight len={len}"
-            );
-            assert_eq!(
-                or_weight(&a, &b),
-                or_weight_scalar(&a, &b),
-                "or_weight len={len}"
-            );
+    fn every_kernel_matches_scalar_across_lane_remainders() {
+        // Lengths from 0 to well past CSA_MIN_WORDS exercise each
+        // kernel's short-slice fallback, its dispatch threshold, its
+        // main body, and all possible remainder sizes.
+        for &k in available_kernels() {
+            for len in 0..=CSA_MIN_WORDS + 3 * LANES {
+                let a = splitmix_fill(len, 1);
+                let b = splitmix_fill(len, 2);
+                assert_eq!(
+                    weight_with(k, &a),
+                    weight_scalar(&a),
+                    "{k:?} weight len={len}"
+                );
+                assert_eq!(
+                    and_weight_with(k, &a, &b),
+                    and_weight_scalar(&a, &b),
+                    "{k:?} and_weight len={len}"
+                );
+                assert_eq!(
+                    or_weight_with(k, &a, &b),
+                    or_weight_scalar(&a, &b),
+                    "{k:?} or_weight len={len}"
+                );
+            }
         }
+    }
+
+    #[test]
+    fn forced_kernel_redirects_dispatch() {
+        let a = splitmix_fill(100, 9);
+        let expect = weight_scalar(&a);
+        for &k in available_kernels() {
+            force_kernel(Some(k));
+            assert_eq!(active_kernel(), k);
+            assert_eq!(weight(&a), expect, "{k:?}");
+        }
+        force_kernel(None);
+        assert_eq!(active_kernel(), detect_kernel());
     }
 
     #[test]

@@ -21,9 +21,11 @@
 pub mod aligned;
 pub mod sized;
 pub mod unaligned;
+pub mod view;
 pub mod wire;
 
 pub use aligned::{AlignedCollector, AlignedConfig, AlignedDigest};
 pub use sized::{SizeClass, SizedAlignedCollector, SizedAlignedDigest};
 pub use unaligned::{UnalignedCollector, UnalignedConfig, UnalignedDigest};
+pub use view::{AlignedDigestView, UnalignedDigestView};
 pub use wire::WireError;

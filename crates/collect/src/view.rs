@@ -1,0 +1,251 @@
+//! Borrowed, validated views over digest wire frames.
+//!
+//! [`AlignedDigestView`] and [`UnalignedDigestView`] mirror the
+//! `decode_wire` validation of their owned counterparts byte for byte —
+//! magic, version, truncation, group-layout and width checks — but keep
+//! the bitmap word bytes borrowed in place instead of copying them into
+//! owned `Vec<u64>`s. The analysis centre fuses digests straight out of
+//! the received frame bytes through these views (validate-then-view),
+//! so the steady-state ingest path allocates nothing per digest.
+
+use crate::wire::{check_header, get_u32, get_u64, ALIGNED_MAGIC, UNALIGNED_MAGIC};
+use crate::{AlignedDigest, UnalignedDigest, WireError};
+use dcs_bitmap::{Bitmap, BitmapView};
+
+/// Borrowed view of one aligned-digest frame (`b"DCSA"`).
+///
+/// Field-for-field mirror of [`AlignedDigest`], with the bitmap left on
+/// the wire as a [`BitmapView`].
+#[derive(Clone, Copy, Debug)]
+pub struct AlignedDigestView<'a> {
+    /// The epoch's n-bit bitmap, borrowed from the frame.
+    pub bitmap: BitmapView<'a>,
+    /// Packets observed.
+    pub packets_seen: u64,
+    /// Packets hashed into the bitmap.
+    pub packets_hashed: u64,
+    /// Raw traffic volume summarised, in wire bytes.
+    pub raw_bytes: u64,
+}
+
+impl<'a> AlignedDigestView<'a> {
+    /// Validates the frame at the front of `buf`, returning the view and
+    /// the bytes it covers. Applies exactly the checks of
+    /// [`AlignedDigest::decode_wire`].
+    pub fn parse(buf: &'a [u8]) -> Result<(AlignedDigestView<'a>, usize), WireError> {
+        let mut rest = buf;
+        check_header(&mut rest, ALIGNED_MAGIC)?;
+        let packets_seen = get_u64(&mut rest)?;
+        let packets_hashed = get_u64(&mut rest)?;
+        let raw_bytes = get_u64(&mut rest)?;
+        let bitmap = BitmapView::parse(rest)?;
+        let used = buf.len() - rest.len() + bitmap.encoded_len();
+        Ok((
+            AlignedDigestView {
+                bitmap,
+                packets_seen,
+                packets_hashed,
+                raw_bytes,
+            },
+            used,
+        ))
+    }
+
+    /// Copies the view into an owned [`AlignedDigest`].
+    pub fn to_owned(&self) -> AlignedDigest {
+        AlignedDigest {
+            bitmap: self.bitmap.to_bitmap(),
+            packets_seen: self.packets_seen,
+            packets_hashed: self.packets_hashed,
+            raw_bytes: self.raw_bytes,
+        }
+    }
+}
+
+/// Borrowed view of one unaligned-digest frame (`b"DCSU"`).
+///
+/// Because `decode_wire` already enforces uniform array widths, every
+/// embedded bitmap frame has the same encoded length; arrays are
+/// addressed by computed offset into the borrowed body, with no
+/// per-array bookkeeping.
+#[derive(Clone, Copy, Debug)]
+pub struct UnalignedDigestView<'a> {
+    /// Arrays per group (rows per group when fused into a matrix).
+    pub arrays_per_group: usize,
+    /// Packets observed.
+    pub packets_seen: u64,
+    /// Packets sampled (payload ≥ min_payload).
+    pub packets_sampled: u64,
+    /// Raw traffic volume summarised, in wire bytes.
+    pub raw_bytes: u64,
+    /// Total number of arrays.
+    count: usize,
+    /// Encoded bytes of each array frame (uniform — widths agree).
+    frame_len: usize,
+    /// `count * frame_len` bytes of concatenated array frames.
+    body: &'a [u8],
+}
+
+impl<'a> UnalignedDigestView<'a> {
+    /// Validates the frame at the front of `buf`, returning the view and
+    /// the bytes it covers. Applies exactly the checks of
+    /// [`UnalignedDigest::decode_wire`], including the incremental
+    /// width-agreement check and the count-versus-buffer cap.
+    pub fn parse(buf: &'a [u8]) -> Result<(UnalignedDigestView<'a>, usize), WireError> {
+        let mut rest = buf;
+        check_header(&mut rest, UNALIGNED_MAGIC)?;
+        let packets_seen = get_u64(&mut rest)?;
+        let packets_sampled = get_u64(&mut rest)?;
+        let raw_bytes = get_u64(&mut rest)?;
+        let arrays_per_group = get_u32(&mut rest)? as usize;
+        let count = get_u32(&mut rest)? as usize;
+        if arrays_per_group == 0 {
+            return Err(WireError::Malformed("arrays_per_group = 0"));
+        }
+        if !count.is_multiple_of(arrays_per_group) {
+            return Err(WireError::Malformed("array count not a group multiple"));
+        }
+        // Same attacker-controlled-count cap as the owned decoder.
+        const MIN_BITMAP_FRAME: usize = 13;
+        if count.saturating_mul(MIN_BITMAP_FRAME) > rest.len() {
+            return Err(WireError::Truncated);
+        }
+        let body_start = buf.len() - rest.len();
+        let mut frame_len = 0;
+        let mut width = 0;
+        let mut offset = 0;
+        for i in 0..count {
+            let bm = BitmapView::parse(&rest[offset..])?;
+            if i == 0 {
+                frame_len = bm.encoded_len();
+                width = bm.len();
+            } else if bm.len() != width {
+                return Err(WireError::Malformed("mixed array widths"));
+            }
+            offset += bm.encoded_len();
+        }
+        Ok((
+            UnalignedDigestView {
+                arrays_per_group,
+                packets_seen,
+                packets_sampled,
+                raw_bytes,
+                count,
+                frame_len,
+                body: &rest[..offset],
+            },
+            body_start + offset,
+        ))
+    }
+
+    /// Total number of arrays.
+    #[inline]
+    pub fn array_count(&self) -> usize {
+        self.count
+    }
+
+    /// Total encoded bytes of the array bitmaps, as counted by
+    /// [`UnalignedDigest::encoded_len`].
+    #[inline]
+    pub fn encoded_len(&self) -> usize {
+        self.count * self.frame_len
+    }
+
+    /// Number of groups.
+    #[inline]
+    pub fn groups(&self) -> usize {
+        self.count / self.arrays_per_group
+    }
+
+    /// View of array `i` (group-major order, as in
+    /// [`UnalignedDigest::arrays`]).
+    ///
+    /// # Panics
+    /// Panics if `i >= array_count()`.
+    #[inline]
+    pub fn array(&self, i: usize) -> BitmapView<'a> {
+        assert!(i < self.count, "array {i} out of range {}", self.count);
+        let frame = &self.body[i * self.frame_len..(i + 1) * self.frame_len];
+        BitmapView::parse(frame).expect("frames validated by UnalignedDigestView::parse")
+    }
+
+    /// Copies the view into an owned [`UnalignedDigest`].
+    pub fn to_owned(&self) -> UnalignedDigest {
+        let arrays: Vec<Bitmap> = (0..self.count).map(|i| self.array(i).to_bitmap()).collect();
+        UnalignedDigest {
+            arrays,
+            arrays_per_group: self.arrays_per_group,
+            packets_seen: self.packets_seen,
+            packets_sampled: self.packets_sampled,
+            raw_bytes: self.raw_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AlignedCollector, AlignedConfig, UnalignedCollector, UnalignedConfig};
+    use dcs_traffic::{FlowLabel, Packet};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn digests() -> (AlignedDigest, UnalignedDigest) {
+        let mut r = StdRng::seed_from_u64(5);
+        let mut a = AlignedCollector::new(AlignedConfig::small(1 << 12, 3));
+        let mut u = UnalignedCollector::new(UnalignedConfig::small(4, 3, 5));
+        for _ in 0..1500 {
+            let mut payload = vec![0u8; 536];
+            r.fill(payload.as_mut_slice());
+            let p = Packet::new(FlowLabel::random(&mut r), payload);
+            a.observe(&p);
+            u.observe(&p);
+        }
+        (a.finish_epoch(), u.finish_epoch())
+    }
+
+    #[test]
+    fn aligned_view_matches_owned_decode() {
+        let (a, _) = digests();
+        let wire = a.encode_wire();
+        let (owned, used_owned) = AlignedDigest::decode_wire(&wire).unwrap();
+        let (view, used_view) = AlignedDigestView::parse(&wire).unwrap();
+        assert_eq!(used_view, used_owned);
+        assert_eq!(view.to_owned(), owned);
+    }
+
+    #[test]
+    fn unaligned_view_matches_owned_decode() {
+        let (_, u) = digests();
+        let wire = u.encode_wire().unwrap();
+        let (owned, used_owned) = UnalignedDigest::decode_wire(&wire).unwrap();
+        let (view, used_view) = UnalignedDigestView::parse(&wire).unwrap();
+        assert_eq!(used_view, used_owned);
+        assert_eq!(view.array_count(), owned.arrays.len());
+        assert_eq!(view.groups(), owned.groups());
+        for (i, bm) in owned.arrays.iter().enumerate() {
+            assert_eq!(&view.array(i).to_bitmap(), bm, "array {i}");
+        }
+        assert_eq!(view.to_owned(), owned);
+    }
+
+    #[test]
+    fn views_reject_what_owned_decoders_reject() {
+        let (a, u) = digests();
+        for (wire, aligned) in [
+            (a.encode_wire().to_vec(), true),
+            (u.encode_wire().unwrap().to_vec(), false),
+        ] {
+            for cut in [0usize, 3, 5, 12, 29, wire.len() - 1] {
+                if aligned {
+                    assert!(AlignedDigestView::parse(&wire[..cut]).is_err(), "cut {cut}");
+                } else {
+                    assert!(
+                        UnalignedDigestView::parse(&wire[..cut]).is_err(),
+                        "cut {cut}"
+                    );
+                }
+            }
+        }
+    }
+}

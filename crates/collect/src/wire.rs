@@ -61,7 +61,7 @@ impl From<BitmapError> for WireError {
     }
 }
 
-fn check_header(buf: &mut &[u8], magic: [u8; 4]) -> Result<(), WireError> {
+pub(crate) fn check_header(buf: &mut &[u8], magic: [u8; 4]) -> Result<(), WireError> {
     if buf.len() < 5 {
         return Err(WireError::Truncated);
     }
@@ -77,14 +77,14 @@ fn check_header(buf: &mut &[u8], magic: [u8; 4]) -> Result<(), WireError> {
     Ok(())
 }
 
-fn get_u64(buf: &mut &[u8]) -> Result<u64, WireError> {
+pub(crate) fn get_u64(buf: &mut &[u8]) -> Result<u64, WireError> {
     if buf.len() < 8 {
         return Err(WireError::Truncated);
     }
     Ok(buf.get_u64_le())
 }
 
-fn get_u32(buf: &mut &[u8]) -> Result<u32, WireError> {
+pub(crate) fn get_u32(buf: &mut &[u8]) -> Result<u32, WireError> {
     if buf.len() < 4 {
         return Err(WireError::Truncated);
     }
@@ -412,6 +412,34 @@ mod fuzz {
         }
     }
 
+    /// Asserts the borrowed views agree with the owned decoders on
+    /// `bytes`: same accept/reject decision, same consumed length, and
+    /// identical content when both accept.
+    fn assert_view_agrees(bytes: &[u8]) {
+        match (
+            AlignedDigest::decode_wire(bytes),
+            crate::AlignedDigestView::parse(bytes),
+        ) {
+            (Ok((owned, used_o)), Ok((view, used_v))) => {
+                assert_eq!(used_o, used_v, "aligned consumed length");
+                assert_eq!(view.to_owned(), owned, "aligned content");
+            }
+            (Err(_), Err(_)) => {}
+            (o, v) => panic!("aligned decode {:?} but view {:?}", o.is_ok(), v.is_ok()),
+        }
+        match (
+            UnalignedDigest::decode_wire(bytes),
+            crate::UnalignedDigestView::parse(bytes),
+        ) {
+            (Ok((owned, used_o)), Ok((view, used_v))) => {
+                assert_eq!(used_o, used_v, "unaligned consumed length");
+                assert_eq!(view.to_owned(), owned, "unaligned content");
+            }
+            (Err(_), Err(_)) => {}
+            (o, v) => panic!("unaligned decode {:?} but view {:?}", o.is_ok(), v.is_ok()),
+        }
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -449,7 +477,39 @@ mod fuzz {
                     UnalignedDigest::decode_wire(&mangled),
                     mangled.len(),
                 );
+                // The borrowed views face the same mangled bytes: they
+                // must agree with the owned decoders exactly — same
+                // accept/reject decision, same content on accept — and
+                // never panic.
+                assert_view_agrees(&mangled);
             }
+        }
+
+        /// `RouterDigestView`-style equivalence at the digest-frame
+        /// level: parse ≡ decode_wire on arbitrary valid frames, and
+        /// error-or-sound on mutated ones.
+        #[test]
+        fn views_agree_with_owned_decoders_on_valid_frames(seed in 0u64..32) {
+            use rand::{Rng as _, SeedableRng as _};
+            let mut r = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut a = crate::AlignedCollector::new(crate::AlignedConfig::small(1 << 10, 3));
+            let mut u = crate::UnalignedCollector::new(crate::UnalignedConfig::small(2, 3, 5));
+            for _ in 0..60 {
+                let mut payload = vec![0u8; 536];
+                r.fill(payload.as_mut_slice());
+                let p = dcs_traffic::Packet::new(dcs_traffic::FlowLabel::random(&mut r), payload);
+                a.observe(&p);
+                u.observe(&p);
+            }
+            let aw = a.finish_epoch().encode_wire().to_vec();
+            let uw = u.finish_epoch().encode_wire().unwrap().to_vec();
+            assert_view_agrees(&aw);
+            assert_view_agrees(&uw);
+        }
+
+        #[test]
+        fn views_never_panic_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+            assert_view_agrees(&bytes);
         }
 
         #[test]

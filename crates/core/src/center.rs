@@ -1,16 +1,18 @@
 //! The central analysis module: fuses digests, runs both detection
 //! pipelines, emits reports.
 
-use crate::ingest::{self, Exclusion, IngestError, IngestReport, RouterFault};
-use crate::monitor::RouterDigest;
-use crate::report::{AlignedReport, EpochReport, UnalignedReport};
-use dcs_aligned::{refined_detect, SearchConfig};
-use dcs_bitmap::{ColMatrix, RowMatrix};
+use crate::ingest::{self, DigestShape, Exclusion, IngestError, IngestReport, RouterFault};
+use crate::monitor::{RouterDigest, RouterDigestView};
+use crate::report::{AlignedReport, EpochReport, EpochTimings, UnalignedReport};
+use dcs_aligned::{refined_detect_cached, SearchConfig, SearchScratch};
+use dcs_bitmap::{Bitmap, BitmapView, ColMatrix, RowMatrix};
 use dcs_unaligned::lambda::p_star_for_edge_prob;
 use dcs_unaligned::{
     build_group_graph_parallel, er_test, find_pattern, CoreFindConfig, ErTestConfig, GroupLayout,
     LambdaTable,
 };
+use std::sync::Mutex;
+use std::time::Instant;
 
 /// Configuration of the analysis centre.
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
@@ -79,16 +81,124 @@ impl AnalysisConfig {
     }
 }
 
+/// Reusable per-epoch buffers, owned by the centre and recycled across
+/// epochs: after the first epoch of a given deployment shape, fusing an
+/// epoch allocates nothing — digests stream from the wire frames straight
+/// into these buffers.
+#[derive(Debug)]
+struct EpochScratch {
+    /// The fused aligned m×n column matrix.
+    matrix: ColMatrix,
+    /// Per-column weights, accumulated incrementally during fusion (spares
+    /// the search its screening popcount pass).
+    col_weights: Vec<u32>,
+    /// Aligned-search scratch (screen order, work matrix, fan-out buffers).
+    search: SearchScratch,
+    /// The vertically stacked unaligned arrays.
+    urows: RowMatrix,
+    /// Owner router of each global flow-split group.
+    group_owner: Vec<usize>,
+}
+
+impl EpochScratch {
+    fn new() -> Self {
+        EpochScratch {
+            matrix: ColMatrix::new(0, 0),
+            col_weights: Vec::new(),
+            search: SearchScratch::new(),
+            urows: RowMatrix::new(0),
+            group_owner: Vec::new(),
+        }
+    }
+}
+
+/// The per-digest access the fused pipelines need — implemented by owned
+/// bundles and zero-copy wire views, so both ingest paths run one shared
+/// analysis body.
+trait EpochSource: DigestShape {
+    /// Raw traffic bytes summarised by this bundle.
+    fn src_raw_bytes(&self) -> u64;
+    /// Encoded digest bytes of this bundle.
+    fn src_encoded_len(&self) -> usize;
+    /// Number of unaligned flow-split groups.
+    fn groups(&self) -> usize;
+    /// Fuses the aligned bitmaps of `digests` into `matrix`, accumulating
+    /// per-column weights in `weights`.
+    fn fuse_aligned(digests: &[&Self], matrix: &mut ColMatrix, weights: &mut Vec<u32>);
+    /// Stacks the unaligned arrays of `digests` vertically into `rows`.
+    fn stack_unaligned(digests: &[&Self], rows: &mut RowMatrix);
+}
+
+impl EpochSource for RouterDigest {
+    fn src_raw_bytes(&self) -> u64 {
+        self.raw_bytes()
+    }
+    fn src_encoded_len(&self) -> usize {
+        self.encoded_len()
+    }
+    fn groups(&self) -> usize {
+        self.unaligned.groups()
+    }
+    fn fuse_aligned(digests: &[&Self], matrix: &mut ColMatrix, weights: &mut Vec<u32>) {
+        let rows: Vec<&Bitmap> = digests.iter().map(|d| &d.aligned.bitmap).collect();
+        matrix.fuse_rows_into(&rows, weights);
+    }
+    fn stack_unaligned(digests: &[&Self], rows: &mut RowMatrix) {
+        let ncols = digests
+            .first()
+            .and_then(|d| d.unaligned.arrays.first())
+            .map_or(0, Bitmap::len);
+        rows.reset(ncols);
+        for d in digests {
+            for a in &d.unaligned.arrays {
+                rows.push_bitmap(a);
+            }
+        }
+    }
+}
+
+impl EpochSource for RouterDigestView<'_> {
+    fn src_raw_bytes(&self) -> u64 {
+        self.raw_bytes()
+    }
+    fn src_encoded_len(&self) -> usize {
+        self.encoded_len()
+    }
+    fn groups(&self) -> usize {
+        self.unaligned.groups()
+    }
+    fn fuse_aligned(digests: &[&Self], matrix: &mut ColMatrix, weights: &mut Vec<u32>) {
+        let rows: Vec<BitmapView<'_>> = digests.iter().map(|d| d.aligned.bitmap).collect();
+        matrix.fuse_rows_into(&rows, weights);
+    }
+    fn stack_unaligned(digests: &[&Self], rows: &mut RowMatrix) {
+        let ncols = digests
+            .first()
+            .filter(|d| d.unaligned.array_count() > 0)
+            .map_or(0, |d| d.unaligned.array(0).len());
+        rows.reset(ncols);
+        for d in digests {
+            for i in 0..d.unaligned.array_count() {
+                rows.push_row_from(&d.unaligned.array(i));
+            }
+        }
+    }
+}
+
 /// The analysis centre.
 #[derive(Debug)]
 pub struct AnalysisCenter {
     cfg: AnalysisConfig,
+    scratch: Mutex<EpochScratch>,
 }
 
 impl AnalysisCenter {
     /// Creates the centre.
     pub fn new(cfg: AnalysisConfig) -> Self {
-        AnalysisCenter { cfg }
+        AnalysisCenter {
+            cfg,
+            scratch: Mutex::new(EpochScratch::new()),
+        }
     }
 
     /// The configuration in use.
@@ -106,23 +216,29 @@ impl AnalysisCenter {
     /// [`min_quorum`](AnalysisConfig::min_quorum) is a typed
     /// [`IngestError`], never a panic.
     pub fn analyze_epoch(&self, digests: &[RouterDigest]) -> Result<EpochReport, IngestError> {
+        let t0 = Instant::now();
         let (accepted, report) = ingest::validate(digests, self.cfg.min_quorum)?;
-        Ok(self.analyze_validated(&accepted, report))
+        Ok(self.analyze_validated(&accepted, report, t0))
     }
 
     /// Runs both pipelines over one epoch of *wire frames*, as shipped by
-    /// [`RouterDigest::encode_wire`]. Frames that fail to decode are
-    /// excluded with a [`RouterFault::Wire`] entry; the rest go through
-    /// the same validation and quorum policy as [`Self::analyze_epoch`].
+    /// [`RouterDigest::encode_wire`] — the zero-copy fast path. Each frame
+    /// is validated in place and viewed through [`RouterDigestView`];
+    /// accepted digests are fused into the centre's reusable scratch
+    /// straight from the frame bytes, with no intermediate owned digest.
+    /// Frames that fail to parse are excluded with a [`RouterFault::Wire`]
+    /// entry; the rest go through byte-for-byte the same validation and
+    /// quorum policy as [`Self::analyze_epoch`].
     pub fn analyze_epoch_wire<B: AsRef<[u8]>>(
         &self,
         frames: &[B],
     ) -> Result<EpochReport, IngestError> {
-        let mut decoded: Vec<(usize, RouterDigest)> = Vec::new();
+        let t0 = Instant::now();
+        let mut views: Vec<(usize, RouterDigestView<'_>)> = Vec::new();
         let mut excluded: Vec<Exclusion> = Vec::new();
         for (index, frame) in frames.iter().enumerate() {
-            match RouterDigest::decode_wire(frame.as_ref()) {
-                Ok((digest, _)) => decoded.push((index, digest)),
+            match RouterDigestView::parse(frame.as_ref()) {
+                Ok((view, _)) => views.push((index, view)),
                 Err(e) => excluded.push(Exclusion {
                     index,
                     router_id: None,
@@ -130,25 +246,84 @@ impl AnalysisCenter {
                 }),
             }
         }
-        let candidates: Vec<(usize, &RouterDigest)> =
-            decoded.iter().map(|(i, d)| (*i, d)).collect();
+        let candidates: Vec<(usize, &RouterDigestView<'_>)> =
+            views.iter().map(|(i, v)| (*i, v)).collect();
         let (accepted, report) =
             ingest::validate_batch(frames.len(), candidates, excluded, self.cfg.min_quorum)?;
-        Ok(self.analyze_validated(&accepted, report))
+        Ok(self.analyze_validated(&accepted, report, t0))
     }
 
-    /// Both pipelines over an already-validated batch.
-    fn analyze_validated(&self, digests: &[&RouterDigest], ingest: IngestReport) -> EpochReport {
-        let raw_bytes: u64 = digests.iter().map(|d| d.raw_bytes()).sum();
-        let digest_bytes: u64 = digests.iter().map(|d| d.encoded_len() as u64).sum();
+    /// Both pipelines over an already-validated batch (owned digests or
+    /// zero-copy views), through the centre's reusable epoch scratch.
+    fn analyze_validated<D: EpochSource>(
+        &self,
+        digests: &[&D],
+        ingest: IngestReport,
+        t0: Instant,
+    ) -> EpochReport {
+        let raw_bytes: u64 = digests.iter().map(|d| d.src_raw_bytes()).sum();
+        let digest_bytes: u64 = digests.iter().map(|d| d.src_encoded_len() as u64).sum();
+        let mut scratch = self.scratch.lock().expect("epoch scratch poisoned");
+        let s = &mut *scratch;
+
+        let fuse_start = Instant::now();
+        D::fuse_aligned(digests, &mut s.matrix, &mut s.col_weights);
+        D::stack_unaligned(digests, &mut s.urows);
+        let k = digests.first().map_or(1, |d| d.arrays_per_group());
+        s.group_owner.clear();
+        for d in digests {
+            s.group_owner
+                .extend(std::iter::repeat_n(d.router_id(), d.groups()));
+        }
+        let fuse_ns = fuse_start.elapsed().as_nanos() as u64;
+
+        let (det, search_t) =
+            refined_detect_cached(&s.matrix, &s.col_weights, &self.cfg.search, &mut s.search);
+        let aligned = AlignedReport {
+            found: det.found,
+            routers: det
+                .rows
+                .iter()
+                .map(|&r| digests[r as usize].router_id())
+                .collect(),
+            content_packets: det.cols.len(),
+            signature_indices: det.cols,
+        };
+        let unaligned = self.unaligned_from_rows(&s.urows, &s.group_owner, k);
+
         EpochReport {
             routers: digests.len(),
             raw_bytes,
             digest_bytes,
-            aligned: self.aligned_pipeline(digests),
-            unaligned: self.unaligned_pipeline(digests),
+            aligned,
+            unaligned,
             ingest,
+            timings: EpochTimings {
+                fuse_ns,
+                screen_ns: search_t.screen_ns,
+                sweep_ns: search_t.sweep_ns,
+                total_ns: t0.elapsed().as_nanos() as u64,
+            },
         }
+    }
+
+    /// Capacities of the reused epoch scratch: fused-matrix words, weight
+    /// slots, stacked unaligned words, group-owner slots, then the aligned
+    /// search's [`SearchScratch::capacities`]. Steady-state epochs of one
+    /// deployment shape must not grow any of these — the no-allocation
+    /// invariant the zero-copy fusion path is built around.
+    pub fn scratch_capacities(&self) -> [usize; 7] {
+        let s = self.scratch.lock().expect("epoch scratch poisoned");
+        let [order, work, fanouts] = s.search.capacities();
+        [
+            s.matrix.word_capacity(),
+            s.col_weights.capacity(),
+            s.urows.word_capacity(),
+            s.group_owner.capacity(),
+            order,
+            work,
+            fanouts,
+        ]
     }
 
     /// The aligned pipeline: fuse per-router bitmaps into the m×n matrix
@@ -158,14 +333,11 @@ impl AnalysisCenter {
     /// [`Self::analyze_epoch`], which validates first.
     pub fn analyze_aligned(&self, digests: &[RouterDigest]) -> AlignedReport {
         let refs: Vec<&RouterDigest> = digests.iter().collect();
-        self.aligned_pipeline(&refs)
-    }
-
-    fn aligned_pipeline(&self, digests: &[&RouterDigest]) -> AlignedReport {
-        let bitmaps: Vec<dcs_bitmap::Bitmap> =
-            digests.iter().map(|d| d.aligned.bitmap.clone()).collect();
-        let matrix = ColMatrix::from_router_bitmaps(&bitmaps);
-        let det = refined_detect(&matrix, &self.cfg.search);
+        let mut scratch = self.scratch.lock().expect("epoch scratch poisoned");
+        let s = &mut *scratch;
+        RouterDigest::fuse_aligned(&refs, &mut s.matrix, &mut s.col_weights);
+        let (det, _) =
+            refined_detect_cached(&s.matrix, &s.col_weights, &self.cfg.search, &mut s.search);
         AlignedReport {
             found: det.found,
             routers: det
@@ -186,25 +358,34 @@ impl AnalysisCenter {
     /// [`Self::analyze_epoch`], which validates first.
     pub fn analyze_unaligned(&self, digests: &[RouterDigest]) -> UnalignedReport {
         let refs: Vec<&RouterDigest> = digests.iter().collect();
-        self.unaligned_pipeline(&refs)
-    }
-
-    fn unaligned_pipeline(&self, digests: &[&RouterDigest]) -> UnalignedReport {
-        let first = &digests[0].unaligned;
-        let k = first.arrays_per_group;
-        let ncols = first.arrays.first().map_or(0, dcs_bitmap::Bitmap::len);
-        let mut rows = RowMatrix::new(ncols);
-        // Global group id = position in this concatenation; remember which
-        // router owns which group span.
-        let mut group_owner: Vec<usize> = Vec::new();
+        let k = digests[0].unaligned.arrays_per_group;
         for d in digests {
             assert_eq!(
                 d.unaligned.arrays_per_group, k,
                 "digests disagree on arrays per group"
             );
-            rows.vstack(&d.unaligned.to_rows());
-            group_owner.extend(std::iter::repeat_n(d.router_id, d.unaligned.groups()));
         }
+        let mut scratch = self.scratch.lock().expect("epoch scratch poisoned");
+        let s = &mut *scratch;
+        RouterDigest::stack_unaligned(&refs, &mut s.urows);
+        s.group_owner.clear();
+        for d in digests {
+            s.group_owner
+                .extend(std::iter::repeat_n(d.router_id, d.unaligned.groups()));
+        }
+        self.unaligned_from_rows(&s.urows, &s.group_owner, k)
+    }
+
+    /// ER test + core finding over an already-stacked row matrix. `rows`
+    /// holds every accepted router's arrays vertically concatenated;
+    /// `group_owner[g]` is the router owning global group `g`.
+    fn unaligned_from_rows(
+        &self,
+        rows: &RowMatrix,
+        group_owner: &[usize],
+        k: usize,
+    ) -> UnalignedReport {
+        let ncols = rows.ncols();
         let layout = GroupLayout { rows_per_group: k };
         let n_groups = group_owner.len();
         let pairs = k * k;
@@ -213,7 +394,7 @@ impl AnalysisCenter {
         let p_star_test = p_star_for_edge_prob(self.cfg.test_p1, pairs);
         let test_table = LambdaTable::new(ncols, p_star_test);
         let test_graph = build_group_graph_parallel(
-            &rows,
+            rows,
             layout,
             &test_table,
             self.cfg.compute.workers_for(n_groups),
@@ -231,7 +412,7 @@ impl AnalysisCenter {
             let p_star_det = p_star_for_edge_prob(self.cfg.detect_p1.min(0.999), pairs);
             let det_table = LambdaTable::new(ncols, p_star_det);
             let det_graph = build_group_graph_parallel(
-                &rows,
+                rows,
                 layout,
                 &det_table,
                 self.cfg.compute.workers_for(n_groups),
@@ -435,6 +616,97 @@ mod tests {
             }
             other => panic!("expected QuorumTooSmall, got {other:?}"),
         }
+    }
+
+    /// Builds one epoch of encoded wire frames from clean digests.
+    fn wire_frames(seed: u64, routers: usize) -> Vec<Vec<u8>> {
+        let mut r = StdRng::seed_from_u64(seed);
+        let mcfg = MonitorConfig::small(7, 1 << 12, 4);
+        let bg = BackgroundConfig {
+            packets: 300,
+            flows: 80,
+            zipf_exponent: 1.0,
+            size_mix: SizeMix::constant(536),
+        };
+        (0..routers)
+            .map(|id| {
+                let traffic = gen::generate_epoch(&mut r, &bg);
+                let mut mp = MonitoringPoint::new(id, &mcfg);
+                mp.observe_all(&traffic);
+                mp.finish_epoch()
+                    .encode_wire()
+                    .expect("bundle fits the wire format")
+                    .to_vec()
+            })
+            .collect()
+    }
+
+    /// The zero-copy wire path and the owned-digest path must agree on
+    /// every verdict and on the ingest accounting.
+    #[test]
+    fn wire_and_owned_paths_agree() {
+        let frames = wire_frames(8, 8);
+        let digests: Vec<RouterDigest> = frames
+            .iter()
+            .map(|f| RouterDigest::decode_wire(f).expect("clean frame").0)
+            .collect();
+        let center = AnalysisCenter::new(AnalysisConfig::for_groups(32));
+        let via_wire = center.analyze_epoch_wire(&frames).expect("quorum");
+        let via_owned = center.analyze_epoch(&digests).expect("quorum");
+        assert_eq!(via_wire.routers, via_owned.routers);
+        assert_eq!(via_wire.raw_bytes, via_owned.raw_bytes);
+        assert_eq!(via_wire.digest_bytes, via_owned.digest_bytes);
+        assert_eq!(via_wire.ingest, via_owned.ingest);
+        assert_eq!(via_wire.aligned.found, via_owned.aligned.found);
+        assert_eq!(via_wire.aligned.routers, via_owned.aligned.routers);
+        assert_eq!(
+            via_wire.aligned.signature_indices,
+            via_owned.aligned.signature_indices
+        );
+        assert_eq!(via_wire.unaligned.alarm, via_owned.unaligned.alarm);
+        assert_eq!(
+            via_wire.unaligned.largest_component,
+            via_owned.unaligned.largest_component
+        );
+        assert_eq!(
+            via_wire.unaligned.suspected_routers,
+            via_owned.unaligned.suspected_routers
+        );
+    }
+
+    /// After a warm-up epoch the scratch must hold steady: re-analysing
+    /// epochs of the same shape regrows no internal buffer (the zero
+    /// per-epoch-allocation invariant of the fusion path).
+    #[test]
+    fn epoch_scratch_holds_steady_across_epochs() {
+        let center = AnalysisCenter::new(AnalysisConfig::for_groups(32));
+        let frames = wire_frames(9, 8);
+        center.analyze_epoch_wire(&frames).expect("quorum");
+        let warm = center.scratch_capacities();
+        assert!(warm[0] > 0, "fused matrix never materialised");
+        assert!(warm[2] > 0, "unaligned rows never materialised");
+        for epoch in 0..3 {
+            let frames = wire_frames(10 + epoch, 8);
+            center.analyze_epoch_wire(&frames).expect("quorum");
+            assert_eq!(
+                center.scratch_capacities(),
+                warm,
+                "scratch regrew on steady-state epoch {epoch}"
+            );
+        }
+    }
+
+    /// Per-stage timings are populated and consistent.
+    #[test]
+    fn timings_are_populated() {
+        let report = run_epoch(11, 8, 0, 10, false);
+        let t = report.timings;
+        assert!(t.total_ns > 0, "total_ns empty");
+        assert!(t.sweep_ns > 0, "sweep_ns empty");
+        assert!(
+            t.fuse_ns + t.screen_ns + t.sweep_ns <= t.total_ns,
+            "stages {t:?} exceed the total"
+        );
     }
 
     /// The wire ingest path: one truncated frame and one garbage frame

@@ -267,6 +267,7 @@ mod tests {
                     suspected_groups: vec![9, 11],
                 },
                 ingest: Default::default(),
+                timings: Default::default(),
             },
             stable_aligned: false,
             stable_unaligned: true,

@@ -21,10 +21,71 @@
 //! configured quorum of bundles survive does ingest fail as a whole, with
 //! a typed [`IngestError`] instead of a panic.
 
-use crate::monitor::RouterDigest;
+use crate::monitor::{RouterDigest, RouterDigestView};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
+
+/// What validation needs to know about one digest bundle — implemented by
+/// owned [`RouterDigest`]s and borrowed [`RouterDigestView`]s so the copying
+/// and the zero-copy ingest paths share one validator and therefore one
+/// exclusion accounting.
+pub trait DigestShape {
+    /// The shipping router's id.
+    fn router_id(&self) -> usize;
+    /// The bundle's epoch id.
+    fn epoch_id(&self) -> u64;
+    /// Aligned bitmap width in bits.
+    fn aligned_bits(&self) -> usize;
+    /// Claimed arrays per flow-split group.
+    fn arrays_per_group(&self) -> usize;
+    /// Total unaligned arrays shipped.
+    fn array_count(&self) -> usize;
+    /// Width in bits of unaligned array `i` (`i < array_count()`).
+    fn array_bits(&self, i: usize) -> usize;
+}
+
+impl DigestShape for RouterDigest {
+    fn router_id(&self) -> usize {
+        self.router_id
+    }
+    fn epoch_id(&self) -> u64 {
+        self.epoch_id
+    }
+    fn aligned_bits(&self) -> usize {
+        self.aligned.bitmap.len()
+    }
+    fn arrays_per_group(&self) -> usize {
+        self.unaligned.arrays_per_group
+    }
+    fn array_count(&self) -> usize {
+        self.unaligned.arrays.len()
+    }
+    fn array_bits(&self, i: usize) -> usize {
+        self.unaligned.arrays[i].len()
+    }
+}
+
+impl DigestShape for RouterDigestView<'_> {
+    fn router_id(&self) -> usize {
+        self.router_id
+    }
+    fn epoch_id(&self) -> u64 {
+        self.epoch_id
+    }
+    fn aligned_bits(&self) -> usize {
+        self.aligned.bitmap.len()
+    }
+    fn arrays_per_group(&self) -> usize {
+        self.unaligned.arrays_per_group
+    }
+    fn array_count(&self) -> usize {
+        self.unaligned.array_count()
+    }
+    fn array_bits(&self, i: usize) -> usize {
+        self.unaligned.array(i).len()
+    }
+}
 
 /// Why one submitted digest bundle was excluded from an epoch's fusion.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -315,38 +376,42 @@ struct Shape {
 }
 
 impl Shape {
-    fn of(d: &RouterDigest) -> Shape {
+    fn of<D: DigestShape>(d: &D) -> Shape {
         Shape {
-            aligned_bits: d.aligned.bitmap.len(),
-            arrays_per_group: d.unaligned.arrays_per_group,
-            array_bits: d
-                .unaligned
-                .arrays
-                .first()
-                .map_or(0, dcs_bitmap::Bitmap::len),
-            epoch_id: d.epoch_id,
+            aligned_bits: d.aligned_bits(),
+            arrays_per_group: d.arrays_per_group(),
+            array_bits: if d.array_count() > 0 {
+                d.array_bits(0)
+            } else {
+                0
+            },
+            epoch_id: d.epoch_id(),
         }
     }
 }
 
 /// Checks one bundle in isolation; `None` means internally coherent.
-fn internal_fault(d: &RouterDigest) -> Option<RouterFault> {
-    let u = &d.unaligned;
-    if u.arrays.is_empty() {
+fn internal_fault<D: DigestShape>(d: &D) -> Option<RouterFault> {
+    let arrays = d.array_count();
+    if arrays == 0 {
         return Some(RouterFault::EmptyUnaligned);
     }
-    if u.arrays_per_group == 0 || !u.arrays.len().is_multiple_of(u.arrays_per_group) {
+    let arrays_per_group = d.arrays_per_group();
+    if arrays_per_group == 0 || !arrays.is_multiple_of(arrays_per_group) {
         return Some(RouterFault::GroupLayout {
-            arrays: u.arrays.len(),
-            arrays_per_group: u.arrays_per_group,
+            arrays,
+            arrays_per_group,
         });
     }
-    let width = u.arrays[0].len();
-    if let Some(bad) = u.arrays.iter().find(|a| a.len() != width) {
-        return Some(RouterFault::ArrayWidth {
-            expected: width,
-            got: bad.len(),
-        });
+    let width = d.array_bits(0);
+    for i in 1..arrays {
+        let got = d.array_bits(i);
+        if got != width {
+            return Some(RouterFault::ArrayWidth {
+                expected: width,
+                got,
+            });
+        }
     }
     None
 }
@@ -369,14 +434,17 @@ pub fn validate(
 /// already recorded upstream (e.g. wire frames that failed to decode).
 /// `submitted` is the original batch size including those prior rejects.
 ///
+/// Generic over [`DigestShape`], so owned bundles and zero-copy
+/// [`RouterDigestView`]s go through byte-for-byte identical validation.
+///
 /// Returns the accepted digests (in batch order) and the full accounting,
 /// or a typed error when the batch is empty or the quorum is missed.
-pub fn validate_batch(
+pub fn validate_batch<D: DigestShape>(
     submitted: usize,
-    candidates: Vec<(usize, &RouterDigest)>,
+    candidates: Vec<(usize, &D)>,
     prior_exclusions: Vec<Exclusion>,
     min_quorum: usize,
-) -> Result<(Vec<&RouterDigest>, IngestReport), IngestError> {
+) -> Result<(Vec<&D>, IngestReport), IngestError> {
     if submitted == 0 {
         return Err(IngestError::NoDigests);
     }
@@ -386,8 +454,8 @@ pub fn validate_batch(
     // ties break towards the earliest-seen shape.
     let mut votes: HashMap<Shape, (usize, usize)> = HashMap::new();
     for (order, (_, d)) in candidates.iter().enumerate() {
-        if internal_fault(d).is_none() {
-            let entry = votes.entry(Shape::of(d)).or_insert((0, order));
+        if internal_fault(*d).is_none() {
+            let entry = votes.entry(Shape::of(*d)).or_insert((0, order));
             entry.0 += 1;
         }
     }
@@ -396,7 +464,7 @@ pub fn validate_batch(
         .max_by(|(_, (ca, fa)), (_, (cb, fb))| ca.cmp(cb).then(fb.cmp(fa)))
         .map(|(shape, _)| *shape);
 
-    let mut accepted: Vec<&RouterDigest> = Vec::new();
+    let mut accepted: Vec<&D> = Vec::new();
     let mut accepted_ids: Vec<usize> = Vec::new();
     let mut first_seen: HashMap<usize, usize> = HashMap::new();
     for (index, d) in candidates {
@@ -427,20 +495,20 @@ pub fn validate_batch(
                 })
             } else {
                 first_seen
-                    .get(&d.router_id)
+                    .get(&d.router_id())
                     .map(|&first_index| RouterFault::DuplicateRouter { first_index })
             }
         });
         match fault {
             Some(fault) => excluded.push(Exclusion {
                 index,
-                router_id: Some(d.router_id),
+                router_id: Some(d.router_id()),
                 fault,
             }),
             None => {
-                first_seen.insert(d.router_id, index);
+                first_seen.insert(d.router_id(), index);
                 accepted.push(d);
-                accepted_ids.push(d.router_id);
+                accepted_ids.push(d.router_id());
             }
         }
     }

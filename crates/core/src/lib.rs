@@ -28,9 +28,9 @@ pub use capture::{GroupCapture, SignatureCapture};
 pub use center::{AnalysisCenter, AnalysisConfig};
 pub use deployment::{Deployment, DeploymentVerdict};
 pub use epochs::{catch_probability, AlarmTracker, EpochSampler};
-pub use ingest::{Exclusion, IngestError, IngestReport, RouterFault};
-pub use monitor::{MonitorConfig, MonitoringPoint, RouterDigest};
-pub use report::{AlignedReport, EpochReport, UnalignedReport};
+pub use ingest::{DigestShape, Exclusion, IngestError, IngestReport, RouterFault};
+pub use monitor::{MonitorConfig, MonitoringPoint, RouterDigest, RouterDigestView};
+pub use report::{AlignedReport, EpochReport, EpochTimings, UnalignedReport};
 
 /// Convenient glob-import surface.
 pub mod prelude {
@@ -39,8 +39,8 @@ pub mod prelude {
     pub use crate::deployment::{Deployment, DeploymentVerdict};
     pub use crate::epochs::{AlarmTracker, EpochSampler};
     pub use crate::ingest::{Exclusion, IngestError, IngestReport, RouterFault};
-    pub use crate::monitor::{MonitorConfig, MonitoringPoint, RouterDigest};
-    pub use crate::report::{AlignedReport, EpochReport, UnalignedReport};
+    pub use crate::monitor::{MonitorConfig, MonitoringPoint, RouterDigest, RouterDigestView};
+    pub use crate::report::{AlignedReport, EpochReport, EpochTimings, UnalignedReport};
     pub use dcs_aligned::{refined_detect, SearchConfig};
     pub use dcs_collect::{AlignedConfig, UnalignedConfig};
     pub use dcs_traffic::{BackgroundConfig, ContentObject, FlowLabel, Packet, Planting};

@@ -2,8 +2,8 @@
 
 use bytes::{BufMut, Bytes, BytesMut};
 use dcs_collect::{
-    AlignedCollector, AlignedConfig, AlignedDigest, UnalignedCollector, UnalignedConfig,
-    UnalignedDigest, WireError,
+    AlignedCollector, AlignedConfig, AlignedDigest, AlignedDigestView, UnalignedCollector,
+    UnalignedConfig, UnalignedDigest, UnalignedDigestView, WireError,
 };
 use dcs_traffic::Packet;
 
@@ -107,6 +107,82 @@ impl RouterDigest {
             },
             BUNDLE_HEADER + used_a + used_u,
         ))
+    }
+}
+
+/// Borrowed, validated view of one [`RouterDigest`] wire frame.
+///
+/// [`RouterDigestView::parse`] applies exactly the checks of
+/// [`RouterDigest::decode_wire`] — bundle header, both digest frames,
+/// every embedded bitmap — but leaves the bitmap bytes on the wire
+/// instead of copying them into owned buffers. The analysis centre fuses
+/// digests straight out of the received frames through these views, so
+/// its steady-state ingest path allocates nothing per digest.
+#[derive(Clone, Copy, Debug)]
+pub struct RouterDigestView<'a> {
+    /// The shipping router's index.
+    pub router_id: usize,
+    /// The epoch this bundle summarises.
+    pub epoch_id: u64,
+    /// Aligned-case digest view.
+    pub aligned: AlignedDigestView<'a>,
+    /// Unaligned-case digest view.
+    pub unaligned: UnalignedDigestView<'a>,
+}
+
+impl<'a> RouterDigestView<'a> {
+    /// Validates the frame at the front of `buf`, returning the view and
+    /// the bytes it covers. Never panics on arbitrary input — every
+    /// failure is a typed [`WireError`].
+    pub fn parse(buf: &'a [u8]) -> Result<(RouterDigestView<'a>, usize), WireError> {
+        if buf.len() < BUNDLE_HEADER {
+            return Err(WireError::Truncated);
+        }
+        if buf[..4] != BUNDLE_MAGIC {
+            let mut m = [0u8; 4];
+            m.copy_from_slice(&buf[..4]);
+            return Err(WireError::BadMagic(m));
+        }
+        if buf[4] != BUNDLE_VERSION {
+            return Err(WireError::BadVersion(buf[4]));
+        }
+        let router_id = u64::from_le_bytes(buf[5..13].try_into().expect("8-byte slice"));
+        let router_id = usize::try_from(router_id)
+            .map_err(|_| WireError::Malformed("router id exceeds usize"))?;
+        let epoch_id = u64::from_le_bytes(buf[13..21].try_into().expect("8-byte slice"));
+        let rest = &buf[BUNDLE_HEADER..];
+        let (aligned, used_a) = AlignedDigestView::parse(rest)?;
+        let (unaligned, used_u) = UnalignedDigestView::parse(&rest[used_a..])?;
+        Ok((
+            RouterDigestView {
+                router_id,
+                epoch_id,
+                aligned,
+                unaligned,
+            },
+            BUNDLE_HEADER + used_a + used_u,
+        ))
+    }
+
+    /// Total encoded digest bytes (both cases), as counted by
+    /// [`RouterDigest::encoded_len`].
+    pub fn encoded_len(&self) -> usize {
+        self.aligned.bitmap.encoded_len() + self.unaligned.encoded_len()
+    }
+
+    /// Raw traffic bytes summarised.
+    pub fn raw_bytes(&self) -> u64 {
+        self.aligned.raw_bytes
+    }
+
+    /// Copies the view into an owned [`RouterDigest`].
+    pub fn to_owned(&self) -> RouterDigest {
+        RouterDigest {
+            router_id: self.router_id,
+            epoch_id: self.epoch_id,
+            aligned: self.aligned.to_owned(),
+            unaligned: self.unaligned.to_owned(),
+        }
     }
 }
 
@@ -269,6 +345,42 @@ mod tests {
             RouterDigest::decode_wire(&bad),
             Err(dcs_collect::WireError::BadVersion(9))
         ));
+    }
+
+    #[test]
+    fn bundle_view_matches_owned_decode() {
+        let mut r = StdRng::seed_from_u64(4);
+        let cfg = MonitorConfig::small(7, 1 << 12, 4);
+        let mut mp = MonitoringPoint::new(11, &cfg);
+        let pkts = gen::generate_epoch(
+            &mut r,
+            &BackgroundConfig {
+                packets: 300,
+                flows: 60,
+                zipf_exponent: 1.0,
+                size_mix: SizeMix::constant(536),
+            },
+        );
+        mp.observe_all(&pkts);
+        let d = mp.finish_epoch();
+        let wire = d.encode_wire().expect("bundle fits the wire format");
+        let (owned, used_owned) = RouterDigest::decode_wire(&wire).unwrap();
+        let (view, used_view) = RouterDigestView::parse(&wire).unwrap();
+        assert_eq!(used_view, used_owned);
+        assert_eq!(view.router_id, owned.router_id);
+        assert_eq!(view.epoch_id, owned.epoch_id);
+        assert_eq!(view.encoded_len(), owned.encoded_len());
+        assert_eq!(view.raw_bytes(), owned.raw_bytes());
+        let back = view.to_owned();
+        assert_eq!(back.aligned, owned.aligned);
+        assert_eq!(back.unaligned, owned.unaligned);
+        // The view rejects every strict prefix, like the owned decoder.
+        for cut in 0..wire.len() {
+            assert!(
+                RouterDigestView::parse(&wire[..cut]).is_err(),
+                "strict prefix of {cut} bytes parsed"
+            );
+        }
     }
 
     #[test]

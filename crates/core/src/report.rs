@@ -35,6 +35,26 @@ pub struct UnalignedReport {
     pub suspected_groups: Vec<usize>,
 }
 
+/// Wall-clock nanoseconds spent in the analysis stages of one epoch.
+///
+/// `fuse_ns` covers turning validated digests into the fused matrices
+/// (including the incremental column weights); `screen_ns` and `sweep_ns`
+/// split the aligned search into its screening and product-search halves;
+/// `total_ns` clocks the whole call, ingest to report. The paper's 1-s
+/// epoch budget makes these the primary scalability figure of merit for
+/// the analysis centre.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EpochTimings {
+    /// Fusing validated digests into the column/row matrices.
+    pub fuse_ns: u64,
+    /// Aligned-search screening (rank columns, materialise the n′ heaviest).
+    pub screen_ns: u64,
+    /// Aligned product search, expansion sweep and verdict.
+    pub sweep_ns: u64,
+    /// The whole analysis call, ingest through report assembly.
+    pub total_ns: u64,
+}
+
 /// The per-epoch report bundle.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct EpochReport {
@@ -51,6 +71,8 @@ pub struct EpochReport {
     /// Ingest accounting: which routers were fused, which bundles were
     /// excluded and why. A degraded (but analysable) epoch shows up here.
     pub ingest: IngestReport,
+    /// Per-stage wall-clock timings of the analysis.
+    pub timings: EpochTimings,
 }
 
 impl EpochReport {
@@ -95,6 +117,12 @@ mod tests {
                     fault: crate::ingest::RouterFault::Wire("digest frame truncated".into()),
                 }],
             },
+            timings: EpochTimings {
+                fuse_ns: 1_000,
+                screen_ns: 2_000,
+                sweep_ns: 3_000,
+                total_ns: 10_000,
+            },
         }
     }
 
@@ -115,5 +143,7 @@ mod tests {
         assert_eq!(back.unaligned.component_threshold, 100);
         assert_eq!(back.ingest, r.ingest);
         assert!(back.ingest.is_degraded());
+        assert_eq!(back.timings, r.timings);
+        assert_eq!(back.timings.total_ns, 10_000);
     }
 }

@@ -122,6 +122,46 @@ where
     })
 }
 
+/// [`map_workers`] with a persistent per-worker scratch buffer.
+///
+/// `scratch` is grown to `workers` entries with `mk` (existing entries
+/// are kept — this is the epoch-scratch reuse path: buffers allocated in
+/// epoch 1 are handed back to workers in every later epoch), and worker
+/// `w` receives exclusive `&mut` access to `scratch[w]` for the duration
+/// of the call. Worker 0 runs on the calling thread, as in
+/// [`map_workers`].
+///
+/// Panics in a worker propagate to the caller.
+pub fn map_workers_scratch<S, T, F, M>(workers: usize, scratch: &mut Vec<S>, mk: M, f: F) -> Vec<T>
+where
+    S: Send,
+    T: Send,
+    F: Fn(usize, &mut S) -> T + Sync,
+    M: FnMut() -> S,
+{
+    let workers = workers.max(1);
+    scratch.resize_with(workers.max(scratch.len()), mk);
+    if workers == 1 {
+        return vec![f(0, &mut scratch[0])];
+    }
+    std::thread::scope(|scope| {
+        let f = &f;
+        let mut slots = scratch.iter_mut();
+        let first = slots.next().expect("scratch grown to worker count");
+        let handles: Vec<_> = slots
+            .take(workers - 1)
+            .enumerate()
+            .map(|(i, s)| scope.spawn(move || f(i + 1, s)))
+            .collect();
+        let mut out = Vec::with_capacity(workers);
+        out.push(f(0, first));
+        for h in handles {
+            out.push(h.join().expect("dcs-parallel worker panicked"));
+        }
+        out
+    })
+}
+
 /// Splits `0..len` into `parts` contiguous ranges whose lengths differ by
 /// at most one (the first `len % parts` ranges get the extra element).
 ///
@@ -220,6 +260,27 @@ mod tests {
         assert_eq!(seq, vec![0]);
         let par = map_workers(4, |w| w * 10);
         assert_eq!(par, vec![0, 10, 20, 30]);
+    }
+
+    #[test]
+    fn map_workers_scratch_reuses_buffers() {
+        let mut scratch: Vec<Vec<u64>> = Vec::new();
+        let out = map_workers_scratch(3, &mut scratch, Vec::new, |w, buf| {
+            buf.resize(100, w as u64);
+            buf.iter().sum::<u64>()
+        });
+        assert_eq!(out, vec![0, 100, 200]);
+        assert_eq!(scratch.len(), 3);
+        let caps: Vec<usize> = scratch.iter().map(Vec::capacity).collect();
+        // Second call hands the same buffers back: no capacity changes,
+        // and worker count can shrink without dropping scratch.
+        let out = map_workers_scratch(2, &mut scratch, Vec::new, |w, buf| {
+            assert_eq!(buf.len(), 100, "worker {w} got a fresh buffer");
+            buf.iter().sum::<u64>()
+        });
+        assert_eq!(out, vec![0, 100]);
+        assert_eq!(scratch.len(), 3);
+        assert_eq!(scratch.iter().map(Vec::capacity).collect::<Vec<_>>(), caps);
     }
 
     #[test]

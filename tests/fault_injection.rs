@@ -6,7 +6,7 @@
 
 use dcs::prelude::*;
 use dcs::sim::faults::{ship_with_faults, FaultKind, FaultPlan, ALL_FAULTS};
-use dcs_core::{IngestError, RouterFault};
+use dcs_core::{Exclusion, IngestError, RouterFault};
 use dcs_traffic::gen::{self, SizeMix};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -170,6 +170,90 @@ fn all_routers_truncated_is_a_typed_quorum_failure() {
             assert_eq!(report.excluded.len(), ROUTERS);
         }
         other => panic!("expected QuorumTooSmall, got {other:?}"),
+    }
+}
+
+/// The zero-copy view ingest must produce exclusion accounting identical
+/// to decoding every frame into an owned digest and validating those —
+/// for every fault kind, including frames the view validator rejects
+/// mid-parse.
+#[test]
+fn view_exclusion_accounting_matches_owned_decode() {
+    for (i, &kind) in ALL_FAULTS.iter().enumerate() {
+        let seed = 31 + i as u64;
+        let digests = collect_epoch(seed);
+        let plan = FaultPlan::uniform(&VICTIMS, kind);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xFA01);
+        let frames = ship_with_faults(&mut rng, &digests, &plan);
+
+        // The production path: borrowed views all the way down.
+        let view_report = match center().analyze_epoch_wire(&frames) {
+            Ok(r) => r.ingest,
+            Err(IngestError::QuorumTooSmall { report, .. }) => report,
+            Err(e) => panic!("{kind:?}: {e}"),
+        };
+
+        // Reference replica: decode owned digests, validate those.
+        let mut decoded: Vec<(usize, RouterDigest)> = Vec::new();
+        let mut excluded: Vec<Exclusion> = Vec::new();
+        for (index, frame) in frames.iter().enumerate() {
+            match RouterDigest::decode_wire(frame) {
+                Ok((d, _)) => decoded.push((index, d)),
+                Err(e) => excluded.push(Exclusion {
+                    index,
+                    router_id: None,
+                    fault: RouterFault::Wire(e.to_string()),
+                }),
+            }
+        }
+        let candidates: Vec<(usize, &RouterDigest)> =
+            decoded.iter().map(|(i, d)| (*i, d)).collect();
+        let owned_report =
+            match dcs_core::ingest::validate_batch(frames.len(), candidates, excluded, 1) {
+                Ok((_, r)) => r,
+                Err(IngestError::QuorumTooSmall { report, .. }) => report,
+                Err(e) => panic!("{kind:?}: {e}"),
+            };
+        assert_eq!(view_report, owned_report, "{kind:?}: accounting diverged");
+    }
+}
+
+/// Excluded frames leave zero trace in the fused matrices: a faulted
+/// batch yields bit-for-bit the verdicts of shipping only its surviving
+/// frames. Corrupt frames mid-stream cannot poison neighbouring rows.
+#[test]
+fn corrupt_frames_leave_no_trace_in_fusion() {
+    for kind in [FaultKind::Truncate, FaultKind::BitFlip, FaultKind::Desync] {
+        let digests = collect_epoch(41);
+        let plan = FaultPlan::uniform(&VICTIMS, kind);
+        let mut rng = StdRng::seed_from_u64(41 ^ 0xFA01);
+        let frames = ship_with_faults(&mut rng, &digests, &plan);
+        let full = center()
+            .analyze_epoch_wire(&frames)
+            .expect("quorum survives 25% faults");
+        let excluded: std::collections::HashSet<usize> =
+            full.ingest.excluded.iter().map(|e| e.index).collect();
+        let survivors: Vec<Vec<u8>> = frames
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !excluded.contains(i))
+            .map(|(_, f)| f.clone())
+            .collect();
+        let clean = center()
+            .analyze_epoch_wire(&survivors)
+            .expect("survivors are a quorum");
+        assert_eq!(full.routers, clean.routers, "{kind:?}");
+        assert_eq!(full.aligned.found, clean.aligned.found, "{kind:?}");
+        assert_eq!(full.aligned.routers, clean.aligned.routers, "{kind:?}");
+        assert_eq!(
+            full.aligned.signature_indices, clean.aligned.signature_indices,
+            "{kind:?}"
+        );
+        assert_eq!(full.unaligned.alarm, clean.unaligned.alarm, "{kind:?}");
+        assert_eq!(
+            full.unaligned.suspected_routers, clean.unaligned.suspected_routers,
+            "{kind:?}"
+        );
     }
 }
 

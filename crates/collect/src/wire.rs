@@ -518,6 +518,28 @@ mod fuzz {
             let _ = UnalignedDigest::decode_wire(&bytes);
         }
 
+        /// Big-soup variant: up to 64 KiB of arbitrary bytes. Anything
+        /// that is not a byte-exact valid frame must return `Err` without
+        /// panicking, and a declared-but-absurd element count must never
+        /// drive an allocation (the decoders cap counts against the
+        /// remaining buffer before reserving).
+        #[test]
+        fn decoders_never_panic_on_64k_soup(
+            bytes in proptest::collection::vec(any::<u8>(), 0..(64 * 1024)),
+            stamp_magic in any::<bool>(),
+        ) {
+            let mut soup = bytes;
+            if stamp_magic && soup.len() >= 4 {
+                // Half the cases get a valid magic, forcing the decoders
+                // past the first check into the length/count fields.
+                let magic = if soup[0] & 1 == 0 { *b"DCSA" } else { *b"DCSU" };
+                soup[..4].copy_from_slice(&magic);
+            }
+            let _ = AlignedDigest::decode_wire(&soup);
+            let _ = UnalignedDigest::decode_wire(&soup);
+            assert_view_agrees(&soup);
+        }
+
         #[test]
         fn decoders_never_panic_on_bitflips(pos in 0usize..200, val in any::<u8>()) {
             let mut r = {

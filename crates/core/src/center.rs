@@ -3,7 +3,8 @@
 
 use crate::ingest::{self, DigestShape, Exclusion, IngestError, IngestReport, RouterFault};
 use crate::monitor::{RouterDigest, RouterDigestView};
-use crate::report::{AlignedReport, EpochReport, EpochTimings, UnalignedReport};
+use crate::report::{AlignedReport, EpochReport, EpochTimings, TransportStats, UnalignedReport};
+use crate::session::CollectedEpoch;
 use dcs_aligned::{refined_detect_cached, SearchConfig, SearchScratch};
 use dcs_bitmap::{Bitmap, BitmapView, ColMatrix, RowMatrix};
 use dcs_unaligned::lambda::p_star_for_edge_prob;
@@ -206,6 +207,21 @@ impl AnalysisCenter {
         &self.cfg
     }
 
+    /// Locks the epoch scratch, recovering from poisoning instead of
+    /// propagating it: if a previous epoch panicked mid-fusion (e.g. a
+    /// malformed batch fed to one of the `analyze_*` pipelines directly),
+    /// the scratch's contents are suspect, so it is reset to empty — the
+    /// next epoch simply pays one warm-up regrowth — and the centre keeps
+    /// serving rather than turning every later epoch into a panic.
+    fn lock_scratch(&self) -> std::sync::MutexGuard<'_, EpochScratch> {
+        self.scratch.lock().unwrap_or_else(|poisoned| {
+            let mut guard = poisoned.into_inner();
+            *guard = EpochScratch::new();
+            self.scratch.clear_poison();
+            guard
+        })
+    }
+
     /// Runs both pipelines over one epoch's digests.
     ///
     /// The batch is validated first (see [`crate::ingest`]): bundles with
@@ -253,6 +269,41 @@ impl AnalysisCenter {
         Ok(self.analyze_validated(&accepted, report, t0))
     }
 
+    /// Runs both pipelines over an epoch delivered through the transport
+    /// layer: the reassembled bundles of a finalized
+    /// [`EpochCollector`](crate::session::EpochCollector), with its
+    /// transport exclusions (timed-out, checksum-dead or incomplete
+    /// sessions) carried into the ingest accounting ahead of the usual
+    /// shape/consensus validation, and its delivery stats stamped onto
+    /// the report. Quorum is judged over *all* exclusions, so a
+    /// transport-degraded epoch degrades exactly like a content-degraded
+    /// one.
+    pub fn analyze_epoch_collected(
+        &self,
+        epoch: &CollectedEpoch,
+    ) -> Result<EpochReport, IngestError> {
+        let t0 = Instant::now();
+        let mut views: Vec<(usize, RouterDigestView<'_>)> = Vec::new();
+        let mut excluded: Vec<Exclusion> = epoch.exclusions.clone();
+        for (index, bundle) in &epoch.frames {
+            match RouterDigestView::parse(bundle) {
+                Ok((view, _)) => views.push((*index, view)),
+                Err(e) => excluded.push(Exclusion {
+                    index: *index,
+                    router_id: None,
+                    fault: RouterFault::Wire(e.to_string()),
+                }),
+            }
+        }
+        let candidates: Vec<(usize, &RouterDigestView<'_>)> =
+            views.iter().map(|(i, v)| (*i, v)).collect();
+        let (accepted, report) =
+            ingest::validate_batch(epoch.submitted, candidates, excluded, self.cfg.min_quorum)?;
+        let mut out = self.analyze_validated(&accepted, report, t0);
+        out.transport = epoch.stats;
+        Ok(out)
+    }
+
     /// Both pipelines over an already-validated batch (owned digests or
     /// zero-copy views), through the centre's reusable epoch scratch.
     fn analyze_validated<D: EpochSource>(
@@ -263,7 +314,7 @@ impl AnalysisCenter {
     ) -> EpochReport {
         let raw_bytes: u64 = digests.iter().map(|d| d.src_raw_bytes()).sum();
         let digest_bytes: u64 = digests.iter().map(|d| d.src_encoded_len() as u64).sum();
-        let mut scratch = self.scratch.lock().expect("epoch scratch poisoned");
+        let mut scratch = self.lock_scratch();
         let s = &mut *scratch;
 
         let fuse_start = Instant::now();
@@ -304,6 +355,7 @@ impl AnalysisCenter {
                 sweep_ns: search_t.sweep_ns,
                 total_ns: t0.elapsed().as_nanos() as u64,
             },
+            transport: TransportStats::default(),
         }
     }
 
@@ -313,7 +365,7 @@ impl AnalysisCenter {
     /// deployment shape must not grow any of these — the no-allocation
     /// invariant the zero-copy fusion path is built around.
     pub fn scratch_capacities(&self) -> [usize; 7] {
-        let s = self.scratch.lock().expect("epoch scratch poisoned");
+        let s = self.lock_scratch();
         let [order, work, fanouts] = s.search.capacities();
         [
             s.matrix.word_capacity(),
@@ -333,7 +385,7 @@ impl AnalysisCenter {
     /// [`Self::analyze_epoch`], which validates first.
     pub fn analyze_aligned(&self, digests: &[RouterDigest]) -> AlignedReport {
         let refs: Vec<&RouterDigest> = digests.iter().collect();
-        let mut scratch = self.scratch.lock().expect("epoch scratch poisoned");
+        let mut scratch = self.lock_scratch();
         let s = &mut *scratch;
         RouterDigest::fuse_aligned(&refs, &mut s.matrix, &mut s.col_weights);
         let (det, _) =
@@ -365,7 +417,7 @@ impl AnalysisCenter {
                 "digests disagree on arrays per group"
             );
         }
-        let mut scratch = self.scratch.lock().expect("epoch scratch poisoned");
+        let mut scratch = self.lock_scratch();
         let s = &mut *scratch;
         RouterDigest::stack_unaligned(&refs, &mut s.urows);
         s.group_owner.clear();
@@ -745,6 +797,147 @@ mod tests {
         for e in &report.ingest.excluded {
             assert_eq!(e.router_id, None);
             assert!(matches!(e.fault, RouterFault::Wire(_)), "{:?}", e.fault);
+        }
+    }
+
+    /// A panic inside a pipeline (here: mismatched bitmap widths fed to
+    /// `analyze_aligned` directly, which asserts while holding the scratch
+    /// lock) poisons the scratch mutex. The centre must recover — reset
+    /// the scratch and keep analysing — rather than panic on every
+    /// subsequent epoch.
+    #[test]
+    fn poisoned_scratch_recovers_instead_of_panicking() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+
+        let mut r = StdRng::seed_from_u64(13);
+        let mcfg_a = MonitorConfig::small(7, 1 << 12, 4);
+        let mcfg_b = MonitorConfig::small(7, 1 << 10, 4);
+        let bg = BackgroundConfig {
+            packets: 200,
+            flows: 50,
+            zipf_exponent: 1.0,
+            size_mix: SizeMix::constant(536),
+        };
+        let mk = |id: usize, cfg: &MonitorConfig, r: &mut StdRng| {
+            let traffic = gen::generate_epoch(r, &bg);
+            let mut mp = MonitoringPoint::new(id, cfg);
+            mp.observe_all(&traffic);
+            mp.finish_epoch()
+        };
+        let mismatched = vec![mk(0, &mcfg_a, &mut r), mk(1, &mcfg_b, &mut r)];
+        let center = AnalysisCenter::new(AnalysisConfig::for_groups(8));
+        let panicked =
+            catch_unwind(AssertUnwindSafe(|| center.analyze_aligned(&mismatched))).is_err();
+        assert!(
+            panicked,
+            "mismatched widths should have tripped the fuse assert"
+        );
+
+        // The lock is now poisoned; every entry point must still work.
+        // (Two routers × 4 groups matches the centre's for_groups(8).)
+        let clean: Vec<RouterDigest> = (0..2).map(|id| mk(id, &mcfg_a, &mut r)).collect();
+        let report = center
+            .analyze_epoch(&clean)
+            .expect("centre must recover from a poisoned scratch");
+        assert_eq!(report.routers, 2);
+        let _ = center.scratch_capacities();
+    }
+
+    /// Chunked transport delivery feeding `analyze_epoch_collected` must
+    /// agree verdict-for-verdict with the direct wire path on the same
+    /// frames.
+    #[test]
+    fn collected_and_wire_paths_agree() {
+        use crate::session::{CollectorConfig, EpochCollector};
+        use crate::transport::chunk_bundle;
+
+        let frames = wire_frames(21, 6);
+        let center = AnalysisCenter::new(AnalysisConfig::for_groups(24));
+        let via_wire = center.analyze_epoch_wire(&frames).expect("quorum");
+
+        // Transport epoch 1 (the chunk envelopes' id); the bundles' own
+        // epoch ids only need to agree among themselves.
+        let mut coll = EpochCollector::new(
+            1,
+            (0..6).map(|r| r as u64),
+            CollectorConfig::default(),
+            3,
+            0,
+        );
+        for (router, frame) in frames.iter().enumerate() {
+            for chunk in chunk_bundle(router as u64, 1, frame, 512) {
+                coll.offer(&chunk, 0);
+            }
+        }
+        assert!(coll.ready(0));
+        let epoch = coll.finalize(0);
+        let via_transport = center.analyze_epoch_collected(&epoch).expect("quorum");
+
+        assert_eq!(via_transport.routers, via_wire.routers);
+        assert_eq!(via_transport.ingest, via_wire.ingest);
+        assert_eq!(via_transport.aligned.found, via_wire.aligned.found);
+        assert_eq!(
+            via_transport.aligned.signature_indices,
+            via_wire.aligned.signature_indices
+        );
+        assert_eq!(via_transport.unaligned.alarm, via_wire.unaligned.alarm);
+        assert_eq!(
+            via_transport.unaligned.largest_component,
+            via_wire.unaligned.largest_component
+        );
+        assert_eq!(
+            via_transport.transport.chunks_received,
+            epoch.stats.chunks_received
+        );
+        assert!(via_transport.transport.chunks_received > frames.len() as u64);
+        assert_eq!(via_wire.transport, Default::default());
+    }
+
+    /// Transport exclusions flow into the ingest accounting and count
+    /// against quorum exactly like content exclusions.
+    #[test]
+    fn transport_exclusions_join_ingest_accounting() {
+        use crate::session::{CollectorConfig, EpochCollector, StragglerPolicy};
+        use crate::transport::chunk_bundle;
+
+        let frames = wire_frames(22, 6);
+        let ccfg = CollectorConfig {
+            straggler: StragglerPolicy::Deadline,
+            ..Default::default()
+        };
+        let mut coll = EpochCollector::new(1, (0..6).map(|r| r as u64), ccfg, 3, 0);
+        // Router 4 never completes: only its first chunk arrives.
+        for (router, frame) in frames.iter().enumerate() {
+            let chunks = chunk_bundle(router as u64, 1, frame, 512);
+            let keep = if router == 4 { 1 } else { chunks.len() };
+            for chunk in &chunks[..keep] {
+                coll.offer(chunk, 0);
+            }
+        }
+        let deadline = coll.deadline();
+        let epoch = coll.finalize(deadline);
+        let center = AnalysisCenter::new(AnalysisConfig::for_groups(24));
+        let report = center.analyze_epoch_collected(&epoch).expect("quorum of 5");
+        assert_eq!(report.routers, 5);
+        assert_eq!(report.ingest.submitted, 6);
+        assert_eq!(report.ingest.excluded.len(), 1);
+        let e = &report.ingest.excluded[0];
+        assert_eq!(e.router_id, Some(4));
+        assert!(
+            matches!(e.fault, RouterFault::TimedOut { received: 1, .. }),
+            "{:?}",
+            e.fault
+        );
+        assert!(report.ingest.is_degraded());
+
+        // With min_quorum 6 the same epoch is a typed error.
+        let strict = AnalysisCenter::new(AnalysisConfig::for_groups(24).with_min_quorum(6));
+        match strict.analyze_epoch_collected(&epoch) {
+            Err(IngestError::QuorumTooSmall { required, report }) => {
+                assert_eq!(required, 6);
+                assert_eq!(report.accepted.len(), 5);
+            }
+            other => panic!("expected QuorumTooSmall, got {other:?}"),
         }
     }
 }

@@ -268,6 +268,7 @@ mod tests {
                 },
                 ingest: Default::default(),
                 timings: Default::default(),
+                transport: Default::default(),
             },
             stable_aligned: false,
             stable_unaligned: true,

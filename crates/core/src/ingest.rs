@@ -136,6 +136,30 @@ pub enum RouterFault {
         /// This bundle's epoch id.
         got: u64,
     },
+    /// The router's session was still incomplete when the epoch deadline
+    /// expired (transport layer).
+    TimedOut {
+        /// Chunks received before the deadline.
+        received: usize,
+        /// Declared total chunks (0 when no chunk ever arrived, so the
+        /// total was never learned).
+        total: usize,
+    },
+    /// A chunk of the router's bundle repeatedly failed its CRC-32
+    /// trailer and the retransmit budget ran out (transport layer).
+    ChecksumMismatch {
+        /// Lowest still-missing chunk that failed its checksum.
+        seq: u32,
+    },
+    /// The session was finalized before the deadline with chunks still
+    /// missing — e.g. the channel closed or retransmits were exhausted
+    /// (transport layer).
+    Incomplete {
+        /// Chunks received.
+        received: usize,
+        /// Declared total chunks (0 when never learned).
+        total: usize,
+    },
 }
 
 impl fmt::Display for RouterFault {
@@ -164,6 +188,24 @@ impl fmt::Display for RouterFault {
             }
             RouterFault::EpochDesync { expected, got } => {
                 write!(f, "epoch id {got}, epoch consensus {expected}")
+            }
+            RouterFault::TimedOut { received, total } => {
+                write!(
+                    f,
+                    "deadline expired with {received}/{total} chunks received"
+                )
+            }
+            RouterFault::ChecksumMismatch { seq } => {
+                write!(
+                    f,
+                    "chunk {seq} failed its checksum past the retransmit budget"
+                )
+            }
+            RouterFault::Incomplete { received, total } => {
+                write!(
+                    f,
+                    "session finalized with {received}/{total} chunks received"
+                )
             }
         }
     }
@@ -213,6 +255,19 @@ impl serde::Serialize for RouterFault {
                 ("expected".to_string(), serde::Value::UInt(*expected)),
                 ("got".to_string(), serde::Value::UInt(*got)),
             ],
+            RouterFault::TimedOut { received, total } => vec![
+                tag("timed_out"),
+                uint("received", *received),
+                uint("total", *total),
+            ],
+            RouterFault::ChecksumMismatch { seq } => {
+                vec![tag("checksum_mismatch"), uint("seq", *seq as usize)]
+            }
+            RouterFault::Incomplete { received, total } => vec![
+                tag("incomplete"),
+                uint("received", *received),
+                uint("total", *total),
+            ],
         })
     }
 }
@@ -247,6 +302,17 @@ impl serde::Deserialize for RouterFault {
             "epoch_desync" => RouterFault::EpochDesync {
                 expected: u64::from_value(v.field("expected")?)?,
                 got: u64::from_value(v.field("got")?)?,
+            },
+            "timed_out" => RouterFault::TimedOut {
+                received: uint("received")?,
+                total: uint("total")?,
+            },
+            "checksum_mismatch" => RouterFault::ChecksumMismatch {
+                seq: uint("seq")? as u32,
+            },
+            "incomplete" => RouterFault::Incomplete {
+                received: uint("received")?,
+                total: uint("total")?,
             },
             other => {
                 return Err(serde::Error::new(format!(

@@ -23,6 +23,8 @@ pub mod epochs;
 pub mod ingest;
 pub mod monitor;
 pub mod report;
+pub mod session;
+pub mod transport;
 
 pub use capture::{GroupCapture, SignatureCapture};
 pub use center::{AnalysisCenter, AnalysisConfig};
@@ -30,7 +32,12 @@ pub use deployment::{Deployment, DeploymentVerdict};
 pub use epochs::{catch_probability, AlarmTracker, EpochSampler};
 pub use ingest::{DigestShape, Exclusion, IngestError, IngestReport, RouterFault};
 pub use monitor::{MonitorConfig, MonitoringPoint, RouterDigest, RouterDigestView};
-pub use report::{AlignedReport, EpochReport, EpochTimings, UnalignedReport};
+pub use report::{AlignedReport, EpochReport, EpochTimings, TransportStats, UnalignedReport};
+pub use session::{
+    CollectedEpoch, CollectorConfig, EpochCollector, RetransmitRequest, SessionConfig,
+    StragglerPolicy,
+};
+pub use transport::{chunk_bundle, ChunkError, ChunkFrame};
 
 /// Convenient glob-import surface.
 pub mod prelude {
@@ -40,7 +47,14 @@ pub mod prelude {
     pub use crate::epochs::{AlarmTracker, EpochSampler};
     pub use crate::ingest::{Exclusion, IngestError, IngestReport, RouterFault};
     pub use crate::monitor::{MonitorConfig, MonitoringPoint, RouterDigest, RouterDigestView};
-    pub use crate::report::{AlignedReport, EpochReport, EpochTimings, UnalignedReport};
+    pub use crate::report::{
+        AlignedReport, EpochReport, EpochTimings, TransportStats, UnalignedReport,
+    };
+    pub use crate::session::{
+        CollectedEpoch, CollectorConfig, EpochCollector, RetransmitRequest, SessionConfig,
+        StragglerPolicy,
+    };
+    pub use crate::transport::{chunk_bundle, ChunkError, ChunkFrame};
     pub use dcs_aligned::{refined_detect, SearchConfig};
     pub use dcs_collect::{AlignedConfig, UnalignedConfig};
     pub use dcs_traffic::{BackgroundConfig, ContentObject, FlowLabel, Packet, Planting};

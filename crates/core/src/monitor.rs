@@ -186,6 +186,16 @@ impl<'a> RouterDigestView<'a> {
     }
 }
 
+/// Bounded resend buffer: the chunk frames of one shipped epoch, kept
+/// until the next epoch closes so the analysis centre's retransmit
+/// requests (and post-restart recovery) can be served. Acked chunks are
+/// pruned to bound memory further.
+#[derive(Debug)]
+struct ResendBuffer {
+    epoch_id: u64,
+    chunks: Vec<Option<Vec<u8>>>,
+}
+
 /// A monitoring point running both streaming modules over one router's
 /// traffic.
 #[derive(Debug)]
@@ -194,6 +204,7 @@ pub struct MonitoringPoint {
     epoch: u64,
     aligned: AlignedCollector,
     unaligned: UnalignedCollector,
+    resend: Option<ResendBuffer>,
 }
 
 impl MonitoringPoint {
@@ -209,6 +220,7 @@ impl MonitoringPoint {
             epoch: 0,
             aligned: AlignedCollector::new(cfg.aligned.clone()),
             unaligned: UnalignedCollector::new(ucfg),
+            resend: None,
         }
     }
 
@@ -255,6 +267,66 @@ impl MonitoringPoint {
             aligned: self.aligned.finish_epoch(),
             unaligned: self.unaligned.finish_epoch(),
         }
+    }
+
+    /// Closes the epoch and ships it as chunk frames (see
+    /// [`crate::transport`]): the wire bundle split into CRC-trailed
+    /// chunks of at most `max_payload` digest bytes each. The chunks are
+    /// also retained in a bounded resend buffer — exactly one epoch deep,
+    /// replacing the previous epoch's — so the analysis centre can
+    /// [`resend`](Self::resend) lost or corrupted chunks until the next
+    /// epoch closes.
+    pub fn finish_epoch_chunks(&mut self, max_payload: usize) -> Result<Vec<Vec<u8>>, WireError> {
+        let digest = self.finish_epoch();
+        let wire = digest.encode_wire()?;
+        let chunks = crate::transport::chunk_bundle(
+            self.router_id as u64,
+            digest.epoch_id,
+            &wire,
+            max_payload,
+        );
+        self.resend = Some(ResendBuffer {
+            epoch_id: digest.epoch_id,
+            chunks: chunks.iter().cloned().map(Some).collect(),
+        });
+        Ok(chunks)
+    }
+
+    /// Serves a retransmit request from the resend buffer: the still-held
+    /// chunk frames of `epoch_id` selected by `missing`. Empty when the
+    /// buffer holds a different epoch (the request outlived the buffer's
+    /// one-epoch retention) or the requested chunks were pruned by
+    /// [`ack`](Self::ack).
+    pub fn resend(&self, epoch_id: u64, missing: &crate::session::Missing) -> Vec<Vec<u8>> {
+        let Some(buf) = self.resend.as_ref().filter(|b| b.epoch_id == epoch_id) else {
+            return Vec::new();
+        };
+        match missing {
+            crate::session::Missing::All => buf.chunks.iter().flatten().cloned().collect(),
+            crate::session::Missing::Seqs(seqs) => seqs
+                .iter()
+                .filter_map(|&s| buf.chunks.get(s as usize).and_then(Clone::clone))
+                .collect(),
+        }
+    }
+
+    /// Applies a cumulative ack from the collector: every chunk of
+    /// `epoch_id` below `cumulative_ack` is pruned from the resend
+    /// buffer, releasing its memory.
+    pub fn ack(&mut self, epoch_id: u64, cumulative_ack: u32) {
+        if let Some(buf) = self.resend.as_mut().filter(|b| b.epoch_id == epoch_id) {
+            for c in buf.chunks.iter_mut().take(cumulative_ack as usize) {
+                *c = None;
+            }
+        }
+    }
+
+    /// Chunk frames still held in the resend buffer (diagnostics; bounds
+    /// the buffer's memory in tests).
+    pub fn resend_buffered(&self) -> usize {
+        self.resend
+            .as_ref()
+            .map_or(0, |b| b.chunks.iter().flatten().count())
     }
 }
 
@@ -381,6 +453,51 @@ mod tests {
                 "strict prefix of {cut} bytes parsed"
             );
         }
+    }
+
+    #[test]
+    fn resend_buffer_serves_one_epoch_and_prunes_on_ack() {
+        use crate::session::Missing;
+
+        let cfg = MonitorConfig::small(7, 1 << 12, 4);
+        let mut mp = MonitoringPoint::new(6, &cfg);
+        let mut r = StdRng::seed_from_u64(8);
+        let pkts = gen::generate_epoch(
+            &mut r,
+            &BackgroundConfig {
+                packets: 300,
+                flows: 60,
+                zipf_exponent: 1.0,
+                size_mix: SizeMix::constant(536),
+            },
+        );
+        mp.observe_all(&pkts);
+        let chunks = mp.finish_epoch_chunks(256).expect("bundle fits the wire");
+        assert!(chunks.len() > 1, "bundle should need several chunks");
+        assert_eq!(mp.resend_buffered(), chunks.len());
+
+        // Reassembling the resent chunks reproduces the original wire
+        // bundle exactly.
+        let all = mp.resend(0, &Missing::All);
+        assert_eq!(all, chunks);
+        let some = mp.resend(0, &Missing::Seqs(vec![1, 3]));
+        assert_eq!(some, vec![chunks[1].clone(), chunks[3].clone()]);
+        // Wrong epoch: nothing.
+        assert!(mp.resend(9, &Missing::All).is_empty());
+
+        // Acks prune; pruned chunks are no longer resendable.
+        mp.ack(0, 2);
+        assert_eq!(mp.resend_buffered(), chunks.len() - 2);
+        assert_eq!(
+            mp.resend(0, &Missing::Seqs(vec![0, 1, 2])),
+            vec![chunks[2].clone()]
+        );
+
+        // The next epoch evicts the buffer entirely (one epoch deep).
+        mp.observe_all(&pkts);
+        let next = mp.finish_epoch_chunks(256).expect("bundle fits the wire");
+        assert!(mp.resend(0, &Missing::All).is_empty());
+        assert_eq!(mp.resend(1, &Missing::All), next);
     }
 
     #[test]

@@ -55,6 +55,31 @@ pub struct EpochTimings {
     pub total_ns: u64,
 }
 
+/// Per-epoch transport accounting, recorded by the
+/// [`EpochCollector`](crate::session::EpochCollector) while the epoch's
+/// chunk frames were being received and reassembled. All zeros when the
+/// epoch was ingested without the transport layer (in-memory batches or
+/// whole wire frames handed straight to the centre).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransportStats {
+    /// Chunk frames accepted into reassembly buffers.
+    pub chunks_received: u64,
+    /// Retransmit requests issued (one per backoff firing, however many
+    /// chunks each requested).
+    pub retransmits: u64,
+    /// Chunks that arrived for the wrong epoch or after the epoch was
+    /// finalized.
+    pub late_chunks: u64,
+    /// Duplicate deliveries of already-held chunks (absorbed, not
+    /// double-counted into buffers).
+    pub duplicate_chunks: u64,
+    /// Frames rejected by the CRC-32 trailer or envelope decode.
+    pub corrupt_chunks: u64,
+    /// Times this epoch's collector was resumed from a checkpoint after a
+    /// centre restart.
+    pub checkpoint_resumes: u64,
+}
+
 /// The per-epoch report bundle.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct EpochReport {
@@ -73,6 +98,9 @@ pub struct EpochReport {
     pub ingest: IngestReport,
     /// Per-stage wall-clock timings of the analysis.
     pub timings: EpochTimings,
+    /// Delivery accounting from the transport layer (zeros when the epoch
+    /// bypassed it).
+    pub transport: TransportStats,
 }
 
 impl EpochReport {
@@ -123,6 +151,14 @@ mod tests {
                 sweep_ns: 3_000,
                 total_ns: 10_000,
             },
+            transport: TransportStats {
+                chunks_received: 80,
+                retransmits: 3,
+                late_chunks: 1,
+                duplicate_chunks: 2,
+                corrupt_chunks: 4,
+                checkpoint_resumes: 1,
+            },
         }
     }
 
@@ -145,5 +181,8 @@ mod tests {
         assert!(back.ingest.is_degraded());
         assert_eq!(back.timings, r.timings);
         assert_eq!(back.timings.total_ns, 10_000);
+        assert_eq!(back.transport, r.transport);
+        assert_eq!(back.transport.retransmits, 3);
+        assert_eq!(back.transport.checkpoint_resumes, 1);
     }
 }

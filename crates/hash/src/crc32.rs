@@ -1,0 +1,134 @@
+//! CRC-32 (IEEE 802.3, reflected polynomial `0xEDB8_8320`), implemented
+//! in-repo so the transport layer needs no external dependency.
+//!
+//! The digest transport envelope ([`dcs-core::transport`]) trails every
+//! chunk frame and every collector checkpoint with this checksum, so
+//! truncation and bit-flips on the measurement plane are *detectable*
+//! rather than silently decoded into garbage. CRC-32 is an
+//! error-detection code, not a MAC: it defends against line noise, not
+//! adversaries — the structural validation in `dcs-collect::wire` and
+//! `dcs-core::ingest` remains the backstop either way.
+//!
+//! The table is computed at compile time (`const fn`), one entry per byte
+//! value; [`Crc32`] streams over split buffers, [`crc32`] is the one-shot
+//! convenience.
+
+/// The reflected IEEE 802.3 generator polynomial.
+pub const POLY: u32 = 0xEDB8_8320;
+
+/// Byte-indexed remainder table for [`POLY`], built at compile time.
+const TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut byte = 0usize;
+    while byte < 256 {
+        let mut crc = byte as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[byte] = crc;
+        byte += 1;
+    }
+    table
+};
+
+/// Streaming CRC-32 over arbitrarily split input.
+#[derive(Debug, Clone, Copy)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    /// Starts a fresh checksum.
+    pub fn new() -> Self {
+        Crc32 { state: !0 }
+    }
+
+    /// Folds `bytes` into the checksum; chainable.
+    pub fn update(&mut self, bytes: &[u8]) -> &mut Self {
+        let mut crc = self.state;
+        for &b in bytes {
+            crc = (crc >> 8) ^ TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+        }
+        self.state = crc;
+        self
+    }
+
+    /// The checksum of everything folded in so far.
+    pub fn finish(&self) -> u32 {
+        !self.state
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Crc32::new()
+    }
+}
+
+/// One-shot CRC-32 of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(bytes);
+    c.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The classic check value for CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn streaming_matches_one_shot() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(4096).collect();
+        let whole = crc32(&data);
+        for split in [0usize, 1, 7, 255, 4095, 4096] {
+            let mut c = Crc32::new();
+            c.update(&data[..split]).update(&data[split..]);
+            assert_eq!(c.finish(), whole, "split at {split} diverged");
+        }
+    }
+
+    #[test]
+    fn single_bit_flips_always_detected() {
+        // CRC-32 detects every single-bit error within its span.
+        let data = b"epoch digest chunk payload".to_vec();
+        let reference = crc32(&data);
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                let mut mangled = data.clone();
+                mangled[byte] ^= 1 << bit;
+                assert_ne!(crc32(&mangled), reference, "flip {byte}:{bit} undetected");
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let data = b"some frame body with a checksum appended".to_vec();
+        let reference = crc32(&data);
+        for cut in 0..data.len() {
+            assert_ne!(
+                crc32(&data[..cut]),
+                reference,
+                "truncation at {cut} undetected"
+            );
+        }
+    }
+}

@@ -10,6 +10,7 @@
 //!   polynomial arithmetic and irreducibility testing needed to pick safe
 //!   moduli;
 //! * [`fnv`] — FNV-1a, a minimal seedable byte hash;
+//! * [`crc32`] — CRC-32/IEEE for wire-frame integrity trailers;
 //! * [`mix`] — SplitMix64 finalisation and multiply-shift universal hashing;
 //! * [`IndexHasher`] — the composition used by the collectors: fingerprint
 //!   a payload fragment, finalise with a per-epoch seed, and reduce to a
@@ -18,6 +19,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod crc32;
 pub mod fnv;
 pub mod gf2;
 pub mod mix;
@@ -26,6 +28,7 @@ pub mod rabin;
 #[cfg(test)]
 mod proptests;
 
+pub use crc32::{crc32, Crc32};
 pub use fnv::Fnv1a;
 pub use rabin::{RabinFingerprinter, RollingRabin, DEFAULT_POLY};
 

@@ -1,0 +1,275 @@
+//! A seeded lossy-channel model for the digest transport path.
+//!
+//! [`LossyChannel`] carries chunk frames (see `dcs_core::transport`) from
+//! the monitoring points to the analysis centre through an adversarial
+//! network: frames can be dropped, delayed, reordered, duplicated or
+//! bit-corrupted, each with an independent configured probability, all
+//! driven by one seeded RNG over virtual ticks — a failing soak epoch
+//! replays exactly from its seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Impairment probabilities and delay model of one channel.
+#[derive(Debug, Clone, Copy)]
+pub struct ChannelConfig {
+    /// Probability a sent frame is silently dropped.
+    pub drop_prob: f64,
+    /// Probability a delivered frame takes an extra reordering delay
+    /// (large enough to land behind later-sent frames).
+    pub reorder_prob: f64,
+    /// Probability a frame is delivered twice.
+    pub duplicate_prob: f64,
+    /// Probability a delivered frame has 1–3 bits flipped in flight.
+    pub corrupt_prob: f64,
+    /// Fixed propagation delay, in ticks.
+    pub base_delay: u64,
+    /// Random extra delay drawn from `[0, jitter]`.
+    pub jitter: u64,
+    /// Extra delay (beyond the jitter window) applied to reordered
+    /// frames, drawn from `[1, reorder_extra]`.
+    pub reorder_extra: u64,
+}
+
+impl ChannelConfig {
+    /// A perfect channel: instant, loss-free, in order.
+    pub fn perfect() -> Self {
+        ChannelConfig {
+            drop_prob: 0.0,
+            reorder_prob: 0.0,
+            duplicate_prob: 0.0,
+            corrupt_prob: 0.0,
+            base_delay: 0,
+            jitter: 0,
+            reorder_extra: 0,
+        }
+    }
+
+    /// The issue's soak regime: 10% chunk loss, 5% reordering, 2%
+    /// corruption, a little duplication and delay jitter.
+    pub fn soak() -> Self {
+        ChannelConfig {
+            drop_prob: 0.10,
+            reorder_prob: 0.05,
+            duplicate_prob: 0.02,
+            corrupt_prob: 0.02,
+            base_delay: 1,
+            jitter: 2,
+            reorder_extra: 6,
+        }
+    }
+}
+
+/// One frame in flight.
+#[derive(Debug, Clone)]
+struct InFlight {
+    deliver_at: u64,
+    seq: u64,
+    frame: Vec<u8>,
+}
+
+/// A seeded lossy channel over virtual ticks.
+#[derive(Debug)]
+pub struct LossyChannel {
+    cfg: ChannelConfig,
+    rng: StdRng,
+    in_flight: Vec<InFlight>,
+    next_seq: u64,
+    /// Frames dropped since construction (diagnostics).
+    pub dropped: u64,
+    /// Frames corrupted since construction (diagnostics).
+    pub corrupted: u64,
+}
+
+impl LossyChannel {
+    /// A channel with the given impairments, seeded for exact replay.
+    pub fn new(cfg: ChannelConfig, seed: u64) -> Self {
+        LossyChannel {
+            cfg,
+            rng: StdRng::seed_from_u64(seed),
+            in_flight: Vec::new(),
+            next_seq: 0,
+            dropped: 0,
+            corrupted: 0,
+        }
+    }
+
+    /// Re-seeds the RNG (e.g. per soak epoch, so a mid-soak divergence in
+    /// one run cannot cascade into every later epoch). In-flight frames
+    /// are kept — stragglers from the previous epoch still arrive, late.
+    pub fn reseed(&mut self, seed: u64) {
+        self.rng = StdRng::seed_from_u64(seed);
+    }
+
+    /// Sends one frame at tick `now`, applying the impairment model.
+    pub fn send(&mut self, frame: &[u8], now: u64) {
+        if self.cfg.drop_prob > 0.0 && self.rng.gen_bool(self.cfg.drop_prob) {
+            self.dropped += 1;
+            return;
+        }
+        let copies = if self.cfg.duplicate_prob > 0.0 && self.rng.gen_bool(self.cfg.duplicate_prob)
+        {
+            2
+        } else {
+            1
+        };
+        for _ in 0..copies {
+            let mut delay = self.cfg.base_delay;
+            if self.cfg.jitter > 0 {
+                delay += self.rng.gen_range(0..=self.cfg.jitter);
+            }
+            if self.cfg.reorder_prob > 0.0
+                && self.cfg.reorder_extra > 0
+                && self.rng.gen_bool(self.cfg.reorder_prob)
+            {
+                delay += self.rng.gen_range(1..=self.cfg.reorder_extra);
+            }
+            let mut bytes = frame.to_vec();
+            if self.cfg.corrupt_prob > 0.0
+                && !bytes.is_empty()
+                && self.rng.gen_bool(self.cfg.corrupt_prob)
+            {
+                let flips = self.rng.gen_range(1..=3usize);
+                for _ in 0..flips {
+                    let byte = self.rng.gen_range(0..bytes.len());
+                    let bit = self.rng.gen_range(0..8usize);
+                    bytes[byte] ^= 1u8 << bit;
+                }
+                self.corrupted += 1;
+            }
+            self.in_flight.push(InFlight {
+                deliver_at: now + delay,
+                seq: self.next_seq,
+                frame: bytes,
+            });
+            self.next_seq += 1;
+        }
+    }
+
+    /// Delivers every frame due at or before `now`, in deterministic
+    /// (deliver-tick, send-order) order.
+    pub fn deliver_due(&mut self, now: u64) -> Vec<Vec<u8>> {
+        let mut due: Vec<InFlight> = Vec::new();
+        let mut i = 0;
+        while i < self.in_flight.len() {
+            if self.in_flight[i].deliver_at <= now {
+                due.push(self.in_flight.swap_remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        due.sort_by_key(|f| (f.deliver_at, f.seq));
+        due.into_iter().map(|f| f.frame).collect()
+    }
+
+    /// Frames still in flight.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Drops everything still in flight (e.g. frames addressed to a
+    /// centre that just crashed).
+    pub fn clear(&mut self) {
+        self.dropped += self.in_flight.len() as u64;
+        self.in_flight.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frames(n: usize) -> Vec<Vec<u8>> {
+        (0..n).map(|i| vec![i as u8; 32]).collect()
+    }
+
+    #[test]
+    fn perfect_channel_delivers_everything_in_order() {
+        let mut ch = LossyChannel::new(ChannelConfig::perfect(), 1);
+        for f in frames(10) {
+            ch.send(&f, 0);
+        }
+        let got = ch.deliver_due(0);
+        assert_eq!(got, frames(10));
+        assert_eq!(ch.in_flight(), 0);
+        assert_eq!(ch.dropped, 0);
+    }
+
+    #[test]
+    fn delay_holds_frames_until_due() {
+        let cfg = ChannelConfig {
+            base_delay: 5,
+            ..ChannelConfig::perfect()
+        };
+        let mut ch = LossyChannel::new(cfg, 1);
+        ch.send(b"x", 0);
+        assert!(ch.deliver_due(4).is_empty());
+        assert_eq!(ch.deliver_due(5).len(), 1);
+    }
+
+    #[test]
+    fn drop_rate_is_roughly_honoured() {
+        let cfg = ChannelConfig {
+            drop_prob: 0.3,
+            ..ChannelConfig::perfect()
+        };
+        let mut ch = LossyChannel::new(cfg, 7);
+        for _ in 0..2000 {
+            ch.send(b"frame", 0);
+        }
+        let delivered = ch.deliver_due(0).len();
+        assert!(
+            (1200..=1600).contains(&delivered),
+            "delivered {delivered}/2000 at 30% drop"
+        );
+        assert_eq!(ch.dropped as usize + delivered, 2000);
+    }
+
+    #[test]
+    fn duplicates_and_corruption_show_up() {
+        let cfg = ChannelConfig {
+            duplicate_prob: 0.5,
+            corrupt_prob: 0.5,
+            ..ChannelConfig::perfect()
+        };
+        let mut ch = LossyChannel::new(cfg, 3);
+        for _ in 0..200 {
+            ch.send(&[0u8; 64], 0);
+        }
+        let got = ch.deliver_due(0);
+        assert!(got.len() > 240, "expected duplicates, got {}", got.len());
+        let mangled = got.iter().filter(|f| f.iter().any(|&b| b != 0)).count();
+        assert!(mangled > 50, "expected corruption, got {mangled}");
+        assert_eq!(ch.corrupted as usize, mangled);
+    }
+
+    #[test]
+    fn same_seed_replays_identically() {
+        let run = || {
+            let mut ch = LossyChannel::new(ChannelConfig::soak(), 42);
+            let mut out = Vec::new();
+            for (i, f) in frames(50).iter().enumerate() {
+                ch.send(f, i as u64);
+            }
+            for now in 0..80 {
+                out.extend(ch.deliver_due(now));
+            }
+            out
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn clear_loses_in_flight_frames() {
+        let cfg = ChannelConfig {
+            base_delay: 10,
+            ..ChannelConfig::perfect()
+        };
+        let mut ch = LossyChannel::new(cfg, 1);
+        ch.send(b"a", 0);
+        ch.send(b"b", 0);
+        ch.clear();
+        assert!(ch.deliver_due(100).is_empty());
+        assert_eq!(ch.dropped, 2);
+    }
+}

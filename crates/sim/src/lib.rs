@@ -16,6 +16,11 @@
 //! * [`faults`] — seeded fault injection on the digest shipping path
 //!   (drops, truncation, bit flips, duplicates, epoch desync), for
 //!   exercising the analysis centre's ingest layer;
+//! * [`channel`] — a seeded lossy-channel model (drop, delay, reorder,
+//!   duplicate, corrupt) for the chunked digest transport;
+//! * [`soak`] — the transport soak harness: many epochs of monitors →
+//!   lossy channel → epoch collector → analysis centre, with optional
+//!   mid-soak centre kill/restart through the checkpoint path;
 //! * [`table`] — plain-text row/series formatting for the `repro_*`
 //!   binaries.
 
@@ -24,7 +29,9 @@
 
 pub mod aligned;
 pub mod baseline;
+pub mod channel;
 pub mod faults;
+pub mod soak;
 pub mod stress;
 pub mod table;
 pub mod unaligned;

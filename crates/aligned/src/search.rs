@@ -78,14 +78,27 @@ impl SearchScratch {
     }
 }
 
-/// Wall-clock nanoseconds of the two stages behind
-/// [`refined_detect_cached`].
+/// Wall-clock nanoseconds of the stages behind
+/// [`refined_detect_cached`], one field per pipeline stage.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SearchTimings {
     /// Ranking the columns and materialising the n′ heaviest (screening).
     pub screen_ns: u64,
-    /// Product search, expansion sweep and verdict.
-    pub sweep_ns: u64,
+    /// Greedy product search plus the termination-procedure read
+    /// (core-finding).
+    pub core_ns: u64,
+    /// Expansion sweep of the core row vector across all columns.
+    pub expand_ns: u64,
+    /// Natural-occurrence verdict and report assembly.
+    pub verdict_ns: u64,
+}
+
+impl SearchTimings {
+    /// Everything after screening — the historical "sweep" aggregate
+    /// (core search + expansion + verdict).
+    pub fn sweep_ns(&self) -> u64 {
+        self.core_ns + self.expand_ns + self.verdict_ns
+    }
 }
 
 /// Tuning parameters of the greedy search.
@@ -372,7 +385,7 @@ pub fn refined_detect_multi(
 /// no screening, no expansion sweep.
 pub fn naive_detect(matrix: &ColMatrix, cfg: &SearchConfig) -> AlignedDetection {
     let identity: Vec<usize> = (0..matrix.ncols()).collect();
-    detect_inner(matrix, matrix, &identity, cfg, false, &mut Vec::new())
+    detect_inner(matrix, matrix, &identity, cfg, false, &mut Vec::new()).0
 }
 
 /// The refined algorithm (Figure 6): screen the n′ heaviest columns, find
@@ -425,8 +438,7 @@ pub fn refined_detect_cached(
     order.sort_unstable_by_key(|&j| (Reverse(weights[j]), j));
     matrix.select_columns_into(order, &mut scratch.work);
     let screen_ns = t0.elapsed().as_nanos() as u64;
-    let t1 = Instant::now();
-    let det = detect_inner(
+    let (det, mut timings) = detect_inner(
         matrix,
         &scratch.work,
         &scratch.order,
@@ -434,18 +446,14 @@ pub fn refined_detect_cached(
         true,
         &mut scratch.fanouts,
     );
-    let sweep_ns = t1.elapsed().as_nanos() as u64;
-    (
-        det,
-        SearchTimings {
-            screen_ns,
-            sweep_ns,
-        },
-    )
+    timings.screen_ns = screen_ns;
+    (det, timings)
 }
 
 /// Shared tail: search `work` (whose column `k` is original column
 /// `mapping[k]`), read the curve, optionally expand across `matrix`.
+/// Returns the detection plus per-stage timings (`screen_ns` left zero —
+/// screening happens in the caller).
 fn detect_inner(
     matrix: &ColMatrix,
     work: &ColMatrix,
@@ -453,10 +461,14 @@ fn detect_inner(
     cfg: &SearchConfig,
     expand: bool,
     fanouts: &mut Vec<Vec<u32>>,
-) -> AlignedDetection {
+) -> (AlignedDetection, SearchTimings) {
+    let mut timings = SearchTimings::default();
+    let t_core = Instant::now();
     let (curve, best) = product_search(work, cfg, fanouts);
-    let Some(stop) = stop_point(&curve, cfg.termination) else {
-        return AlignedDetection::not_found(curve);
+    let stopped = stop_point(&curve, cfg.termination);
+    timings.core_ns = t_core.elapsed().as_nanos() as u64;
+    let Some(stop) = stopped else {
+        return (AlignedDetection::not_found(curve), timings);
     };
     let core = &best[stop];
     let core_cols: Vec<usize> = core.members.iter().map(|&k| mapping[k as usize]).collect();
@@ -468,6 +480,7 @@ fn detect_inner(
     // stays cache-hot across the batch.
     let mut cols = core_cols.clone();
     if expand {
+        let t_expand = Instant::now();
         let thresh = core.weight.saturating_sub(cfg.gamma);
         let core_set: std::collections::HashSet<usize> = core_cols.iter().copied().collect();
         let block_cols = cfg.compute.effective_block_cols();
@@ -493,10 +506,12 @@ fn detect_inner(
         });
         cols.extend(survivors.into_iter().flatten());
         cols.sort_unstable();
+        timings.expand_ns = t_expand.elapsed().as_nanos() as u64;
     }
 
     // Verdict: is (weight(core) × |cols|) non-naturally-occurring in the
     // full matrix?
+    let t_verdict = Instant::now();
     let ln_p = ln_natural_occurrence(
         matrix.nrows() as u64,
         matrix.ncols() as u64,
@@ -504,24 +519,27 @@ fn detect_inner(
         cols.len() as u64,
     );
     let found = ln_p <= cfg.epsilon.ln();
-    if !found {
-        return AlignedDetection {
+    let det = if found {
+        AlignedDetection {
+            found,
+            rows: iter_ones(&core.words).map(|r| r as u32).collect(),
+            cols,
+            core_cols,
+            weight_curve: curve,
+            stopped_at: Some(stop),
+        }
+    } else {
+        AlignedDetection {
             found: false,
             rows: Vec::new(),
             cols: Vec::new(),
             core_cols,
             weight_curve: curve,
             stopped_at: Some(stop),
-        };
-    }
-    AlignedDetection {
-        found,
-        rows: iter_ones(&core.words).map(|r| r as u32).collect(),
-        cols,
-        core_cols,
-        weight_curve: curve,
-        stopped_at: Some(stop),
-    }
+        }
+    };
+    timings.verdict_ns = t_verdict.elapsed().as_nanos() as u64;
+    (det, timings)
 }
 
 #[cfg(test)]
@@ -756,7 +774,8 @@ mod tests {
         assert_eq!(cached.cols, plain.cols);
         assert_eq!(cached.core_cols, plain.core_cols);
         assert_eq!(cached.weight_curve, plain.weight_curve);
-        assert!(timings.sweep_ns > 0);
+        assert!(timings.sweep_ns() > 0);
+        assert!(timings.core_ns > 0, "core search must be timed");
         // A second epoch through the same scratch must not regrow the
         // screening buffers.
         let order_cap = scratch.order.capacity();

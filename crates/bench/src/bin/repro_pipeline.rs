@@ -11,15 +11,16 @@
 //! Honours `DCS_SCALE=quick` for a fast smoke pass.
 
 use dcs_aligned::{refined_detect, refined_detect_cached, SearchScratch};
-use dcs_bench::{banner, repro_search_config, RunScale};
+use dcs_bench::{banner, repro_search_config, write_report, BenchError, RunScale, StageGauges};
 use dcs_bitmap::words::{active_kernel, force_kernel};
 use dcs_bitmap::{Bitmap, ColMatrix, Kernel};
 use dcs_collect::{AlignedDigest, UnalignedDigest};
 use dcs_core::center::{AnalysisCenter, AnalysisConfig};
 use dcs_core::ingest;
-use dcs_core::{EpochTimings, RouterDigest, RouterDigestView};
+use dcs_core::{EpochTimings, MetricsSnapshot, RouterDigest, RouterDigestView};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::process::ExitCode;
 use std::time::Instant;
 
 /// Deployment shape of one synthetic epoch.
@@ -69,6 +70,12 @@ struct Report {
     epoch_timings_cold: EpochTimings,
     /// …and on the same centre at steady state (scratch reused).
     epoch_timings_steady: EpochTimings,
+    /// Per-stage breakdown of the centre's final sampled epoch — all
+    /// nine stages of both pipelines, from the metrics registry.
+    center_stage_ns: StageGauges,
+    /// The centre's full metrics snapshot after the sampled epochs
+    /// (cumulative histograms/counters; gauges hold the last epoch).
+    metrics: MetricsSnapshot,
     headline_speedup: f64,
 }
 
@@ -220,7 +227,17 @@ fn fused_epoch(
     (det, stages)
 }
 
-fn main() {
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), BenchError> {
     let scale = RunScale::from_env(1);
     banner(
         "streaming epoch-pipeline measurements",
@@ -367,6 +384,8 @@ fn main() {
             epoch_timings_steady = t;
         }
     }
+    let metrics = center.metrics();
+    let center_stage_ns = StageGauges::from_snapshot(&metrics);
 
     println!(
         "{:<38} {:>9} {:>12} {:>12} {:>12} {:>12} {:>8}",
@@ -393,6 +412,24 @@ fn main() {
         epoch_timings_steady.screen_ns as f64 / 1e6,
         epoch_timings_steady.sweep_ns as f64 / 1e6,
     );
+    println!(
+        "per-stage (last epoch): aligned fuse {:.2} / screen {:.2} / core_find {:.2} / \
+         sweep {:.2} / terminate {:.2} ms; unaligned stack_rows {:.2} / graph_build {:.2} / \
+         er_test {:.2} / peel {:.2} ms",
+        center_stage_ns.fuse_ns as f64 / 1e6,
+        center_stage_ns.screen_ns as f64 / 1e6,
+        center_stage_ns.core_find_ns as f64 / 1e6,
+        center_stage_ns.sweep_ns as f64 / 1e6,
+        center_stage_ns.terminate_ns as f64 / 1e6,
+        center_stage_ns.stack_rows_ns as f64 / 1e6,
+        center_stage_ns.graph_build_ns as f64 / 1e6,
+        center_stage_ns.er_test_ns as f64 / 1e6,
+        center_stage_ns.peel_ns as f64 / 1e6,
+    );
+    assert!(
+        center_stage_ns.all_nonzero(),
+        "every stage of both pipelines must record a span"
+    );
 
     let headline_speedup = variants
         .iter()
@@ -413,9 +450,11 @@ fn main() {
         variants,
         epoch_timings_cold,
         epoch_timings_steady,
+        center_stage_ns,
+        metrics,
         headline_speedup,
     };
-    let json = serde_json::to_string_pretty(&report).expect("serialise report");
-    std::fs::write("BENCH_pipeline.json", json + "\n").expect("write BENCH_pipeline.json");
+    write_report("BENCH_pipeline.json", &report)?;
     println!("\nheadline steady-state speedup {headline_speedup:.2}x; wrote BENCH_pipeline.json");
+    Ok(())
 }

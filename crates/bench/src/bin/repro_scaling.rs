@@ -7,7 +7,7 @@
 //! Honours `DCS_SCALE=quick` for a fast smoke pass.
 
 use dcs_aligned::refined_detect;
-use dcs_bench::{banner, repro_search_config, RunScale};
+use dcs_bench::{banner, repro_search_config, write_report, BenchError, RunScale};
 use dcs_bitmap::words::{
     and_weight, and_weight_many_into, and_weight_scalar, weight, weight_scalar,
 };
@@ -15,6 +15,7 @@ use dcs_parallel::ComputeBudget;
 use dcs_sim::aligned::screened_planted_matrix;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::process::ExitCode;
 use std::time::Instant;
 
 /// One timed kernel variant at one operand size.
@@ -181,7 +182,17 @@ fn bench_search_scaling(rng: &mut StdRng, quick: bool) -> Vec<ScalingSample> {
     out
 }
 
-fn main() {
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), BenchError> {
     let scale = RunScale::from_env(1);
     banner(
         "kernel & thread-scaling measurements",
@@ -223,7 +234,7 @@ fn main() {
         kernels,
         search_scaling,
     };
-    let json = serde_json::to_string_pretty(&report).expect("serialise report");
-    std::fs::write("BENCH_kernels.json", json + "\n").expect("write BENCH_kernels.json");
+    write_report("BENCH_kernels.json", &report)?;
     println!("\nwrote BENCH_kernels.json ({cpus} CPU(s) available)");
+    Ok(())
 }

@@ -7,10 +7,12 @@
 //! Honours `DCS_SCALE=quick` for a fast smoke pass and `DCS_REPS` as the
 //! epoch count of the full run.
 
-use dcs_bench::{banner, RunScale};
+use dcs_bench::{banner, write_report, BenchError, RunScale, StageGauges};
 use dcs_core::report::TransportStats;
+use dcs_core::MetricsSnapshot;
 use dcs_sim::channel::ChannelConfig;
 use dcs_sim::soak::{run_soak, EpochOutcome, KillPlan, SoakConfig};
+use std::process::ExitCode;
 
 /// One soak epoch's record.
 #[derive(serde::Serialize)]
@@ -52,6 +54,12 @@ struct Report {
     regimes: Vec<RegimeRow>,
     /// Per-epoch breakdown of the standard (issue) regime.
     standard_epochs: Vec<EpochRow>,
+    /// Per-stage breakdown of the standard regime's final analysed
+    /// epoch — all nine stages of both pipelines.
+    center_stage_ns: StageGauges,
+    /// The standard regime centre's full metrics snapshot: cumulative
+    /// per-stage histograms plus ingest/transport counters of the soak.
+    metrics: MetricsSnapshot,
 }
 
 fn summarize(name: &str, cfg: &SoakConfig, result: &dcs_sim::soak::SoakResult) -> RegimeRow {
@@ -73,7 +81,17 @@ fn summarize(name: &str, cfg: &SoakConfig, result: &dcs_sim::soak::SoakResult) -
     }
 }
 
-fn main() {
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), BenchError> {
     banner(
         "transport soak: chunked digest delivery under loss/reorder/corruption",
         "PR 4 transport layer; paper §II-B digest shipping",
@@ -166,6 +184,11 @@ fn main() {
     }
     let resumes: u64 = regimes.iter().map(|r| r.totals.checkpoint_resumes).sum();
     println!("checkpoint resumes across regimes: {resumes}");
+    let center_stage_ns = StageGauges::from_snapshot(&standard_result.metrics);
+    println!(
+        "standard regime per-epoch analysis (last epoch): {:.2} ms across both pipelines",
+        standard_result.metrics.gauge("epoch_total_ns").unwrap_or(0) as f64 / 1e6
+    );
 
     let report = Report {
         generator: "repro_transport".to_string(),
@@ -180,8 +203,10 @@ fn main() {
         infected: standard.infected,
         regimes,
         standard_epochs,
+        center_stage_ns,
+        metrics: standard_result.metrics,
     };
-    let json = serde_json::to_string_pretty(&report).expect("serialise report");
-    std::fs::write("BENCH_transport.json", json + "\n").expect("write BENCH_transport.json");
+    write_report("BENCH_transport.json", &report)?;
     println!("wrote BENCH_transport.json");
+    Ok(())
 }

@@ -107,7 +107,7 @@ impl ColMatrix {
     /// replacing its previous contents and reusing its allocation.
     ///
     /// The transpose runs on 64-row × 64-column word tiles: gather one
-    /// word from each of 64 rows, [`transpose64`] the block in
+    /// word from each of 64 rows, `transpose64` the block in
     /// registers, scatter the 64 resulting row-words into their
     /// columns. Column weights are accumulated into `weights` during
     /// the scatter (`weights[c]` = number of 1s in column `c`), so

@@ -5,8 +5,10 @@ use crate::ingest::{self, DigestShape, Exclusion, IngestError, IngestReport, Rou
 use crate::monitor::{RouterDigest, RouterDigestView};
 use crate::report::{AlignedReport, EpochReport, EpochTimings, TransportStats, UnalignedReport};
 use crate::session::CollectedEpoch;
+use crate::stages::{Stage, StageRecorder};
 use dcs_aligned::{refined_detect_cached, SearchConfig, SearchScratch};
 use dcs_bitmap::{Bitmap, BitmapView, ColMatrix, RowMatrix};
+use dcs_obs::{MetricsRegistry, MetricsSnapshot};
 use dcs_unaligned::lambda::p_star_for_edge_prob;
 use dcs_unaligned::{
     build_group_graph_parallel, er_test, find_pattern, CoreFindConfig, ErTestConfig, GroupLayout,
@@ -191,6 +193,7 @@ impl EpochSource for RouterDigestView<'_> {
 pub struct AnalysisCenter {
     cfg: AnalysisConfig,
     scratch: Mutex<EpochScratch>,
+    metrics: MetricsRegistry,
 }
 
 impl AnalysisCenter {
@@ -199,12 +202,27 @@ impl AnalysisCenter {
         AnalysisCenter {
             cfg,
             scratch: Mutex::new(EpochScratch::new()),
+            metrics: MetricsRegistry::new(),
         }
     }
 
     /// The configuration in use.
     pub fn config(&self) -> &AnalysisConfig {
         &self.cfg
+    }
+
+    /// A deterministic snapshot of every metric the centre (and the
+    /// layers below it) has reported: per-stage timings of both
+    /// pipelines, ingest and transport accounting, kernel dispatch — see
+    /// [`crate::stages`] for the naming conventions.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// The live registry the centre reports into (to share with
+    /// co-located layers or to take delta-based rate views).
+    pub fn metrics_registry(&self) -> &MetricsRegistry {
+        &self.metrics
     }
 
     /// Locks the epoch scratch, recovering from poisoning instead of
@@ -301,11 +319,19 @@ impl AnalysisCenter {
             ingest::validate_batch(epoch.submitted, candidates, excluded, self.cfg.min_quorum)?;
         let mut out = self.analyze_validated(&accepted, report, t0);
         out.transport = epoch.stats;
+        self.record_transport(&epoch.stats);
         Ok(out)
     }
 
     /// Both pipelines over an already-validated batch (owned digests or
     /// zero-copy views), through the centre's reusable epoch scratch.
+    ///
+    /// This is the staged pipeline driver: every aligned stage
+    /// ([`Stage::ALIGNED`]) and unaligned stage ([`Stage::UNALIGNED`])
+    /// runs as one recorded span of the centre's metrics registry, and
+    /// the report's [`EpochTimings`] view is assembled from exactly the
+    /// recorded values — instrumentation observes the pipelines, it
+    /// never changes their results.
     fn analyze_validated<D: EpochSource>(
         &self,
         digests: &[&D],
@@ -314,22 +340,35 @@ impl AnalysisCenter {
     ) -> EpochReport {
         let raw_bytes: u64 = digests.iter().map(|d| d.src_raw_bytes()).sum();
         let digest_bytes: u64 = digests.iter().map(|d| d.src_encoded_len() as u64).sum();
+        self.record_ingest(&ingest);
+        let rec = StageRecorder::new(&self.metrics);
         let mut scratch = self.lock_scratch();
         let s = &mut *scratch;
 
-        let fuse_start = Instant::now();
-        D::fuse_aligned(digests, &mut s.matrix, &mut s.col_weights);
-        D::stack_unaligned(digests, &mut s.urows);
+        // Aligned pipeline, stage 1: fuse per-router bitmaps into the
+        // m×n matrix with incremental column weights.
+        let (_, fuse_ns) = rec.run(Stage::Fuse, || {
+            D::fuse_aligned(digests, &mut s.matrix, &mut s.col_weights);
+        });
+        // Unaligned pipeline, stage 1: stack arrays and map ownership.
         let k = digests.first().map_or(1, |d| d.arrays_per_group());
-        s.group_owner.clear();
-        for d in digests {
-            s.group_owner
-                .extend(std::iter::repeat_n(d.router_id(), d.groups()));
-        }
-        let fuse_ns = fuse_start.elapsed().as_nanos() as u64;
+        let (_, stack_ns) = rec.run(Stage::StackRows, || {
+            D::stack_unaligned(digests, &mut s.urows);
+            s.group_owner.clear();
+            for d in digests {
+                s.group_owner
+                    .extend(std::iter::repeat_n(d.router_id(), d.groups()));
+            }
+        });
 
+        // Aligned stages 2–5 are timed inside the search layer; record
+        // its per-stage split under the stage names.
         let (det, search_t) =
             refined_detect_cached(&s.matrix, &s.col_weights, &self.cfg.search, &mut s.search);
+        let screen_ns = rec.record(Stage::Screen, search_t.screen_ns);
+        let core_ns = rec.record(Stage::CoreFind, search_t.core_ns);
+        let expand_ns = rec.record(Stage::Sweep, search_t.expand_ns);
+        let verdict_ns = rec.record(Stage::Terminate, search_t.verdict_ns);
         let aligned = AlignedReport {
             found: det.found,
             routers: det
@@ -340,7 +379,13 @@ impl AnalysisCenter {
             content_packets: det.cols.len(),
             signature_indices: det.cols,
         };
-        let unaligned = self.unaligned_from_rows(&s.urows, &s.group_owner, k);
+        let unaligned = self.unaligned_from_rows(&s.urows, &s.group_owner, k, &rec);
+
+        self.record_kernels();
+        let total_ns = (t0.elapsed().as_nanos() as u64).max(1);
+        self.metrics.gauge("epoch_total_ns", &[]).set(total_ns);
+        self.metrics.histogram("epoch_ns", &[]).observe(total_ns);
+        self.metrics.counter("epochs_analyzed_total", &[]).inc();
 
         EpochReport {
             routers: digests.len(),
@@ -350,12 +395,55 @@ impl AnalysisCenter {
             unaligned,
             ingest,
             timings: EpochTimings {
-                fuse_ns,
-                screen_ns: search_t.screen_ns,
-                sweep_ns: search_t.sweep_ns,
-                total_ns: t0.elapsed().as_nanos() as u64,
+                fuse_ns: fuse_ns + stack_ns,
+                screen_ns,
+                sweep_ns: core_ns + expand_ns + verdict_ns,
+                total_ns,
             },
             transport: TransportStats::default(),
+        }
+    }
+
+    /// Feeds one epoch's ingest accounting into the counter families.
+    fn record_ingest(&self, ingest: &IngestReport) {
+        self.metrics
+            .counter("ingest_submitted_total", &[])
+            .add(ingest.submitted as u64);
+        self.metrics
+            .counter("ingest_accepted_total", &[])
+            .add(ingest.accepted.len() as u64);
+        for e in &ingest.excluded {
+            self.metrics
+                .counter("ingest_excluded_total", &[("fault", e.fault.kind())])
+                .inc();
+        }
+    }
+
+    /// Feeds one epoch's transport delivery accounting into counters.
+    fn record_transport(&self, t: &TransportStats) {
+        let add = |name: &str, v: u64| self.metrics.counter(name, &[]).add(v);
+        add("transport_chunks_received_total", t.chunks_received);
+        add("transport_retransmits_total", t.retransmits);
+        add("transport_late_chunks_total", t.late_chunks);
+        add("transport_duplicate_chunks_total", t.duplicate_chunks);
+        add("transport_corrupt_chunks_total", t.corrupt_chunks);
+        add("transport_checkpoint_resumes_total", t.checkpoint_resumes);
+    }
+
+    /// Mirrors the bitmap layer's kernel dispatch state into gauges:
+    /// which kernel is live (`kernel_active{kernel}` ∈ {0, 1}) and how
+    /// many calls the dispatcher has routed to each
+    /// (`kernel_dispatched_calls{kernel}`, process-wide).
+    fn record_kernels(&self) {
+        let active = dcs_bitmap::active_kernel();
+        for (k, calls) in dcs_bitmap::dispatch_counts() {
+            let labels = [("kernel", k.name())];
+            self.metrics
+                .gauge("kernel_dispatched_calls", &labels)
+                .set(calls);
+            self.metrics
+                .gauge("kernel_active", &labels)
+                .set(u64::from(k == active));
         }
     }
 
@@ -407,77 +495,93 @@ impl AnalysisCenter {
     /// graph.
     ///
     /// Assumes a validated batch (consistent group shapes); prefer
-    /// [`Self::analyze_epoch`], which validates first.
-    pub fn analyze_unaligned(&self, digests: &[RouterDigest]) -> UnalignedReport {
-        let refs: Vec<&RouterDigest> = digests.iter().collect();
-        let k = digests[0].unaligned.arrays_per_group;
+    /// [`Self::analyze_epoch`], which validates first. An empty batch is
+    /// the typed [`IngestError::NoDigests`], never a panic.
+    pub fn analyze_unaligned(
+        &self,
+        digests: &[RouterDigest],
+    ) -> Result<UnalignedReport, IngestError> {
+        let first = digests.first().ok_or(IngestError::NoDigests)?;
+        let k = first.unaligned.arrays_per_group;
         for d in digests {
             assert_eq!(
                 d.unaligned.arrays_per_group, k,
                 "digests disagree on arrays per group"
             );
         }
+        let refs: Vec<&RouterDigest> = digests.iter().collect();
+        let rec = StageRecorder::new(&self.metrics);
         let mut scratch = self.lock_scratch();
         let s = &mut *scratch;
-        RouterDigest::stack_unaligned(&refs, &mut s.urows);
-        s.group_owner.clear();
-        for d in digests {
-            s.group_owner
-                .extend(std::iter::repeat_n(d.router_id, d.unaligned.groups()));
-        }
-        self.unaligned_from_rows(&s.urows, &s.group_owner, k)
+        let (_, _) = rec.run(Stage::StackRows, || {
+            RouterDigest::stack_unaligned(&refs, &mut s.urows);
+            s.group_owner.clear();
+            for d in digests {
+                s.group_owner
+                    .extend(std::iter::repeat_n(d.router_id, d.unaligned.groups()));
+            }
+        });
+        Ok(self.unaligned_from_rows(&s.urows, &s.group_owner, k, &rec))
     }
 
-    /// ER test + core finding over an already-stacked row matrix. `rows`
-    /// holds every accepted router's arrays vertically concatenated;
+    /// ER test + core finding over an already-stacked row matrix, staged
+    /// as `graph_build → er_test → peel` through `rec`. `rows` holds
+    /// every accepted router's arrays vertically concatenated;
     /// `group_owner[g]` is the router owning global group `g`.
     fn unaligned_from_rows(
         &self,
         rows: &RowMatrix,
         group_owner: &[usize],
         k: usize,
+        rec: &StageRecorder<'_>,
     ) -> UnalignedReport {
         let ncols = rows.ncols();
         let layout = GroupLayout { rows_per_group: k };
         let n_groups = group_owner.len();
         let pairs = k * k;
-
-        // Statistical test.
-        let p_star_test = p_star_for_edge_prob(self.cfg.test_p1, pairs);
-        let test_table = LambdaTable::new(ncols, p_star_test);
-        let test_graph = build_group_graph_parallel(
-            rows,
-            layout,
-            &test_table,
-            self.cfg.compute.workers_for(n_groups),
-        );
         let er_cfg = match self.cfg.component_threshold {
             Some(t) => ErTestConfig {
                 component_threshold: t,
             },
             None => ErTestConfig::scaled(n_groups, self.cfg.test_p1),
         };
-        let test = er_test(&test_graph, er_cfg);
 
-        let (suspected_groups, suspected_routers) = if test.alarm {
-            // Detection graph with the laxer λ′ table.
-            let p_star_det = p_star_for_edge_prob(self.cfg.detect_p1.min(0.999), pairs);
-            let det_table = LambdaTable::new(ncols, p_star_det);
-            let det_graph = build_group_graph_parallel(
+        // Statistical-test graph.
+        let (test_graph, _) = rec.run(Stage::GraphBuild, || {
+            let p_star_test = p_star_for_edge_prob(self.cfg.test_p1, pairs);
+            let test_table = LambdaTable::new(ncols, p_star_test);
+            build_group_graph_parallel(
                 rows,
                 layout,
-                &det_table,
+                &test_table,
                 self.cfg.compute.workers_for(n_groups),
-            );
-            let pattern = find_pattern(&det_graph, self.cfg.corefind);
-            let groups: Vec<usize> = pattern.vertices().iter().map(|&g| g as usize).collect();
-            let mut routers: Vec<usize> = groups.iter().map(|&g| group_owner[g]).collect();
-            routers.sort_unstable();
-            routers.dedup();
-            (groups, routers)
-        } else {
-            (Vec::new(), Vec::new())
-        };
+            )
+        });
+        let (test, _) = rec.run(Stage::ErTest, || er_test(&test_graph, er_cfg));
+
+        // Peel always runs as a recorded span — a quiet epoch records a
+        // trivial one — so the stage is present in every snapshot.
+        let ((suspected_groups, suspected_routers), _) = rec.run(Stage::Peel, || {
+            if test.alarm {
+                // Detection graph with the laxer λ′ table.
+                let p_star_det = p_star_for_edge_prob(self.cfg.detect_p1.min(0.999), pairs);
+                let det_table = LambdaTable::new(ncols, p_star_det);
+                let det_graph = build_group_graph_parallel(
+                    rows,
+                    layout,
+                    &det_table,
+                    self.cfg.compute.workers_for(n_groups),
+                );
+                let pattern = find_pattern(&det_graph, self.cfg.corefind);
+                let groups: Vec<usize> = pattern.vertices().iter().map(|&g| g as usize).collect();
+                let mut routers: Vec<usize> = groups.iter().map(|&g| group_owner[g]).collect();
+                routers.sort_unstable();
+                routers.dedup();
+                (groups, routers)
+            } else {
+                (Vec::new(), Vec::new())
+            }
+        });
 
         UnalignedReport {
             alarm: test.alarm,

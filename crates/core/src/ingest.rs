@@ -162,6 +162,27 @@ pub enum RouterFault {
     },
 }
 
+impl RouterFault {
+    /// Stable lowercase tag of the fault variant — the wire-format "kind"
+    /// discriminant, also used as the `fault` label of the
+    /// `ingest_excluded_total` metric family.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            RouterFault::Wire(_) => "wire",
+            RouterFault::DuplicateRouter { .. } => "duplicate_router",
+            RouterFault::EmptyUnaligned => "empty_unaligned",
+            RouterFault::GroupLayout { .. } => "group_layout",
+            RouterFault::AlignedWidth { .. } => "aligned_width",
+            RouterFault::ArraysPerGroup { .. } => "arrays_per_group",
+            RouterFault::ArrayWidth { .. } => "array_width",
+            RouterFault::EpochDesync { .. } => "epoch_desync",
+            RouterFault::TimedOut { .. } => "timed_out",
+            RouterFault::ChecksumMismatch { .. } => "checksum_mismatch",
+            RouterFault::Incomplete { .. } => "incomplete",
+        }
+    }
+}
+
 impl fmt::Display for RouterFault {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

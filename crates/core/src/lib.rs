@@ -24,6 +24,7 @@ pub mod ingest;
 pub mod monitor;
 pub mod report;
 pub mod session;
+pub mod stages;
 pub mod transport;
 
 pub use capture::{GroupCapture, SignatureCapture};
@@ -37,7 +38,10 @@ pub use session::{
     CollectedEpoch, CollectorConfig, EpochCollector, RetransmitRequest, SessionConfig,
     StragglerPolicy,
 };
+pub use stages::{Stage, StageRecorder};
 pub use transport::{chunk_bundle, ChunkError, ChunkFrame};
+
+pub use dcs_obs::{MetricsRegistry, MetricsSnapshot};
 
 /// Convenient glob-import surface.
 pub mod prelude {
@@ -54,9 +58,11 @@ pub mod prelude {
         CollectedEpoch, CollectorConfig, EpochCollector, RetransmitRequest, SessionConfig,
         StragglerPolicy,
     };
+    pub use crate::stages::{Stage, StageRecorder};
     pub use crate::transport::{chunk_bundle, ChunkError, ChunkFrame};
     pub use dcs_aligned::{refined_detect, SearchConfig};
     pub use dcs_collect::{AlignedConfig, UnalignedConfig};
+    pub use dcs_obs::{MetricsRegistry, MetricsSnapshot};
     pub use dcs_traffic::{BackgroundConfig, ContentObject, FlowLabel, Packet, Planting};
     pub use dcs_unaligned::{CoreFindConfig, ErTestConfig};
 }

@@ -37,12 +37,20 @@ pub struct UnalignedReport {
 
 /// Wall-clock nanoseconds spent in the analysis stages of one epoch.
 ///
+/// **Deprecated view**: since the staged-pipeline refactor the source of
+/// truth is the centre's metrics registry
+/// ([`AnalysisCenter::metrics`](crate::center::AnalysisCenter::metrics));
+/// this struct is a coarse last-epoch view over those per-stage gauges,
+/// kept (with identical values) for existing report consumers and
+/// derivable from any snapshot via [`EpochTimings::from_snapshot`].
+///
 /// `fuse_ns` covers turning validated digests into the fused matrices
-/// (including the incremental column weights); `screen_ns` and `sweep_ns`
-/// split the aligned search into its screening and product-search halves;
-/// `total_ns` clocks the whole call, ingest to report. The paper's 1-s
-/// epoch budget makes these the primary scalability figure of merit for
-/// the analysis centre.
+/// (the aligned `fuse` stage plus the unaligned `stack_rows` stage);
+/// `screen_ns` is the aligned `screen` stage; `sweep_ns` aggregates the
+/// aligned `core_find`, `sweep` and `terminate` stages; `total_ns`
+/// clocks the whole call, ingest to report. The paper's 1-s epoch budget
+/// makes these the primary scalability figure of merit for the analysis
+/// centre.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct EpochTimings {
     /// Fusing validated digests into the column/row matrices.
@@ -53,6 +61,31 @@ pub struct EpochTimings {
     pub sweep_ns: u64,
     /// The whole analysis call, ingest through report assembly.
     pub total_ns: u64,
+}
+
+impl EpochTimings {
+    /// Derives the coarse last-epoch view from a metrics snapshot's
+    /// `epoch_stage_ns{pipeline,stage}` gauges (zeros for stages the
+    /// snapshot has never seen). For a snapshot taken right after an
+    /// `analyze_epoch*` call this equals the report's `timings` field
+    /// exactly.
+    pub fn from_snapshot(snap: &dcs_obs::MetricsSnapshot) -> EpochTimings {
+        let stage = |pipeline: &str, stage: &str| {
+            snap.gauge(&dcs_obs::metric_key(
+                "epoch_stage_ns",
+                &[("pipeline", pipeline), ("stage", stage)],
+            ))
+            .unwrap_or(0)
+        };
+        EpochTimings {
+            fuse_ns: stage("aligned", "fuse") + stage("unaligned", "stack_rows"),
+            screen_ns: stage("aligned", "screen"),
+            sweep_ns: stage("aligned", "core_find")
+                + stage("aligned", "sweep")
+                + stage("aligned", "terminate"),
+            total_ns: snap.gauge("epoch_total_ns").unwrap_or(0),
+        }
+    }
 }
 
 /// Per-epoch transport accounting, recorded by the

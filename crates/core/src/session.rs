@@ -28,8 +28,9 @@
 //!   incoming frames (CRC-failed frames get a salvage-NACK when their
 //!   header survives), applies the epoch deadline and
 //!   [`StragglerPolicy`], and finalizes into a [`CollectedEpoch`] whose
-//!   exclusions ([`RouterFault::TimedOut`] / [`ChecksumMismatch`] /
-//!   [`Incomplete`]) join the regular ingest accounting.
+//!   exclusions ([`RouterFault::TimedOut`] /
+//!   [`RouterFault::ChecksumMismatch`] / [`RouterFault::Incomplete`])
+//!   join the regular ingest accounting.
 //! * [`EpochCollector::checkpoint`] serializes collector progress (epoch
 //!   id, config fingerprint, per-router chunk bitmap + held payloads,
 //!   CRC-32 trailer); [`EpochCollector::resume`] restores it after a

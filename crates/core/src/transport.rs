@@ -14,7 +14,7 @@
 //! ```
 //!
 //! All integers are little-endian. The CRC-32 trailer
-//! ([`dcs_hash::crc32`]) covers header *and* payload, so truncation,
+//! ([`dcs_hash::crc32()`]) covers header *and* payload, so truncation,
 //! reordering corruption and bit-flips are detected before a single
 //! payload byte reaches the reassembly buffer. Every declared length is
 //! checked against the remaining buffer and against hard caps

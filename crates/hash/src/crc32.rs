@@ -1,7 +1,7 @@
 //! CRC-32 (IEEE 802.3, reflected polynomial `0xEDB8_8320`), implemented
 //! in-repo so the transport layer needs no external dependency.
 //!
-//! The digest transport envelope ([`dcs-core::transport`]) trails every
+//! The digest transport envelope (`dcs-core::transport`) trails every
 //! chunk frame and every collector checkpoint with this checksum, so
 //! truncation and bit-flips on the measurement plane are *detectable*
 //! rather than silently decoded into garbage. CRC-32 is an

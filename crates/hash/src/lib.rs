@@ -10,7 +10,7 @@
 //!   polynomial arithmetic and irreducibility testing needed to pick safe
 //!   moduli;
 //! * [`fnv`] — FNV-1a, a minimal seedable byte hash;
-//! * [`crc32`] — CRC-32/IEEE for wire-frame integrity trailers;
+//! * [`crc32()`] — CRC-32/IEEE for wire-frame integrity trailers;
 //! * [`mix`] — SplitMix64 finalisation and multiply-shift universal hashing;
 //! * [`IndexHasher`] — the composition used by the collectors: fingerprint
 //!   a payload fragment, finalise with a per-epoch seed, and reduce to a

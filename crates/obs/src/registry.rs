@@ -1,0 +1,383 @@
+//! The metric registry and its instrument handles.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are `Arc`-backed
+//! atomics: registration takes the registry lock once, after which every
+//! update is a relaxed atomic operation — cheap enough for per-stage (and
+//! even per-kernel-call) instrumentation on the analysis hot path.
+
+use crate::snapshot::{metric_key, CounterEntry, GaugeEntry, HistogramEntry, MetricsSnapshot};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
+
+/// Number of latency buckets per [`Histogram`]: bucket `i` counts
+/// observations whose value has bit length `i` (i.e. `2^(i-1) ≤ v < 2^i`,
+/// with bucket 0 holding zeros). 40 buckets cover every span up to
+/// ~18 minutes in nanoseconds; longer spans clamp into the last bucket.
+pub const HIST_BUCKETS: usize = 40;
+
+/// A monotonic event counter.
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Increments by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increments by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins gauge.
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Overwrites the value.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket latency histogram (power-of-two nanosecond buckets)
+/// with running count, sum and extrema.
+#[derive(Debug)]
+pub struct HistogramCore {
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; HIST_BUCKETS],
+}
+
+/// Shared handle to one histogram in the registry.
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistogramCore>);
+
+/// Bucket index of a value: its bit length, clamped to the fixed range.
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    ((u64::BITS - v.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+}
+
+impl Histogram {
+    fn new() -> Self {
+        Histogram(Arc::new(HistogramCore {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }))
+    }
+
+    /// Records one observation (nanoseconds by convention).
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        let c = &self.0;
+        c.count.fetch_add(1, Ordering::Relaxed);
+        c.sum.fetch_add(v, Ordering::Relaxed);
+        c.min.fetch_min(v, Ordering::Relaxed);
+        c.max.fetch_max(v, Ordering::Relaxed);
+        c.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Observations recorded so far.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values.
+    #[inline]
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    fn entry(&self, key: String) -> HistogramEntry {
+        let c = &self.0;
+        let count = c.count.load(Ordering::Relaxed);
+        HistogramEntry {
+            key,
+            count,
+            sum: c.sum.load(Ordering::Relaxed),
+            min: if count == 0 {
+                0
+            } else {
+                c.min.load(Ordering::Relaxed)
+            },
+            max: c.max.load(Ordering::Relaxed),
+            buckets: c
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+/// A span guard over the monotonic clock: created at stage entry, it
+/// records the elapsed nanoseconds into its histogram (and optional
+/// gauge) when [`stopped`](StageTimer::stop) — or on drop, so early
+/// returns and panicking stages are still accounted for.
+#[derive(Debug)]
+pub struct StageTimer {
+    hist: Histogram,
+    gauge: Option<Gauge>,
+    start: Instant,
+    armed: bool,
+}
+
+impl StageTimer {
+    /// Starts a span recording into `hist`, mirroring the measured span
+    /// into `gauge` (the "last epoch" view) when given.
+    pub fn start(hist: Histogram, gauge: Option<Gauge>) -> Self {
+        StageTimer {
+            hist,
+            gauge,
+            start: Instant::now(),
+            armed: true,
+        }
+    }
+
+    /// Stops the span, records it, and returns the elapsed nanoseconds
+    /// (floored at 1 ns so a recorded stage is never indistinguishable
+    /// from one that never ran).
+    pub fn stop(mut self) -> u64 {
+        self.record()
+    }
+
+    fn record(&mut self) -> u64 {
+        self.armed = false;
+        let ns = (self.start.elapsed().as_nanos() as u64).max(1);
+        self.hist.observe(ns);
+        if let Some(g) = &self.gauge {
+            g.set(ns);
+        }
+        ns
+    }
+}
+
+impl Drop for StageTimer {
+    fn drop(&mut self) {
+        if self.armed {
+            self.record();
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    counters: BTreeMap<String, Counter>,
+    gauges: BTreeMap<String, Gauge>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// A thread-safe registry of counters, gauges and histograms keyed by
+/// `name{label=value,…}` (labels canonically sorted; see [`metric_key`]).
+///
+/// Registration is idempotent: asking for the same (name, labels) pair
+/// returns a handle to the same underlying instrument, so independent
+/// layers can report into one family without coordination.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<RegistryInner>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Locks the registry, recovering from poisoning: the inner maps are
+    /// only mutated by infallible inserts, so a poisoned lock (a panic
+    /// elsewhere while a guard was live) leaves them structurally sound.
+    fn lock(&self) -> MutexGuard<'_, RegistryInner> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Gets or creates the counter `name{labels…}`.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        let key = metric_key(name, labels);
+        self.lock()
+            .counters
+            .entry(key)
+            .or_insert_with(|| Counter(Arc::new(AtomicU64::new(0))))
+            .clone()
+    }
+
+    /// Gets or creates the gauge `name{labels…}`.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        let key = metric_key(name, labels);
+        self.lock()
+            .gauges
+            .entry(key)
+            .or_insert_with(|| Gauge(Arc::new(AtomicU64::new(0))))
+            .clone()
+    }
+
+    /// Gets or creates the histogram `name{labels…}`.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
+        let key = metric_key(name, labels);
+        self.lock()
+            .histograms
+            .entry(key)
+            .or_insert_with(Histogram::new)
+            .clone()
+    }
+
+    /// Starts a [`StageTimer`] recording into the histogram
+    /// `name{labels…}` and mirroring into the gauge `gauge_name{labels…}`
+    /// when given.
+    pub fn stage_timer(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        gauge_name: Option<&str>,
+    ) -> StageTimer {
+        let hist = self.histogram(name, labels);
+        let gauge = gauge_name.map(|g| self.gauge(g, labels));
+        StageTimer::start(hist, gauge)
+    }
+
+    /// Captures every instrument into a deterministic, serializable
+    /// snapshot (keys sorted; see [`MetricsSnapshot`]).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.lock();
+        MetricsSnapshot {
+            counters: inner
+                .counters
+                .iter()
+                .map(|(k, c)| CounterEntry {
+                    key: k.clone(),
+                    value: c.get(),
+                })
+                .collect(),
+            gauges: inner
+                .gauges
+                .iter()
+                .map(|(k, g)| GaugeEntry {
+                    key: k.clone(),
+                    value: g.get(),
+                })
+                .collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(k, h)| h.entry(k.clone()))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_share_identity() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("events_total", &[("stage", "fuse")]);
+        let b = reg.counter("events_total", &[("stage", "fuse")]);
+        a.inc();
+        b.add(4);
+        assert_eq!(a.get(), 5, "same (name, labels) must be one instrument");
+        let other = reg.counter("events_total", &[("stage", "screen")]);
+        assert_eq!(other.get(), 0);
+    }
+
+    #[test]
+    fn gauges_are_last_value_wins() {
+        let reg = MetricsRegistry::new();
+        let g = reg.gauge("epoch_total_ns", &[]);
+        g.set(10);
+        g.set(3);
+        assert_eq!(g.get(), 3);
+    }
+
+    #[test]
+    fn histogram_buckets_and_extrema() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("lat", &[]);
+        for v in [0u64, 1, 2, 3, 1024, u64::MAX] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 6);
+        let e = h.entry("lat".into());
+        assert_eq!(e.min, 0);
+        assert_eq!(e.max, u64::MAX);
+        assert_eq!(e.buckets[0], 1, "zero lands in bucket 0");
+        assert_eq!(e.buckets[1], 1, "1 has bit length 1");
+        assert_eq!(e.buckets[2], 2, "2 and 3 have bit length 2");
+        assert_eq!(e.buckets[11], 1, "1024 has bit length 11");
+        assert_eq!(e.buckets[HIST_BUCKETS - 1], 1, "huge values clamp");
+        assert_eq!(e.buckets.iter().sum::<u64>(), e.count);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero_min() {
+        let reg = MetricsRegistry::new();
+        let _ = reg.histogram("lat", &[]);
+        let snap = reg.snapshot();
+        assert_eq!(snap.histograms[0].min, 0);
+        assert_eq!(snap.histograms[0].count, 0);
+    }
+
+    #[test]
+    fn stage_timer_records_on_stop_and_on_drop() {
+        let reg = MetricsRegistry::new();
+        let ns = reg
+            .stage_timer("stage_ns", &[], Some("epoch_stage_ns"))
+            .stop();
+        assert!(ns >= 1);
+        {
+            let _t = reg.stage_timer("stage_ns", &[], None);
+        } // dropped unarmed -> still recorded
+        let h = reg.histogram("stage_ns", &[]);
+        assert_eq!(h.count(), 2);
+        assert_eq!(reg.gauge("epoch_stage_ns", &[]).get(), ns);
+    }
+
+    #[test]
+    fn registry_is_shareable_across_threads() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let reg = Arc::clone(&reg);
+                std::thread::spawn(move || {
+                    let c = reg.counter("spins_total", &[]);
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(reg.counter("spins_total", &[]).get(), 4000);
+    }
+}

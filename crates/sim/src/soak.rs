@@ -131,6 +131,10 @@ pub struct SoakResult {
     pub totals: TransportStats,
     /// Ticks the virtual clock advanced over the whole run.
     pub ticks: u64,
+    /// The centre's final metrics snapshot: cumulative per-stage
+    /// timings, ingest/transport counters and kernel dispatch across
+    /// every analysed epoch of the run.
+    pub metrics: dcs_core::MetricsSnapshot,
 }
 
 impl SoakResult {
@@ -282,6 +286,7 @@ pub fn run_soak(cfg: &SoakConfig) -> SoakResult {
         outcomes,
         totals,
         ticks: now,
+        metrics: center.metrics(),
     }
 }
 
@@ -306,6 +311,15 @@ mod tests {
             assert_eq!(r.transport.corrupt_chunks, 0);
         }
         assert!(result.totals.chunks_received > 0);
+        assert_eq!(
+            result.metrics.counter("epochs_analyzed_total"),
+            Some(2),
+            "soak metrics must cover every analysed epoch"
+        );
+        assert_eq!(
+            result.metrics.counter("transport_chunks_received_total"),
+            Some(result.totals.chunks_received),
+        );
     }
 
     #[test]

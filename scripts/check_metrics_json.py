@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""CI metrics smoke check: assert a BENCH_pipeline.json (or any report
+embedding `center_stage_ns` + `metrics`) parses and carries a non-zero
+span for every stage of both detection pipelines.
+
+Usage: check_metrics_json.py [path-to-json]
+"""
+
+import json
+import sys
+
+STAGES = {
+    "aligned": ["fuse", "screen", "core_find", "sweep", "terminate"],
+    "unaligned": ["stack_rows", "graph_build", "er_test", "peel"],
+}
+
+
+def main() -> int:
+    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_pipeline.json"
+    with open(path, encoding="utf-8") as f:
+        report = json.load(f)
+
+    breakdown = report["center_stage_ns"]
+    flat_keys = [f"{s}_ns" for stages in STAGES.values() for s in stages]
+    bad = [k for k in flat_keys if breakdown.get(k, 0) <= 0]
+    if bad:
+        print(f"{path}: zero or missing stage spans in center_stage_ns: {bad}")
+        return 1
+
+    gauges = {g["key"]: g["value"] for g in report["metrics"]["gauges"]}
+    missing = []
+    for pipeline, stages in STAGES.items():
+        for stage in stages:
+            key = f"epoch_stage_ns{{pipeline={pipeline},stage={stage}}}"
+            if gauges.get(key, 0) <= 0:
+                missing.append(key)
+    if missing:
+        print(f"{path}: zero or missing stage gauges in metrics snapshot: {missing}")
+        return 1
+    if gauges.get("epoch_total_ns", 0) <= 0:
+        print(f"{path}: epoch_total_ns gauge missing or zero")
+        return 1
+
+    counters = {c["key"]: c["value"] for c in report["metrics"]["counters"]}
+    if counters.get("epochs_analyzed_total", 0) <= 0:
+        print(f"{path}: epochs_analyzed_total counter missing or zero")
+        return 1
+
+    print(
+        f"{path}: all {len(flat_keys)} stage spans non-zero, "
+        f"{counters['epochs_analyzed_total']} epoch(s) analysed"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

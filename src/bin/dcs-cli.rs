@@ -5,14 +5,16 @@
 //!                   [--seed N] [--plant g,size[,unaligned]]
 //! dcs-cli collect   <in.trace> --router N [--seed N] [--bits N]
 //!                   [--groups N] [--out digest.json]
-//! dcs-cli analyze   <digest.json>... [--threshold N]
+//! dcs-cli analyze   <digest.json>... [--threshold N] [--metrics-json path]
 //! dcs-cli demo
 //! ```
 //!
 //! `gen-trace` writes a synthetic trace (optionally with a planted common
 //! content); `collect` plays a monitoring point over a trace and emits the
 //! digest bundle as JSON; `analyze` fuses digest files and prints the
-//! epoch report. Argument parsing is deliberately dependency-free.
+//! epoch report (`--metrics-json` additionally dumps the centre's
+//! per-stage metrics snapshot). Argument parsing is deliberately
+//! dependency-free.
 
 use dcs::core::prelude::*;
 use dcs::traffic::gen::{generate_epoch, BackgroundConfig, SizeMix};
@@ -172,8 +174,9 @@ fn analyze(args: &[String]) -> CliResult {
     let threshold = take_flag(&mut args, "--threshold")
         .map(|t| t.parse::<usize>())
         .transpose()?;
+    let metrics_out = take_flag(&mut args, "--metrics-json");
     if args.is_empty() {
-        return Err("usage: analyze <digest.json>... [--threshold N]".into());
+        return Err("usage: analyze <digest.json>... [--threshold N] [--metrics-json path]".into());
     }
     let mut digests: Vec<RouterDigest> = Vec::new();
     for path in &args {
@@ -186,8 +189,13 @@ fn analyze(args: &[String]) -> CliResult {
     if let Some(t) = threshold {
         cfg.component_threshold = Some(t);
     }
-    let report = AnalysisCenter::new(cfg).analyze_epoch(&digests)?;
+    let center = AnalysisCenter::new(cfg);
+    let report = center.analyze_epoch(&digests)?;
     println!("{}", serde_json::to_string_pretty(&report)?);
+    if let Some(path) = metrics_out {
+        std::fs::write(&path, center.metrics().to_json_pretty() + "\n")?;
+        eprintln!("wrote metrics snapshot to {path}");
+    }
     Ok(())
 }
 

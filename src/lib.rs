@@ -7,7 +7,7 @@
 //! See the individual crates for details:
 //! [`dcs_bitmap`], [`dcs_hash`], [`dcs_stats`], [`dcs_traffic`],
 //! [`dcs_graph`], [`dcs_collect`], [`dcs_aligned`], [`dcs_unaligned`],
-//! [`dcs_core`], [`dcs_sim`].
+//! [`dcs_core`], [`dcs_sim`], [`dcs_obs`].
 
 pub use dcs_aligned as aligned;
 pub use dcs_bitmap as bitmap;
@@ -15,6 +15,7 @@ pub use dcs_collect as collect;
 pub use dcs_core as core;
 pub use dcs_graph as graph;
 pub use dcs_hash as hash;
+pub use dcs_obs as obs;
 pub use dcs_sim as sim;
 pub use dcs_stats as stats;
 pub use dcs_traffic as traffic;

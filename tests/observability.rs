@@ -1,0 +1,186 @@
+//! Integration tests of the unified observability layer: every stage of
+//! both pipelines reports into the centre's metrics registry, the
+//! deprecated `EpochTimings` view equals the registry-derived values,
+//! stage timer sums stay within the epoch total, and the deterministic
+//! parts of a snapshot are identical across thread counts.
+
+use dcs::core::stages::Stage;
+use dcs::prelude::*;
+use dcs_parallel::ComputeBudget;
+use dcs_traffic::gen::{self, SizeMix};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const ROUTERS: usize = 8;
+
+/// One epoch of seeded digests, the first `infected` routers carrying an
+/// aligned common content.
+fn make_digests(seed: u64, infected: usize) -> Vec<RouterDigest> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let monitor_cfg = MonitorConfig::small(5, 1 << 13, 4);
+    let object = ContentObject::random_with_packets(&mut rng, 24, 536);
+    let plant = Planting::aligned(object, 536);
+    let bg = BackgroundConfig {
+        packets: 500,
+        flows: 120,
+        zipf_exponent: 1.0,
+        size_mix: SizeMix::constant(536),
+    };
+    (0..ROUTERS)
+        .map(|router| {
+            let mut traffic = gen::generate_epoch(&mut rng, &bg);
+            if router < infected {
+                plant.plant_into(&mut rng, &mut traffic);
+            }
+            let mut point = MonitoringPoint::new(router, &monitor_cfg);
+            point.observe_all(&traffic);
+            point.finish_epoch()
+        })
+        .collect()
+}
+
+fn center_with_threads(threads: usize) -> AnalysisCenter {
+    let mut cfg =
+        AnalysisConfig::for_groups(ROUTERS * 4).with_compute(ComputeBudget::with_threads(threads));
+    cfg.search.n_prime = 300;
+    cfg.search.hopefuls = 200;
+    AnalysisCenter::new(cfg)
+}
+
+#[test]
+fn every_stage_of_both_pipelines_records_nonzero() {
+    let center = center_with_threads(2);
+    let report = center
+        .analyze_epoch(&make_digests(31, 0))
+        .expect("clean quorum");
+    assert!(!report.aligned.found);
+    let snap = center.metrics();
+    for stage in Stage::ALIGNED.iter().chain(Stage::UNALIGNED.iter()) {
+        let gauge = snap
+            .gauge(&stage.gauge_key())
+            .unwrap_or_else(|| panic!("stage {} missing from snapshot", stage.name()));
+        assert!(gauge > 0, "stage {} recorded zero ns", stage.name());
+        let runs = snap
+            .counter(&dcs::obs::metric_key(
+                "stage_runs_total",
+                &[("pipeline", stage.pipeline()), ("stage", stage.name())],
+            ))
+            .unwrap_or(0);
+        assert_eq!(runs, 1, "stage {} should have run once", stage.name());
+    }
+    assert_eq!(snap.counter("epochs_analyzed_total"), Some(1));
+    assert_eq!(snap.counter("ingest_submitted_total"), Some(ROUTERS as u64));
+    assert_eq!(snap.counter("ingest_accepted_total"), Some(ROUTERS as u64));
+    assert!(snap.gauge("epoch_total_ns").unwrap_or(0) > 0);
+}
+
+#[test]
+fn deprecated_timings_view_equals_registry_derived_values() {
+    let center = center_with_threads(1);
+    let report = center.analyze_epoch(&make_digests(32, 6)).expect("quorum");
+    let derived = EpochTimings::from_snapshot(&center.metrics());
+    assert_eq!(
+        report.timings, derived,
+        "EpochTimings view must equal the registry-derived values"
+    );
+}
+
+#[test]
+fn stage_timer_sums_stay_within_epoch_total() {
+    let center = center_with_threads(2);
+    center.analyze_epoch(&make_digests(33, 6)).expect("quorum");
+    let snap = center.metrics();
+    let total = snap.gauge("epoch_total_ns").expect("total gauge");
+    let staged: u64 = Stage::ALIGNED
+        .iter()
+        .chain(Stage::UNALIGNED.iter())
+        .map(|s| snap.gauge(&s.gauge_key()).unwrap_or(0))
+        .sum();
+    assert!(
+        staged <= total,
+        "per-stage sum {staged} ns exceeds epoch total {total} ns"
+    );
+    // The stages cover the bulk of the epoch: fuse through peel is the
+    // whole analysis body, only validation and report assembly sit
+    // outside them.
+    assert!(staged > 0);
+}
+
+#[test]
+fn real_epoch_snapshot_roundtrips_through_json() {
+    let center = center_with_threads(1);
+    center.analyze_epoch(&make_digests(34, 4)).expect("quorum");
+    let snap = center.metrics();
+    let back = MetricsSnapshot::from_json(&snap.to_json_pretty()).expect("parse back");
+    assert_eq!(back, snap);
+}
+
+/// Strips the wall-clock and process-global metrics from a snapshot,
+/// leaving only its deterministic content: counters (minus the kernel
+/// dispatch family) plus the sorted key sets of every family.
+fn deterministic_view(snap: &MetricsSnapshot) -> (Vec<(String, u64)>, Vec<String>, Vec<String>) {
+    let counters = snap
+        .counters
+        .iter()
+        .filter(|c| !c.key.starts_with("kernel_"))
+        .map(|c| (c.key.clone(), c.value))
+        .collect();
+    let gauge_keys = snap.gauges.iter().map(|g| g.key.clone()).collect();
+    let hist_keys = snap.histograms.iter().map(|h| h.key.clone()).collect();
+    (counters, gauge_keys, hist_keys)
+}
+
+#[test]
+fn deterministic_metrics_are_identical_across_thread_counts() {
+    let digests = make_digests(35, 6);
+    let run = |threads: usize| {
+        let center = center_with_threads(threads);
+        let report = center.analyze_epoch(&digests).expect("quorum");
+        (report, center.metrics())
+    };
+    let (seq_report, seq_snap) = run(1);
+    let seq_view = deterministic_view(&seq_snap);
+    for threads in [2, 8] {
+        let (report, snap) = run(threads);
+        // Detection results are thread-count-invariant…
+        assert_eq!(report.aligned.found, seq_report.aligned.found);
+        assert_eq!(report.aligned.routers, seq_report.aligned.routers);
+        assert_eq!(
+            report.aligned.signature_indices,
+            seq_report.aligned.signature_indices
+        );
+        assert_eq!(report.unaligned.alarm, seq_report.unaligned.alarm);
+        assert_eq!(
+            report.unaligned.suspected_routers,
+            seq_report.unaligned.suspected_routers
+        );
+        // …and so is every deterministic metric: same counters with the
+        // same values, same instrument key sets. (Wall-clock gauges and
+        // the process-global kernel dispatch tallies legitimately vary.)
+        assert_eq!(
+            deterministic_view(&snap),
+            seq_view,
+            "threads={threads}: deterministic metrics diverged"
+        );
+    }
+}
+
+#[test]
+fn excluded_bundles_feed_fault_labeled_counters() {
+    let mut digests = make_digests(36, 0);
+    digests[1].epoch_id = 99;
+    digests[3].unaligned.arrays.clear();
+    let center = center_with_threads(1);
+    let report = center.analyze_epoch(&digests).expect("quorum of 6");
+    assert_eq!(report.ingest.excluded.len(), 2);
+    let snap = center.metrics();
+    assert_eq!(
+        snap.counter("ingest_excluded_total{fault=epoch_desync}"),
+        Some(1)
+    );
+    assert_eq!(
+        snap.counter("ingest_excluded_total{fault=empty_unaligned}"),
+        Some(1)
+    );
+    assert_eq!(snap.counter("ingest_accepted_total"), Some(6));
+}

@@ -15,19 +15,20 @@
 //!   a bounded min-heap, exactly as in the paper (a priority queue of
 //!   size O(n));
 //! * the candidate fan-outs (all 2-products, per-hopeful extensions, the
-//!   heaviest-column screen, and the full-matrix expansion sweep) are
-//!   parallelised over scoped worker threads per
-//!   [`SearchConfig::compute`]. Candidates are ranked by the *full*
-//!   `(weight, parent, column)` tuple — a total order — so each worker's
-//!   bounded heap merged into a global bounded heap yields exactly the
-//!   canonical top-H set. The search result is therefore bit-identical
-//!   for every thread count (see the `threads` determinism test).
+//!   heaviest-column screen, and the full-matrix expansion sweep) are cut
+//!   into independent column shards ([`ComputeBudget::effective_shards`])
+//!   executed by scoped worker threads per [`SearchConfig::compute`].
+//!   Candidates are ranked by the *full* `(weight, parent, column)`
+//!   tuple — a total order — so each shard's bounded heap merged into a
+//!   global bounded heap yields exactly the canonical top-H set. The
+//!   search result is therefore bit-identical for every thread count
+//!   *and* every shard count (see the determinism tests).
 
 use crate::termination::{stop_point, TerminationConfig};
 use crate::thresholds::ln_natural_occurrence;
 use dcs_bitmap::words::{and_weight, and_weight_many_into, iter_ones, weight};
 use dcs_bitmap::ColMatrix;
-use dcs_parallel::{map_chunks, map_workers, map_workers_scratch, ComputeBudget};
+use dcs_parallel::{map_chunks, run_jobs, split_range, ComputeBudget};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::time::Instant;
@@ -44,9 +45,12 @@ use std::time::Instant;
 pub struct SearchScratch {
     /// Column indices ranked by descending weight (truncated to n′).
     order: Vec<usize>,
+    /// Per-shard screening buffers: shard-local top-n′ candidates,
+    /// merged into `order` before the global cut.
+    shard_orders: Vec<Vec<usize>>,
     /// The screened working matrix (the n′ heaviest columns).
     work: ColMatrix,
-    /// Per-worker fan-out buffers of the product search.
+    /// Per-shard fan-out buffers of the product search.
     fanouts: Vec<Vec<u32>>,
 }
 
@@ -54,6 +58,7 @@ impl Default for SearchScratch {
     fn default() -> Self {
         SearchScratch {
             order: Vec::new(),
+            shard_orders: Vec::new(),
             work: ColMatrix::new(0, 0),
             fanouts: Vec::new(),
         }
@@ -66,12 +71,14 @@ impl SearchScratch {
         SearchScratch::default()
     }
 
-    /// Capacities of the internal buffers (column order, screened matrix
-    /// words, summed fan-out slots) — diagnostic hook for steady-state
-    /// reuse tests: across epochs of equal shape these must not grow.
-    pub fn capacities(&self) -> [usize; 3] {
+    /// Capacities of the internal buffers (column order, summed shard
+    /// screening slots, screened matrix words, summed fan-out slots) —
+    /// diagnostic hook for steady-state reuse tests: across epochs of
+    /// equal shape these must not grow.
+    pub fn capacities(&self) -> [usize; 4] {
         [
             self.order.capacity(),
+            self.shard_orders.iter().map(Vec::capacity).sum(),
             self.work.word_capacity(),
             self.fanouts.iter().map(Vec::capacity).sum(),
         ]
@@ -168,6 +175,11 @@ impl AlignedDetection {
     }
 }
 
+/// Bounded-heap entry order: the full `(weight, parent, column)` tuple
+/// (a total order, so the retained top-H set is canonical for any
+/// candidate partition).
+type CandidateHeap = BinaryHeap<Reverse<(u32, u32, u32)>>;
+
 /// A k-product under construction.
 #[derive(Debug, Clone)]
 struct Product {
@@ -179,7 +191,7 @@ struct Product {
 
 /// Runs the greedy core search on `work` (a column subset of the original
 /// matrix). Returns the best product per iteration. `fanouts` provides
-/// per-worker fan-out buffers, reused across iterations and calls.
+/// per-shard fan-out buffers, reused across iterations and calls.
 fn product_search(
     work: &ColMatrix,
     cfg: &SearchConfig,
@@ -193,25 +205,27 @@ fn product_search(
     }
     let cols: Vec<&[u64]> = (0..n).map(|j| work.column(j)).collect();
 
-    // Iteration 1: all 2-products, keep the H heaviest. Workers stride the
-    // outer index (the pair loop is triangular, striding balances it) and
-    // keep private bounded heaps; merging them reproduces the canonical
-    // global top-H because candidates are totally ordered.
-    let workers = cfg.compute.workers_for(n);
-    let heaps = map_workers(workers, |t| {
-        let mut heap: BinaryHeap<Reverse<(u32, u32, u32)>> = BinaryHeap::new();
-        let mut i = t;
+    // Iteration 1: all 2-products, keep the H heaviest. Shard s owns the
+    // outer indices congruent to s modulo the shard count (the pair loop
+    // is triangular, striding balances the shards) and fills a private
+    // bounded heap; merging them reproduces the canonical global top-H
+    // because candidates are totally ordered — for any shard count and
+    // any worker count.
+    let shards = search_shards(&cfg.compute, n);
+    let mut shard_heaps: Vec<CandidateHeap> = (0..shards).map(|_| BinaryHeap::new()).collect();
+    let jobs: Vec<(usize, &mut CandidateHeap)> = shard_heaps.iter_mut().enumerate().collect();
+    run_jobs(jobs, cfg.compute.workers_for(shards), |(s, heap)| {
+        let mut i = s;
         while i < n {
             let ci = cols[i];
             for (j, cj) in cols.iter().enumerate().skip(i + 1) {
                 let w = and_weight(ci, cj);
-                push_bounded(&mut heap, cfg.hopefuls, (w, i as u32, j as u32));
+                push_bounded(heap, cfg.hopefuls, (w, i as u32, j as u32));
             }
-            i += workers;
+            i += shards;
         }
-        heap
     });
-    let heap = merge_bounded(heaps, cfg.hopefuls);
+    let heap = merge_bounded(shard_heaps, cfg.hopefuls);
     let mut hopefuls: Vec<Product> = heap
         .into_sorted_vec()
         .into_iter()
@@ -231,39 +245,45 @@ fn product_search(
     record_best(&hopefuls, &mut curve, &mut best_per_iter);
 
     // Iterations 2..: extend each hopeful with columns after its max
-    // member. Workers stride the hopefuls list; each worker batches the
+    // member. Shards stride the hopefuls list; each shard batches the
     // AND-popcounts of one hopeful against all its candidate columns
-    // through the blocked many-columns kernel.
+    // through the blocked many-columns kernel, reusing its persistent
+    // fan-out buffer across iterations and epochs.
     for _ in 1..cfg.max_iterations {
         if hopefuls.is_empty() || curve.last() == Some(&0) {
             break;
         }
-        let workers = cfg.compute.workers_for(hopefuls.len());
+        let shards = search_shards(&cfg.compute, hopefuls.len());
+        fanouts.resize_with(shards.max(fanouts.len()), Vec::new);
         let hopefuls_ref = &hopefuls;
         let cols_ref = &cols;
-        let heaps = map_workers_scratch(workers, fanouts, Vec::new, |t, fanout| {
-            let mut heap: BinaryHeap<Reverse<(u32, u32, u32)>> = BinaryHeap::new();
-            let mut pi = t;
-            while pi < hopefuls_ref.len() {
-                let p = &hopefuls_ref[pi];
-                let start = p.members.last().copied().unwrap_or(0) as usize + 1;
-                if start < n {
-                    fanout.clear();
-                    fanout.resize(n - start, 0);
-                    and_weight_many_into(&p.words, &cols_ref[start..], fanout);
-                    for (off, &w) in fanout.iter().enumerate() {
-                        push_bounded(
-                            &mut heap,
-                            cfg.hopefuls,
-                            (w, pi as u32, (start + off) as u32),
-                        );
+        let mut shard_heaps: Vec<CandidateHeap> = (0..shards).map(|_| BinaryHeap::new()).collect();
+        let jobs: Vec<((usize, &mut CandidateHeap), &mut Vec<u32>)> = shard_heaps
+            .iter_mut()
+            .enumerate()
+            .zip(fanouts.iter_mut())
+            .collect();
+        run_jobs(
+            jobs,
+            cfg.compute.workers_for(shards),
+            |((s, heap), fanout)| {
+                let mut pi = s;
+                while pi < hopefuls_ref.len() {
+                    let p = &hopefuls_ref[pi];
+                    let start = p.members.last().copied().unwrap_or(0) as usize + 1;
+                    if start < n {
+                        fanout.clear();
+                        fanout.resize(n - start, 0);
+                        and_weight_many_into(&p.words, &cols_ref[start..], fanout);
+                        for (off, &w) in fanout.iter().enumerate() {
+                            push_bounded(heap, cfg.hopefuls, (w, pi as u32, (start + off) as u32));
+                        }
                     }
+                    pi += shards;
                 }
-                pi += workers;
-            }
-            heap
-        });
-        let heap = merge_bounded(heaps, cfg.hopefuls);
+            },
+        );
+        let heap = merge_bounded(shard_heaps, cfg.hopefuls);
         if heap.is_empty() {
             break;
         }
@@ -298,6 +318,25 @@ fn product_search(
     (curve, best_per_iter)
 }
 
+/// Shard count for a product-search fan-out of `items` work units.
+///
+/// A sharded plan only pays off when more than one worker executes it:
+/// each per-shard bounded heap sees a fraction of the candidates, so its
+/// eviction threshold sits below the single global heap's and it accepts
+/// (then churns) more entries. Run sequentially that is strictly extra
+/// heap work for the same canonical result — so with one worker the plan
+/// collapses to one shard. Legal because the merged top-H is
+/// shard-count-invariant (see the determinism tests): shards only ever
+/// change where time is spent, never what is detected.
+fn search_shards(budget: &ComputeBudget, items: usize) -> usize {
+    let shards = budget.effective_shards().min(items).max(1);
+    if budget.workers_for(shards) == 1 {
+        1
+    } else {
+        shards
+    }
+}
+
 fn record_best(hopefuls: &[Product], curve: &mut Vec<u32>, best: &mut Vec<Product>) {
     let b = hopefuls.first().expect("hopefuls non-empty");
     curve.push(b.weight);
@@ -311,11 +350,7 @@ fn record_best(hopefuls: &[Product], curve: &mut Vec<u32>, best: &mut Vec<Produc
 /// form a total order, so the retained set is a canonical function of the
 /// candidate multiset — independent of offer order, and hence of how the
 /// fan-out was partitioned across workers.
-fn push_bounded(
-    heap: &mut BinaryHeap<Reverse<(u32, u32, u32)>>,
-    cap: usize,
-    item: (u32, u32, u32),
-) {
+fn push_bounded(heap: &mut CandidateHeap, cap: usize, item: (u32, u32, u32)) {
     if cap == 0 {
         return;
     }
@@ -332,10 +367,7 @@ fn push_bounded(
 /// Merges per-worker bounded heaps into the canonical global top-`cap`
 /// heap. Correct because every member of the global top-`cap` is in its
 /// worker's local top-`cap`.
-fn merge_bounded(
-    heaps: Vec<BinaryHeap<Reverse<(u32, u32, u32)>>>,
-    cap: usize,
-) -> BinaryHeap<Reverse<(u32, u32, u32)>> {
+fn merge_bounded(heaps: Vec<CandidateHeap>, cap: usize) -> CandidateHeap {
     let mut iter = heaps.into_iter();
     let mut acc = iter.next().unwrap_or_default();
     for heap in iter {
@@ -413,8 +445,11 @@ pub fn refined_detect(matrix: &ColMatrix, cfg: &SearchConfig) -> AlignedDetectio
 /// steady-state epoch path. Returns the detection and per-stage timings.
 ///
 /// Screening selects the n′ heaviest columns by the total order
-/// `(weight desc, index asc)` via an O(n) partition + O(n′ log n′) sort
-/// instead of sorting all n columns.
+/// `(weight desc, index asc)`: each column shard partitions out its
+/// local top-n′ (`O(n/s)` per shard, in parallel), the shard survivors
+/// merge, and a global partition + `O(n′ log n′)` sort makes the final
+/// cut. Every member of the global top-n′ is in its own shard's local
+/// top-n′, so the screened set is identical for any shard count.
 ///
 /// # Panics
 /// Panics if `weights.len() != matrix.ncols()`.
@@ -428,24 +463,48 @@ pub fn refined_detect_cached(
     assert_eq!(weights.len(), n, "one weight per column");
     let n_prime = cfg.n_prime.min(n);
     let t0 = Instant::now();
-    let order = &mut scratch.order;
+    let SearchScratch {
+        order,
+        shard_orders,
+        work,
+        fanouts,
+    } = scratch;
     order.clear();
-    order.extend(0..n);
-    if n_prime < n {
+    let shards = cfg.compute.effective_shards();
+    if n_prime < n && shards > 1 {
+        let ranges = split_range(n, shards);
+        shard_orders.resize_with(ranges.len().max(shard_orders.len()), Vec::new);
+        let jobs: Vec<(std::ops::Range<usize>, &mut Vec<usize>)> = ranges
+            .iter()
+            .cloned()
+            .zip(shard_orders.iter_mut())
+            .collect();
+        run_jobs(
+            jobs,
+            cfg.compute.workers_for(ranges.len()),
+            |(range, buf)| {
+                buf.clear();
+                buf.extend(range);
+                if n_prime < buf.len() {
+                    buf.select_nth_unstable_by_key(n_prime, |&j| (Reverse(weights[j]), j));
+                    buf.truncate(n_prime);
+                }
+            },
+        );
+        for buf in &shard_orders[..ranges.len()] {
+            order.extend_from_slice(buf);
+        }
+    } else {
+        order.extend(0..n);
+    }
+    if n_prime < order.len() {
         order.select_nth_unstable_by_key(n_prime, |&j| (Reverse(weights[j]), j));
         order.truncate(n_prime);
     }
     order.sort_unstable_by_key(|&j| (Reverse(weights[j]), j));
-    matrix.select_columns_into(order, &mut scratch.work);
+    matrix.select_columns_into(order, work);
     let screen_ns = t0.elapsed().as_nanos() as u64;
-    let (det, mut timings) = detect_inner(
-        matrix,
-        &scratch.work,
-        &scratch.order,
-        cfg,
-        true,
-        &mut scratch.fanouts,
-    );
+    let (det, mut timings) = detect_inner(matrix, work, order, cfg, true, fanouts);
     timings.screen_ns = screen_ns;
     (det, timings)
 }
@@ -475,9 +534,11 @@ fn detect_inner(
 
     // Witness set: the core plus (refined only) every other column sharing
     // ≥ weight(core) − γ ones with the core row vector. This is the O(n)
-    // full-matrix sweep: workers take contiguous column chunks and batch
-    // `block_cols` columns per blocked-kernel call so the core row vector
-    // stays cache-hot across the batch.
+    // full-matrix sweep: each column shard scans its contiguous range,
+    // batching `block_cols` columns per blocked-kernel call so the core
+    // row vector stays cache-hot across the batch. Survivor sets from
+    // disjoint ranges are sorted after the merge, so the witness set is
+    // shard-count-invariant.
     let mut cols = core_cols.clone();
     if expand {
         let t_expand = Instant::now();
@@ -485,25 +546,31 @@ fn detect_inner(
         let core_set: std::collections::HashSet<usize> = core_cols.iter().copied().collect();
         let block_cols = cfg.compute.effective_block_cols();
         let n = matrix.ncols();
-        let survivors = map_chunks(n, cfg.compute.workers_for(n), |range| {
-            let mut out = Vec::new();
-            let mut batch_weights = vec![0u32; block_cols];
-            let mut start = range.start;
-            while start < range.end {
-                let end = (start + block_cols).min(range.end);
-                let batch: Vec<&[u64]> = (start..end).map(|j| matrix.column(j)).collect();
-                batch_weights[..batch.len()].fill(0);
-                and_weight_many_into(&core.words, &batch, &mut batch_weights);
-                for (off, &w) in batch_weights[..batch.len()].iter().enumerate() {
-                    let j = start + off;
-                    if w >= thresh && !core_set.contains(&j) {
-                        out.push(j);
+        let ranges = split_range(n, cfg.compute.effective_shards());
+        let mut survivors: Vec<Vec<usize>> = ranges.iter().map(|_| Vec::new()).collect();
+        let jobs: Vec<(std::ops::Range<usize>, &mut Vec<usize>)> =
+            ranges.iter().cloned().zip(survivors.iter_mut()).collect();
+        run_jobs(
+            jobs,
+            cfg.compute.workers_for(ranges.len()),
+            |(range, out)| {
+                let mut batch_weights = vec![0u32; block_cols];
+                let mut start = range.start;
+                while start < range.end {
+                    let end = (start + block_cols).min(range.end);
+                    let batch: Vec<&[u64]> = (start..end).map(|j| matrix.column(j)).collect();
+                    batch_weights[..batch.len()].fill(0);
+                    and_weight_many_into(&core.words, &batch, &mut batch_weights);
+                    for (off, &w) in batch_weights[..batch.len()].iter().enumerate() {
+                        let j = start + off;
+                        if w >= thresh && !core_set.contains(&j) {
+                            out.push(j);
+                        }
                     }
+                    start = end;
                 }
-                start = end;
-            }
-            out
-        });
+            },
+        );
         cols.extend(survivors.into_iter().flatten());
         cols.sort_unstable();
         timings.expand_ns = t_expand.elapsed().as_nanos() as u64;
@@ -782,6 +849,44 @@ mod tests {
         let (again, _) = refined_detect_cached(&mat, &weights, &cfg, &mut scratch);
         assert_eq!(again.cols, plain.cols);
         assert_eq!(scratch.order.capacity(), order_cap);
+    }
+
+    #[test]
+    fn refined_detect_is_shard_count_invariant() {
+        // Shards decide only how the screen, pair scan, hopeful
+        // extensions, and expansion sweep are partitioned; the bounded
+        // heaps merge by the full candidate tuple, so the detection must
+        // be bit-identical for any shard count — at any worker count.
+        let mut r = StdRng::seed_from_u64(53);
+        let (mat, _, _) = planted_matrix(&mut r, 96, 800, 30, 14);
+        let run = |threads: usize, shards: usize| {
+            let cfg = SearchConfig {
+                compute: ComputeBudget::with_threads(threads).with_shards(shards),
+                ..small_cfg()
+            };
+            let weights = mat.col_weights();
+            let mut scratch = SearchScratch::new();
+            refined_detect_cached(&mat, &weights, &cfg, &mut scratch).0
+        };
+        let seq = run(1, 1);
+        assert!(seq.found, "planted pattern not found");
+        for (threads, shards) in [(1, 2), (2, 2), (2, 8), (4, 3), (1, 8)] {
+            let par = run(threads, shards);
+            assert_eq!(par.rows, seq.rows, "t={threads} s={shards}: rows differ");
+            assert_eq!(par.cols, seq.cols, "t={threads} s={shards}: cols differ");
+            assert_eq!(
+                par.core_cols, seq.core_cols,
+                "t={threads} s={shards}: core differs"
+            );
+            assert_eq!(
+                par.weight_curve, seq.weight_curve,
+                "t={threads} s={shards}: weight curve differs"
+            );
+            assert_eq!(
+                par.stopped_at, seq.stopped_at,
+                "t={threads} s={shards}: termination differs"
+            );
+        }
     }
 
     #[test]

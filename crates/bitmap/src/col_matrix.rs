@@ -10,6 +10,7 @@
 use crate::words::{self, words_for, WORD_BITS};
 use crate::{Bitmap, WordSource};
 use serde::{Deserialize, Serialize};
+use std::ops::Range;
 
 /// In-place transpose of a 64×64 bit block.
 ///
@@ -117,6 +118,73 @@ impl ColMatrix {
     /// # Panics
     /// Panics if the rows do not all share the same bit length.
     pub fn fuse_rows_into<S: WordSource>(&mut self, rows: &[S], weights: &mut Vec<u32>) {
+        let ncols = self.prepare_fuse(rows, weights);
+        fuse_column_range(
+            rows,
+            ncols,
+            self.words_per_col,
+            0..ncols,
+            &mut self.data,
+            weights,
+        );
+    }
+
+    /// [`ColMatrix::fuse_rows_into`] over independent column-range
+    /// shards driven by up to `workers` threads.
+    ///
+    /// The column space is cut into `shards` contiguous ranges aligned
+    /// to 64-column word tiles ([`dcs_parallel::shard_columns`]), so a
+    /// transpose tile never straddles two shards and each shard writes
+    /// a disjoint contiguous slice of the column-major store — the
+    /// result is bit-identical to the single-shard fuse for any shard
+    /// count.
+    ///
+    /// # Panics
+    /// Panics if the rows do not all share the same bit length.
+    pub fn fuse_rows_into_sharded<S: WordSource + Sync>(
+        &mut self,
+        rows: &[S],
+        weights: &mut Vec<u32>,
+        shards: usize,
+        workers: usize,
+    ) {
+        let ncols = self.prepare_fuse(rows, weights);
+        let ranges = dcs_parallel::shard_columns(ncols, shards, WORD_BITS);
+        if ranges.len() <= 1 || workers <= 1 {
+            fuse_column_range(
+                rows,
+                ncols,
+                self.words_per_col,
+                0..ncols,
+                &mut self.data,
+                weights,
+            );
+            return;
+        }
+        let wpc = self.words_per_col;
+        // Carve the backing store and the weight vector into per-shard
+        // disjoint slices: column j's words are contiguous at
+        // `j * wpc`, so shard [lo, hi) owns `data[lo*wpc..hi*wpc]`.
+        let mut jobs = Vec::with_capacity(ranges.len());
+        let mut data_rest: &mut [u64] = &mut self.data;
+        let mut weights_rest: &mut [u32] = weights;
+        for range in ranges {
+            let cols = range.end - range.start;
+            let (shard_data, rest) = data_rest.split_at_mut(cols * wpc);
+            data_rest = rest;
+            let (shard_weights, rest) = weights_rest.split_at_mut(cols);
+            weights_rest = rest;
+            jobs.push((range, shard_data, shard_weights));
+        }
+        dcs_parallel::run_jobs(jobs, workers, |(range, shard_data, shard_weights)| {
+            fuse_column_range(rows, ncols, wpc, range, shard_data, shard_weights);
+        });
+    }
+
+    /// Shared validation/reset prologue of the fuse entry points:
+    /// checks row widths, reshapes the matrix, and zeroes `weights` to
+    /// `ncols` entries. Returns `ncols`.
+    fn prepare_fuse<S: WordSource>(&mut self, rows: &[S], weights: &mut Vec<u32>) -> usize {
         let nrows = rows.len();
         let ncols = rows.first().map_or(0, WordSource::bit_len);
         for r in rows {
@@ -125,33 +193,7 @@ impl ColMatrix {
         self.reset(nrows, ncols);
         weights.clear();
         weights.resize(ncols, 0);
-        let row_words = words_for(ncols);
-        let wpc = self.words_per_col;
-        for rb in 0..wpc {
-            let row0 = rb * WORD_BITS;
-            let band = &rows[row0..(row0 + WORD_BITS).min(nrows)];
-            for cw in 0..row_words {
-                let mut block = [0u64; WORD_BITS];
-                let mut any = 0u64;
-                for (i, r) in band.iter().enumerate() {
-                    let w = r.word(cw);
-                    block[i] = w;
-                    any |= w;
-                }
-                if any == 0 {
-                    // The matrix was reset to zero: nothing to scatter,
-                    // and the weights gain nothing.
-                    continue;
-                }
-                transpose64(&mut block);
-                let c0 = cw * WORD_BITS;
-                let cols_here = (ncols - c0).min(WORD_BITS);
-                for (c, &w) in block[..cols_here].iter().enumerate() {
-                    self.data[(c0 + c) * wpc + rb] = w;
-                    weights[c0 + c] += w.count_ones();
-                }
-            }
-        }
+        ncols
     }
 
     /// Number of rows (routers).
@@ -260,6 +302,60 @@ impl ColMatrix {
     /// steady-state reuse tests (a reused matrix must not regrow).
     pub fn word_capacity(&self) -> usize {
         self.data.capacity()
+    }
+}
+
+/// The word-tile transpose body of the fuse, restricted to columns
+/// `col_range` of the full matrix.
+///
+/// `data` and `weights` are the *shard-local* slices: `data` holds
+/// `(col_range.len()) * wpc` words starting at global column
+/// `col_range.start`, `weights` one entry per shard column. The
+/// transpose runs on 64-row × 64-column tiles: gather one word from
+/// each of 64 rows, [`transpose64`] the block in registers, scatter the
+/// 64 resulting column-words. Column weights accumulate during the
+/// scatter, so callers get the screening pass's input for free.
+///
+/// `col_range.start` must be a multiple of 64 (shard boundaries align
+/// to word tiles) so no tile straddles the shard edge.
+fn fuse_column_range<S: WordSource>(
+    rows: &[S],
+    ncols: usize,
+    wpc: usize,
+    col_range: Range<usize>,
+    data: &mut [u64],
+    weights: &mut [u32],
+) {
+    debug_assert_eq!(col_range.start % WORD_BITS, 0);
+    debug_assert!(col_range.end <= ncols);
+    let nrows = rows.len();
+    let cw_lo = col_range.start / WORD_BITS;
+    let cw_hi = col_range.end.div_ceil(WORD_BITS);
+    for rb in 0..wpc {
+        let row0 = rb * WORD_BITS;
+        let band = &rows[row0..(row0 + WORD_BITS).min(nrows)];
+        for cw in cw_lo..cw_hi {
+            let mut block = [0u64; WORD_BITS];
+            let mut any = 0u64;
+            for (i, r) in band.iter().enumerate() {
+                let w = r.word(cw);
+                block[i] = w;
+                any |= w;
+            }
+            if any == 0 {
+                // The matrix was reset to zero: nothing to scatter,
+                // and the weights gain nothing.
+                continue;
+            }
+            transpose64(&mut block);
+            let c0 = cw * WORD_BITS;
+            let cols_here = (col_range.end - c0).min(WORD_BITS);
+            for (c, &w) in block[..cols_here].iter().enumerate() {
+                let local = c0 + c - col_range.start;
+                data[local * wpc + rb] = w;
+                weights[local] += w.count_ones();
+            }
+        }
     }
 }
 
@@ -404,6 +500,24 @@ mod tests {
         let mut weights = Vec::new();
         m.fuse_rows_into(&bitmaps, &mut weights);
         assert_eq!(weights, m.col_weights());
+    }
+
+    #[test]
+    fn sharded_fusion_is_bit_identical_for_any_shard_count() {
+        // Widths around word-tile boundaries so shard edges land both
+        // on and off the final partial tile.
+        for &(nrows, bits) in &[(3usize, 64usize), (65, 127), (70, 200), (130, 513)] {
+            let bitmaps = splitmix_bitmaps(nrows, bits, (nrows * bits + 1) as u64);
+            let single = ColMatrix::from_router_bitmaps(&bitmaps);
+            let expect_w = single.col_weights();
+            for shards in [1usize, 2, 3, 8] {
+                let mut m = ColMatrix::new(0, 0);
+                let mut weights = Vec::new();
+                m.fuse_rows_into_sharded(&bitmaps, &mut weights, shards, 4);
+                assert_eq!(m, single, "shape {nrows}x{bits} shards {shards}");
+                assert_eq!(weights, expect_w, "shape {nrows}x{bits} shards {shards}");
+            }
+        }
     }
 
     #[test]

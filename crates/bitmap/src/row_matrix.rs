@@ -96,6 +96,56 @@ impl RowMatrix {
         self.nrows += 1;
     }
 
+    /// Replaces the matrix contents with `rows`, copying row ranges on
+    /// up to `workers` threads across `shards` contiguous row shards.
+    ///
+    /// Stacking is pure data movement — row `i` of the result is
+    /// `rows[i]` regardless of the shard partition — so the result is
+    /// bit-identical to pushing each row with
+    /// [`RowMatrix::push_row_from`] in order. The backing allocation is
+    /// reused as in [`RowMatrix::reset`].
+    ///
+    /// # Panics
+    /// Panics if any row's bit length differs from `ncols`.
+    pub fn fill_rows_sharded<S: WordSource + Sync>(
+        &mut self,
+        ncols: usize,
+        rows: &[S],
+        shards: usize,
+        workers: usize,
+    ) {
+        self.reset(ncols);
+        for r in rows {
+            assert_eq!(r.bit_len(), ncols, "fill_rows_sharded: width mismatch");
+        }
+        let wpr = self.words_per_row;
+        self.nrows = rows.len();
+        self.data.resize(rows.len() * wpr, 0);
+        if shards <= 1 || workers <= 1 || rows.len() <= 1 {
+            for (r, row) in rows.iter().enumerate() {
+                for w in 0..wpr {
+                    self.data[r * wpr + w] = row.word(w);
+                }
+            }
+            return;
+        }
+        let ranges = dcs_parallel::split_range(rows.len(), shards);
+        let mut jobs = Vec::with_capacity(ranges.len());
+        let mut rest: &mut [u64] = &mut self.data;
+        for range in ranges {
+            let (shard, tail) = rest.split_at_mut((range.end - range.start) * wpr);
+            rest = tail;
+            jobs.push((range, shard));
+        }
+        dcs_parallel::run_jobs(jobs, workers, |(range, shard)| {
+            for (local, r) in range.enumerate() {
+                for w in 0..wpr {
+                    shard[local * wpr + w] = rows[r].word(w);
+                }
+            }
+        });
+    }
+
     /// Appends one row given as a bitmap.
     ///
     /// # Panics
@@ -268,6 +318,22 @@ mod tests {
             b.push_row_from(r);
         }
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fill_rows_sharded_matches_sequential_push_for_any_shard_count() {
+        let rows: Vec<Bitmap> = (0..13)
+            .map(|i| Bitmap::from_indices(130, [i, i + 7, 129 - i]))
+            .collect();
+        let mut expect = RowMatrix::new(130);
+        for r in &rows {
+            expect.push_bitmap(r);
+        }
+        for shards in [1usize, 2, 3, 8, 32] {
+            let mut m = RowMatrix::new(0);
+            m.fill_rows_sharded(130, &rows, shards, 4);
+            assert_eq!(m, expect, "shards {shards}");
+        }
     }
 
     #[test]

@@ -9,12 +9,13 @@ use crate::stages::{Stage, StageRecorder};
 use dcs_aligned::{refined_detect_cached, SearchConfig, SearchScratch};
 use dcs_bitmap::{Bitmap, BitmapView, ColMatrix, RowMatrix};
 use dcs_obs::{MetricsRegistry, MetricsSnapshot};
+use dcs_parallel::ComputeBudget;
 use dcs_unaligned::lambda::p_star_for_edge_prob;
 use dcs_unaligned::{
     build_group_graph_parallel, er_test, find_pattern, CoreFindConfig, ErTestConfig, GroupLayout,
     LambdaTable,
 };
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 use std::time::Instant;
 
 /// Configuration of the analysis centre.
@@ -126,10 +127,16 @@ trait EpochSource: DigestShape {
     /// Number of unaligned flow-split groups.
     fn groups(&self) -> usize;
     /// Fuses the aligned bitmaps of `digests` into `matrix`, accumulating
-    /// per-column weights in `weights`.
-    fn fuse_aligned(digests: &[&Self], matrix: &mut ColMatrix, weights: &mut Vec<u32>);
-    /// Stacks the unaligned arrays of `digests` vertically into `rows`.
-    fn stack_unaligned(digests: &[&Self], rows: &mut RowMatrix);
+    /// per-column weights in `weights`, sharded per `budget`.
+    fn fuse_aligned(
+        digests: &[&Self],
+        matrix: &mut ColMatrix,
+        weights: &mut Vec<u32>,
+        budget: &ComputeBudget,
+    );
+    /// Stacks the unaligned arrays of `digests` vertically into `rows`,
+    /// sharded per `budget`.
+    fn stack_unaligned(digests: &[&Self], rows: &mut RowMatrix, budget: &ComputeBudget);
 }
 
 impl EpochSource for RouterDigest {
@@ -142,21 +149,24 @@ impl EpochSource for RouterDigest {
     fn groups(&self) -> usize {
         self.unaligned.groups()
     }
-    fn fuse_aligned(digests: &[&Self], matrix: &mut ColMatrix, weights: &mut Vec<u32>) {
+    fn fuse_aligned(
+        digests: &[&Self],
+        matrix: &mut ColMatrix,
+        weights: &mut Vec<u32>,
+        budget: &ComputeBudget,
+    ) {
         let rows: Vec<&Bitmap> = digests.iter().map(|d| &d.aligned.bitmap).collect();
-        matrix.fuse_rows_into(&rows, weights);
+        let shards = budget.effective_shards();
+        matrix.fuse_rows_into_sharded(&rows, weights, shards, budget.workers_for(shards));
     }
-    fn stack_unaligned(digests: &[&Self], rows: &mut RowMatrix) {
+    fn stack_unaligned(digests: &[&Self], rows: &mut RowMatrix, budget: &ComputeBudget) {
         let ncols = digests
             .first()
             .and_then(|d| d.unaligned.arrays.first())
             .map_or(0, Bitmap::len);
-        rows.reset(ncols);
-        for d in digests {
-            for a in &d.unaligned.arrays {
-                rows.push_bitmap(a);
-            }
-        }
+        let flat: Vec<&Bitmap> = digests.iter().flat_map(|d| &d.unaligned.arrays).collect();
+        let shards = budget.effective_shards();
+        rows.fill_rows_sharded(ncols, &flat, shards, budget.workers_for(shards));
     }
 }
 
@@ -170,21 +180,27 @@ impl EpochSource for RouterDigestView<'_> {
     fn groups(&self) -> usize {
         self.unaligned.groups()
     }
-    fn fuse_aligned(digests: &[&Self], matrix: &mut ColMatrix, weights: &mut Vec<u32>) {
+    fn fuse_aligned(
+        digests: &[&Self],
+        matrix: &mut ColMatrix,
+        weights: &mut Vec<u32>,
+        budget: &ComputeBudget,
+    ) {
         let rows: Vec<BitmapView<'_>> = digests.iter().map(|d| d.aligned.bitmap).collect();
-        matrix.fuse_rows_into(&rows, weights);
+        let shards = budget.effective_shards();
+        matrix.fuse_rows_into_sharded(&rows, weights, shards, budget.workers_for(shards));
     }
-    fn stack_unaligned(digests: &[&Self], rows: &mut RowMatrix) {
+    fn stack_unaligned(digests: &[&Self], rows: &mut RowMatrix, budget: &ComputeBudget) {
         let ncols = digests
             .first()
             .filter(|d| d.unaligned.array_count() > 0)
             .map_or(0, |d| d.unaligned.array(0).len());
-        rows.reset(ncols);
-        for d in digests {
-            for i in 0..d.unaligned.array_count() {
-                rows.push_row_from(&d.unaligned.array(i));
-            }
-        }
+        let flat: Vec<BitmapView<'_>> = digests
+            .iter()
+            .flat_map(|d| (0..d.unaligned.array_count()).map(move |i| d.unaligned.array(i)))
+            .collect();
+        let shards = budget.effective_shards();
+        rows.fill_rows_sharded(ncols, &flat, shards, budget.workers_for(shards));
     }
 }
 
@@ -192,7 +208,15 @@ impl EpochSource for RouterDigestView<'_> {
 #[derive(Debug)]
 pub struct AnalysisCenter {
     cfg: AnalysisConfig,
-    scratch: Mutex<EpochScratch>,
+    /// Pool of reusable epoch scratches. Analysis *checks a scratch out*
+    /// (taking ownership) and returns it when the epoch completes, so the
+    /// lock is held only for the pop/push — never across an analysis —
+    /// and a panicking epoch simply drops its scratch instead of
+    /// poisoning a lock: the next epoch pays one warm-up regrowth and the
+    /// centre keeps serving. Under the pipelined runtime
+    /// ([`crate::runtime::EpochPipeline`]) the pool holds one warm
+    /// scratch per in-flight epoch (double-buffering).
+    scratch: Mutex<Vec<EpochScratch>>,
     metrics: MetricsRegistry,
 }
 
@@ -201,7 +225,7 @@ impl AnalysisCenter {
     pub fn new(cfg: AnalysisConfig) -> Self {
         AnalysisCenter {
             cfg,
-            scratch: Mutex::new(EpochScratch::new()),
+            scratch: Mutex::new(vec![EpochScratch::new()]),
             metrics: MetricsRegistry::new(),
         }
     }
@@ -225,19 +249,27 @@ impl AnalysisCenter {
         &self.metrics
     }
 
-    /// Locks the epoch scratch, recovering from poisoning instead of
-    /// propagating it: if a previous epoch panicked mid-fusion (e.g. a
-    /// malformed batch fed to one of the `analyze_*` pipelines directly),
-    /// the scratch's contents are suspect, so it is reset to empty — the
-    /// next epoch simply pays one warm-up regrowth — and the centre keeps
-    /// serving rather than turning every later epoch into a panic.
-    fn lock_scratch(&self) -> std::sync::MutexGuard<'_, EpochScratch> {
-        self.scratch.lock().unwrap_or_else(|poisoned| {
-            let mut guard = poisoned.into_inner();
-            *guard = EpochScratch::new();
-            self.scratch.clear_poison();
-            guard
-        })
+    /// Checks a warm scratch out of the pool (or allocates a cold one if
+    /// the pool is empty — first use, every scratch currently in flight,
+    /// or a previous epoch panicked and dropped its checkout). The pool
+    /// lock guards only the `Vec` pop, which cannot panic mid-update, so
+    /// a [`PoisonError`] here can safely be bypassed.
+    fn take_scratch(&self) -> EpochScratch {
+        self.scratch
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .pop()
+            .unwrap_or_else(EpochScratch::new)
+    }
+
+    /// Returns a scratch to the pool after a completed epoch. Panicking
+    /// epochs never get here — their scratch (whose contents are suspect)
+    /// unwinds out of existence instead of being recycled.
+    fn return_scratch(&self, scratch: EpochScratch) {
+        self.scratch
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(scratch);
     }
 
     /// Runs both pipelines over one epoch's digests.
@@ -342,18 +374,23 @@ impl AnalysisCenter {
         let digest_bytes: u64 = digests.iter().map(|d| d.src_encoded_len() as u64).sum();
         self.record_ingest(&ingest);
         let rec = StageRecorder::new(&self.metrics);
-        let mut scratch = self.lock_scratch();
-        let s = &mut *scratch;
+        let mut scratch = self.take_scratch();
+        let s = &mut scratch;
 
         // Aligned pipeline, stage 1: fuse per-router bitmaps into the
-        // m×n matrix with incremental column weights.
+        // m×n matrix with incremental column weights, over column shards.
         let (_, fuse_ns) = rec.run(Stage::Fuse, || {
-            D::fuse_aligned(digests, &mut s.matrix, &mut s.col_weights);
+            D::fuse_aligned(
+                digests,
+                &mut s.matrix,
+                &mut s.col_weights,
+                &self.cfg.compute,
+            );
         });
         // Unaligned pipeline, stage 1: stack arrays and map ownership.
         let k = digests.first().map_or(1, |d| d.arrays_per_group());
         let (_, stack_ns) = rec.run(Stage::StackRows, || {
-            D::stack_unaligned(digests, &mut s.urows);
+            D::stack_unaligned(digests, &mut s.urows, &self.cfg.compute);
             s.group_owner.clear();
             for d in digests {
                 s.group_owner
@@ -381,6 +418,7 @@ impl AnalysisCenter {
         };
         let unaligned = self.unaligned_from_rows(&s.urows, &s.group_owner, k, &rec);
 
+        self.return_scratch(scratch);
         self.record_kernels();
         let total_ns = (t0.elapsed().as_nanos() as u64).max(1);
         self.metrics.gauge("epoch_total_ns", &[]).set(total_ns);
@@ -447,23 +485,27 @@ impl AnalysisCenter {
         }
     }
 
-    /// Capacities of the reused epoch scratch: fused-matrix words, weight
-    /// slots, stacked unaligned words, group-owner slots, then the aligned
-    /// search's [`SearchScratch::capacities`]. Steady-state epochs of one
+    /// Capacities of the most recently recycled epoch scratch:
+    /// fused-matrix words, weight slots, stacked unaligned words,
+    /// group-owner slots, then the aligned search's
+    /// [`SearchScratch::capacities`]. Steady-state epochs of one
     /// deployment shape must not grow any of these — the no-allocation
     /// invariant the zero-copy fusion path is built around.
-    pub fn scratch_capacities(&self) -> [usize; 7] {
-        let s = self.lock_scratch();
-        let [order, work, fanouts] = s.search.capacities();
-        [
+    pub fn scratch_capacities(&self) -> [usize; 8] {
+        let s = self.take_scratch();
+        let [order, shard_orders, work, fanouts] = s.search.capacities();
+        let caps = [
             s.matrix.word_capacity(),
             s.col_weights.capacity(),
             s.urows.word_capacity(),
             s.group_owner.capacity(),
             order,
+            shard_orders,
             work,
             fanouts,
-        ]
+        ];
+        self.return_scratch(s);
+        caps
     }
 
     /// The aligned pipeline: fuse per-router bitmaps into the m×n matrix
@@ -473,11 +515,12 @@ impl AnalysisCenter {
     /// [`Self::analyze_epoch`], which validates first.
     pub fn analyze_aligned(&self, digests: &[RouterDigest]) -> AlignedReport {
         let refs: Vec<&RouterDigest> = digests.iter().collect();
-        let mut scratch = self.lock_scratch();
-        let s = &mut *scratch;
-        RouterDigest::fuse_aligned(&refs, &mut s.matrix, &mut s.col_weights);
+        let mut scratch = self.take_scratch();
+        let s = &mut scratch;
+        RouterDigest::fuse_aligned(&refs, &mut s.matrix, &mut s.col_weights, &self.cfg.compute);
         let (det, _) =
             refined_detect_cached(&s.matrix, &s.col_weights, &self.cfg.search, &mut s.search);
+        self.return_scratch(scratch);
         AlignedReport {
             found: det.found,
             routers: det
@@ -511,17 +554,19 @@ impl AnalysisCenter {
         }
         let refs: Vec<&RouterDigest> = digests.iter().collect();
         let rec = StageRecorder::new(&self.metrics);
-        let mut scratch = self.lock_scratch();
-        let s = &mut *scratch;
+        let mut scratch = self.take_scratch();
+        let s = &mut scratch;
         let (_, _) = rec.run(Stage::StackRows, || {
-            RouterDigest::stack_unaligned(&refs, &mut s.urows);
+            RouterDigest::stack_unaligned(&refs, &mut s.urows, &self.cfg.compute);
             s.group_owner.clear();
             for d in digests {
                 s.group_owner
                     .extend(std::iter::repeat_n(d.router_id, d.unaligned.groups()));
             }
         });
-        Ok(self.unaligned_from_rows(&s.urows, &s.group_owner, k, &rec))
+        let report = self.unaligned_from_rows(&s.urows, &s.group_owner, k, &rec);
+        self.return_scratch(scratch);
+        Ok(report)
     }
 
     /// ER test + core finding over an already-stacked row matrix, staged
@@ -905,12 +950,12 @@ mod tests {
     }
 
     /// A panic inside a pipeline (here: mismatched bitmap widths fed to
-    /// `analyze_aligned` directly, which asserts while holding the scratch
-    /// lock) poisons the scratch mutex. The centre must recover — reset
-    /// the scratch and keep analysing — rather than panic on every
-    /// subsequent epoch.
+    /// `analyze_aligned` directly, which asserts mid-fusion) unwinds with
+    /// the checked-out scratch, dropping it instead of poisoning any
+    /// lock. The centre must keep analysing — the next epoch simply
+    /// checks a fresh scratch out of the pool.
     #[test]
-    fn poisoned_scratch_recovers_instead_of_panicking() {
+    fn panicked_epoch_drops_its_scratch_and_the_centre_keeps_serving() {
         use std::panic::{catch_unwind, AssertUnwindSafe};
 
         let mut r = StdRng::seed_from_u64(13);
@@ -937,12 +982,13 @@ mod tests {
             "mismatched widths should have tripped the fuse assert"
         );
 
-        // The lock is now poisoned; every entry point must still work.
-        // (Two routers × 4 groups matches the centre's for_groups(8).)
+        // The panicking epoch's scratch is gone; every entry point must
+        // still work on a freshly pooled scratch. (Two routers × 4
+        // groups matches the centre's for_groups(8).)
         let clean: Vec<RouterDigest> = (0..2).map(|id| mk(id, &mcfg_a, &mut r)).collect();
         let report = center
             .analyze_epoch(&clean)
-            .expect("centre must recover from a poisoned scratch");
+            .expect("centre must keep serving after a panicked epoch");
         assert_eq!(report.routers, 2);
         let _ = center.scratch_capacities();
     }

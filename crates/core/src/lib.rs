@@ -23,6 +23,7 @@ pub mod epochs;
 pub mod ingest;
 pub mod monitor;
 pub mod report;
+pub mod runtime;
 pub mod session;
 pub mod stages;
 pub mod transport;
@@ -34,6 +35,7 @@ pub use epochs::{catch_probability, AlarmTracker, EpochSampler};
 pub use ingest::{DigestShape, Exclusion, IngestError, IngestReport, RouterFault};
 pub use monitor::{MonitorConfig, MonitoringPoint, RouterDigest, RouterDigestView};
 pub use report::{AlignedReport, EpochReport, EpochTimings, TransportStats, UnalignedReport};
+pub use runtime::{EpochInput, EpochPipeline, PipelineConfig, PipelineError, PipelineResult};
 pub use session::{
     CollectedEpoch, CollectorConfig, EpochCollector, RetransmitRequest, SessionConfig,
     StragglerPolicy,
@@ -53,6 +55,9 @@ pub mod prelude {
     pub use crate::monitor::{MonitorConfig, MonitoringPoint, RouterDigest, RouterDigestView};
     pub use crate::report::{
         AlignedReport, EpochReport, EpochTimings, TransportStats, UnalignedReport,
+    };
+    pub use crate::runtime::{
+        EpochInput, EpochPipeline, PipelineConfig, PipelineError, PipelineResult,
     };
     pub use crate::session::{
         CollectedEpoch, CollectorConfig, EpochCollector, RetransmitRequest, SessionConfig,

@@ -30,6 +30,13 @@ pub struct ComputeBudget {
     /// set of batched AND-popcount passes so a block of columns stays
     /// cache-resident; `0` falls back to [`DEFAULT_BLOCK_COLS`].
     pub block_cols: usize,
+    /// Column shards the fused-matrix stages partition their work into
+    /// (see [`shard_columns`]). Every stage result is bit-identical for
+    /// every shard count — shards only decide how the column space is
+    /// cut, never what is computed — so this is purely a throughput
+    /// knob. `0` means "one shard per worker thread" (resolved by
+    /// [`ComputeBudget::effective_shards`]).
+    pub shards: usize,
 }
 
 /// Default column-block width for batched kernels.
@@ -44,25 +51,36 @@ impl Default for ComputeBudget {
         ComputeBudget {
             threads: 0,
             block_cols: DEFAULT_BLOCK_COLS,
+            shards: 0,
         }
     }
 }
 
 impl ComputeBudget {
-    /// Budget pinned to a single thread (fully sequential).
+    /// Budget pinned to a single thread and a single shard (fully
+    /// sequential).
     pub fn sequential() -> Self {
         ComputeBudget {
             threads: 1,
             block_cols: DEFAULT_BLOCK_COLS,
+            shards: 1,
         }
     }
 
-    /// Budget pinned to exactly `threads` workers.
+    /// Budget pinned to exactly `threads` workers (shards follow the
+    /// thread count).
     pub fn with_threads(threads: usize) -> Self {
         ComputeBudget {
             threads,
             block_cols: DEFAULT_BLOCK_COLS,
+            shards: 0,
         }
+    }
+
+    /// This budget with the column-shard count pinned to `shards`.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
     }
 
     /// Resolves `threads == 0` to the machine's available parallelism.
@@ -90,6 +108,87 @@ impl ComputeBudget {
     pub fn workers_for(&self, items: usize) -> usize {
         self.effective_threads().min(items).max(1)
     }
+
+    /// Resolves `shards == 0` to one shard per effective worker thread.
+    pub fn effective_shards(&self) -> usize {
+        if self.shards > 0 {
+            self.shards
+        } else {
+            self.effective_threads()
+        }
+    }
+}
+
+/// Partitions the column range `0..ncols` into at most `shards`
+/// contiguous ranges whose interior boundaries are multiples of `align`
+/// (pass 1 for unconstrained cuts, 64 to keep 64-column word tiles whole
+/// so a tile never straddles two shards).
+///
+/// The plan is a pure function of `(ncols, shards, align)` — it never
+/// consults the machine — and the ranges cover `0..ncols` exactly, in
+/// ascending order, with no empty range. Shard *contents* being
+/// position-independent is what lets every sharded stage merge results
+/// deterministically.
+pub fn shard_columns(ncols: usize, shards: usize, align: usize) -> Vec<Range<usize>> {
+    let align = align.max(1);
+    if ncols == 0 {
+        return Vec::new();
+    }
+    let units = ncols.div_ceil(align);
+    split_range(units, shards.max(1))
+        .into_iter()
+        .map(|r| (r.start * align)..(r.end * align).min(ncols))
+        .collect()
+}
+
+/// Runs `jobs` across at most `workers` scoped threads, assigning each
+/// worker a contiguous block of jobs (the [`split_range`] split) and
+/// consuming every job exactly once. Jobs carry their own inputs and
+/// output slots (e.g. pre-split `&mut` shard slices), so which worker ran
+/// a job can never influence the result — the parallel driver for
+/// sharded stages that write disjoint outputs in place.
+///
+/// Worker 0 runs on the calling thread; `workers == 1` is an inline loop
+/// with no spawn. Panics in a worker propagate to the caller.
+pub fn run_jobs<J, F>(jobs: Vec<J>, workers: usize, f: F)
+where
+    J: Send,
+    F: Fn(J) + Sync,
+{
+    let batches = {
+        let ranges = split_range(jobs.len(), workers.max(1));
+        let mut jobs = jobs.into_iter();
+        ranges
+            .into_iter()
+            .map(|r| jobs.by_ref().take(r.len()).collect::<Vec<J>>())
+            .collect::<Vec<_>>()
+    };
+    if batches.len() <= 1 {
+        for job in batches.into_iter().flatten() {
+            f(job);
+        }
+        return;
+    }
+    std::thread::scope(|scope| {
+        let f = &f;
+        let mut iter = batches.into_iter();
+        let first = iter.next().expect("at least one batch");
+        let handles: Vec<_> = iter
+            .map(|batch| {
+                scope.spawn(move || {
+                    for job in batch {
+                        f(job);
+                    }
+                })
+            })
+            .collect();
+        for job in first {
+            f(job);
+        }
+        for h in handles {
+            h.join().expect("dcs-parallel worker panicked");
+        }
+    });
 }
 
 /// Runs `f(0..workers)` on `workers` scoped threads and returns the
@@ -298,9 +397,59 @@ mod tests {
         let b = ComputeBudget {
             threads: 4,
             block_cols: 16,
+            shards: 2,
         };
         let v = serde::Serialize::to_value(&b);
         let back: ComputeBudget = serde::Deserialize::from_value(&v).unwrap();
         assert_eq!(back, b);
+    }
+
+    #[test]
+    fn effective_shards_follows_threads_by_default() {
+        assert_eq!(ComputeBudget::with_threads(3).effective_shards(), 3);
+        assert_eq!(ComputeBudget::sequential().effective_shards(), 1);
+        assert_eq!(
+            ComputeBudget::with_threads(3)
+                .with_shards(5)
+                .effective_shards(),
+            5
+        );
+        assert!(ComputeBudget::default().effective_shards() >= 1);
+    }
+
+    #[test]
+    fn shard_columns_cover_exactly_and_respect_alignment() {
+        for &(ncols, shards, align) in &[
+            (0usize, 4usize, 64usize),
+            (1, 4, 64),
+            (64, 4, 64),
+            (100, 3, 1),
+            (1000, 4, 64),
+            (4096, 8, 64),
+            (4097, 8, 64),
+            (130, 200, 64),
+        ] {
+            let ranges = shard_columns(ncols, shards, align);
+            let mut next = 0;
+            for r in &ranges {
+                assert_eq!(r.start, next, "{ncols}/{shards}/{align}");
+                assert!(!r.is_empty(), "{ncols}/{shards}/{align}");
+                assert_eq!(r.start % align, 0, "unaligned cut at {}", r.start);
+                next = r.end;
+            }
+            assert_eq!(next, ncols, "{ncols}/{shards}/{align}");
+            assert!(ranges.len() <= shards.max(1));
+        }
+    }
+
+    #[test]
+    fn run_jobs_consumes_every_job_once() {
+        for workers in [1usize, 2, 3, 8] {
+            let mut outputs = vec![0u64; 10];
+            let jobs: Vec<(usize, &mut u64)> = outputs.iter_mut().enumerate().collect();
+            run_jobs(jobs, workers, |(i, slot)| *slot = (i as u64 + 1) * 7);
+            let expect: Vec<u64> = (0..10).map(|i| (i + 1) * 7).collect();
+            assert_eq!(outputs, expect, "workers={workers}");
+        }
     }
 }

@@ -15,6 +15,7 @@ use dcs_core::center::{AnalysisCenter, AnalysisConfig};
 use dcs_core::ingest::IngestError;
 use dcs_core::monitor::{MonitorConfig, MonitoringPoint};
 use dcs_core::report::{EpochReport, TransportStats};
+use dcs_core::runtime::{EpochInput, EpochPipeline, PipelineConfig, PipelineError};
 use dcs_core::session::{ChunkDisposition, CollectorConfig, EpochCollector};
 use dcs_traffic::{gen, BackgroundConfig, ContentObject, Planting, SizeMix};
 use rand::rngs::StdRng;
@@ -60,6 +61,12 @@ pub struct SoakConfig {
     pub bg_flows: usize,
     /// Optional mid-soak centre crash.
     pub kill: Option<KillPlan>,
+    /// Drive the centre through the pipelined runtime
+    /// ([`EpochPipeline`]) instead of analysing inline: epoch N's
+    /// analysis overlaps epoch N+1's collection. Detection outcomes are
+    /// byte-identical either way — the pipeline reorders *when* work
+    /// happens, never what it computes.
+    pub pipelined: bool,
 }
 
 impl SoakConfig {
@@ -79,6 +86,7 @@ impl SoakConfig {
             bg_packets: 800,
             bg_flows: 200,
             kill: None,
+            pipelined: false,
         }
     }
 }
@@ -164,6 +172,32 @@ fn accumulate(totals: &mut TransportStats, s: TransportStats) {
     totals.checkpoint_resumes += s.checkpoint_resumes;
 }
 
+/// Maps one analysed epoch's result onto the soak's typed outcome.
+/// Panics only on harness bugs (a panicked analysis body).
+fn to_outcome(min_quorum: usize, result: Result<EpochReport, PipelineError>) -> EpochOutcome {
+    match result {
+        Ok(report) => EpochOutcome::Report(Box::new(report)),
+        Err(PipelineError::Ingest(IngestError::QuorumTooSmall { required, report })) => {
+            EpochOutcome::QuorumTooSmall {
+                required,
+                accepted: report.accepted.len(),
+            }
+        }
+        Err(PipelineError::Ingest(IngestError::NoDigests)) => EpochOutcome::QuorumTooSmall {
+            required: min_quorum,
+            accepted: 0,
+        },
+        Err(PipelineError::Panicked(msg)) => panic!("soak epoch analysis panicked: {msg}"),
+    }
+}
+
+/// How the soak drives the centre: inline per-epoch analysis, or the
+/// continuously running pipeline.
+enum Driver {
+    Sequential(Box<AnalysisCenter>),
+    Pipelined(EpochPipeline),
+}
+
 /// Runs the soak. Deterministic in `cfg`; panics only on harness bugs —
 /// every transport or quorum failure is a typed [`EpochOutcome`].
 pub fn run_soak(cfg: &SoakConfig) -> SoakResult {
@@ -176,6 +210,11 @@ pub fn run_soak(cfg: &SoakConfig) -> SoakResult {
     acfg.search.n_prime = 400;
     acfg.search.hopefuls = 300;
     let center = AnalysisCenter::new(acfg);
+    let driver = if cfg.pipelined {
+        Driver::Pipelined(EpochPipeline::new(center, PipelineConfig::default()))
+    } else {
+        Driver::Sequential(Box::new(center))
+    };
     let mut channel = LossyChannel::new(cfg.channel, cfg.seed);
 
     let bg = BackgroundConfig {
@@ -267,26 +306,51 @@ pub fn run_soak(cfg: &SoakConfig) -> SoakResult {
 
         let epoch = collector.finalize(now);
         accumulate(&mut totals, epoch.stats);
-        let outcome = match center.analyze_epoch_collected(&epoch) {
-            Ok(report) => EpochOutcome::Report(Box::new(report)),
-            Err(IngestError::QuorumTooSmall { required, report }) => EpochOutcome::QuorumTooSmall {
-                required,
-                accepted: report.accepted.len(),
-            },
-            Err(IngestError::NoDigests) => EpochOutcome::QuorumTooSmall {
-                required: cfg.min_quorum,
-                accepted: 0,
-            },
-        };
-        outcomes.push(outcome);
+        match &driver {
+            Driver::Sequential(center) => {
+                let result = center
+                    .analyze_epoch_collected(&epoch)
+                    .map_err(PipelineError::Ingest);
+                outcomes.push(to_outcome(cfg.min_quorum, result));
+            }
+            Driver::Pipelined(pipe) => {
+                // Hold the worker across the first two submissions so the
+                // double buffer is deterministically exercised — the
+                // `epochs_in_flight_peak ≥ 2` acceptance signal cannot
+                // depend on scheduler luck on a single-CPU host. From
+                // epoch 2 on, overlap is natural: collection of epoch
+                // N+1 proceeds while the worker analyses epoch N.
+                if e == 0 {
+                    pipe.pause();
+                }
+                pipe.submit(EpochInput::Collected(epoch));
+                if e == 1 {
+                    pipe.resume();
+                }
+                while let Some((_, result)) = pipe.try_recv() {
+                    outcomes.push(to_outcome(cfg.min_quorum, result));
+                }
+            }
+        }
         now += 1;
     }
+
+    let metrics = match driver {
+        Driver::Sequential(center) => center.metrics(),
+        Driver::Pipelined(pipe) => {
+            pipe.resume(); // a 1-epoch pipelined run never hit the e == 1 unpause
+            for (_, result) in pipe.drain() {
+                outcomes.push(to_outcome(cfg.min_quorum, result));
+            }
+            pipe.center().metrics()
+        }
+    };
 
     SoakResult {
         outcomes,
         totals,
         ticks: now,
-        metrics: center.metrics(),
+        metrics,
     }
 }
 

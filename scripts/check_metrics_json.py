@@ -1,9 +1,15 @@
 #!/usr/bin/env python3
-"""CI metrics smoke check: assert a BENCH_pipeline.json (or any report
-embedding `center_stage_ns` + `metrics`) parses and carries a non-zero
-span for every stage of both detection pipelines.
+"""CI metrics gate over a BENCH_pipeline.json (or any report embedding
+`center_stage_ns` + `metrics`):
 
-Usage: check_metrics_json.py [path-to-json]
+* smoke — the report parses and carries a non-zero span for every stage
+  of both detection pipelines, plus the epoch total and counter;
+* perf budgets (``--budgets budgets.json``) — every stage's share of the
+  nine-stage span sum stays within its checked-in ceiling, so a change
+  that silently shifts work into one stage trips CI on any runner
+  (shares are machine-independent where absolute times are not).
+
+Usage: check_metrics_json.py [path-to-json] [--budgets budgets.json]
 """
 
 import json
@@ -15,11 +21,7 @@ STAGES = {
 }
 
 
-def main() -> int:
-    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_pipeline.json"
-    with open(path, encoding="utf-8") as f:
-        report = json.load(f)
-
+def check_smoke(path: str, report: dict) -> int:
     breakdown = report["center_stage_ns"]
     flat_keys = [f"{s}_ns" for stages in STAGES.values() for s in stages]
     bad = [k for k in flat_keys if breakdown.get(k, 0) <= 0]
@@ -51,6 +53,66 @@ def main() -> int:
         f"{counters['epochs_analyzed_total']} epoch(s) analysed"
     )
     return 0
+
+
+def check_budgets(path: str, report: dict, budgets_path: str) -> int:
+    with open(budgets_path, encoding="utf-8") as f:
+        budgets = json.load(f)["max_share_of_stage_sum"]
+
+    breakdown = report["center_stage_ns"]
+    spans = {
+        f"{pipeline}/{stage}": breakdown.get(f"{stage}_ns", 0)
+        for pipeline, stages in STAGES.items()
+        for stage in stages
+    }
+    total = sum(spans.values())
+    if total <= 0:
+        print(f"{path}: stage span sum is zero, cannot evaluate budgets")
+        return 1
+
+    unbudgeted = sorted(set(spans) - set(budgets))
+    if unbudgeted:
+        print(f"{budgets_path}: stages missing a budget: {unbudgeted}")
+        return 1
+
+    failures = []
+    for key, span in sorted(spans.items()):
+        share = span / total
+        ceiling = budgets[key]
+        status = "over budget" if share > ceiling else "ok"
+        print(f"  {key:<22} {span / 1e6:>10.2f} ms  share {share:.3f}  budget {ceiling:.3f}  {status}")
+        if share > ceiling:
+            failures.append(key)
+    if failures:
+        print(
+            f"{path}: stage share over budget for {failures} — a change shifted "
+            f"work into these stages; rebalance or update {budgets_path} with "
+            f"a justification in the same change"
+        )
+        return 1
+    print(f"{path}: all {len(spans)} stage shares within {budgets_path} ceilings")
+    return 0
+
+
+def main() -> int:
+    argv = sys.argv[1:]
+    budgets_path = None
+    if "--budgets" in argv:
+        i = argv.index("--budgets")
+        if i + 1 >= len(argv):
+            print("--budgets requires a path argument")
+            return 2
+        budgets_path = argv[i + 1]
+        del argv[i : i + 2]
+    path = argv[0] if argv else "BENCH_pipeline.json"
+
+    with open(path, encoding="utf-8") as f:
+        report = json.load(f)
+
+    rc = check_smoke(path, report)
+    if rc == 0 and budgets_path is not None:
+        rc = check_budgets(path, report, budgets_path)
+    return rc
 
 
 if __name__ == "__main__":

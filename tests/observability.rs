@@ -39,12 +39,15 @@ fn make_digests(seed: u64, infected: usize) -> Vec<RouterDigest> {
         .collect()
 }
 
-fn center_with_threads(threads: usize) -> AnalysisCenter {
-    let mut cfg =
-        AnalysisConfig::for_groups(ROUTERS * 4).with_compute(ComputeBudget::with_threads(threads));
+fn center_with_budget(budget: ComputeBudget) -> AnalysisCenter {
+    let mut cfg = AnalysisConfig::for_groups(ROUTERS * 4).with_compute(budget);
     cfg.search.n_prime = 300;
     cfg.search.hopefuls = 200;
     AnalysisCenter::new(cfg)
+}
+
+fn center_with_threads(threads: usize) -> AnalysisCenter {
+    center_with_budget(ComputeBudget::with_threads(threads))
 }
 
 #[test]
@@ -163,6 +166,78 @@ fn deterministic_metrics_are_identical_across_thread_counts() {
             "threads={threads}: deterministic metrics diverged"
         );
     }
+}
+
+#[test]
+fn deterministic_metrics_are_identical_across_shard_counts() {
+    let digests = make_digests(37, 6);
+    let run = |shards: usize| {
+        let center = center_with_budget(
+            ComputeBudget::with_threads(2.min(shards.max(1))).with_shards(shards),
+        );
+        let report = center.analyze_epoch(&digests).expect("quorum");
+        (report, center.metrics())
+    };
+    let (base_report, base_snap) = run(1);
+    let base_view = deterministic_view(&base_snap);
+    for shards in [2, 8] {
+        let (report, snap) = run(shards);
+        // Detection results — aligned and unaligned — are
+        // shard-count-invariant: fusion writes disjoint column ranges and
+        // every reduction merges through total-ordered bounded heaps.
+        assert_eq!(report.aligned.found, base_report.aligned.found);
+        assert_eq!(report.aligned.routers, base_report.aligned.routers);
+        assert_eq!(
+            report.aligned.signature_indices,
+            base_report.aligned.signature_indices
+        );
+        assert_eq!(report.unaligned.alarm, base_report.unaligned.alarm);
+        assert_eq!(
+            report.unaligned.suspected_routers,
+            base_report.unaligned.suspected_routers
+        );
+        assert_eq!(
+            deterministic_view(&snap),
+            base_view,
+            "shards={shards}: deterministic metrics diverged"
+        );
+    }
+}
+
+#[test]
+fn pipelined_epochs_report_per_epoch_stage_times() {
+    let center = center_with_threads(2);
+    let pipe = EpochPipeline::new(center, PipelineConfig { max_in_flight: 3 });
+    // Queue all three epochs behind a paused worker so their analyses run
+    // back-to-back — if stage timers leaked across overlapped epochs the
+    // accumulated values would betray it below.
+    pipe.pause();
+    for seed in [40, 41, 42] {
+        pipe.submit(EpochInput::Digests(make_digests(seed, 4)));
+    }
+    pipe.resume();
+    let mut reports = Vec::new();
+    for (seq, result) in pipe.drain() {
+        reports.push((seq, result.expect("clean epoch")));
+    }
+    assert_eq!(reports.len(), 3);
+    // Every report carries its own epoch's timings: each stage ran and the
+    // per-stage sum fits inside that epoch's own total, which would be
+    // violated if a report aggregated wall-clock across in-flight epochs.
+    for (_, report) in &reports {
+        assert!(report.timings.total_ns > 0);
+        let staged = report.timings.fuse_ns + report.timings.screen_ns + report.timings.sweep_ns;
+        assert!(staged > 0);
+        assert!(staged <= report.timings.total_ns);
+    }
+    // The stage gauges hold the most recent epoch, so the registry-derived
+    // view must equal the final report's timings, not a sum over the batch.
+    let derived = EpochTimings::from_snapshot(&pipe.center().metrics());
+    assert_eq!(
+        derived,
+        reports.last().unwrap().1.timings,
+        "registry gauges must reflect the last epoch, not an overlap-aggregated view"
+    );
 }
 
 #[test]

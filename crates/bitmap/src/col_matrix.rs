@@ -510,7 +510,12 @@ mod tests {
             let bitmaps = splitmix_bitmaps(nrows, bits, (nrows * bits + 1) as u64);
             let single = ColMatrix::from_router_bitmaps(&bitmaps);
             let expect_w = single.col_weights();
-            for shards in [1usize, 2, 3, 8] {
+            // Shard counts far beyond ncols/64 exercise the degenerate
+            // plans: shard_columns must collapse to at most one range per
+            // word tile (never an empty range — the split_at_mut carving
+            // below would still be sound, but every shard must own
+            // columns for the plan to cover the matrix).
+            for shards in [1usize, 2, 3, 8, 10_000, 1 << 20] {
                 let mut m = ColMatrix::new(0, 0);
                 let mut weights = Vec::new();
                 m.fuse_rows_into_sharded(&bitmaps, &mut weights, shards, 4);

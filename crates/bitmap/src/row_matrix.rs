@@ -329,7 +329,10 @@ mod tests {
         for r in &rows {
             expect.push_bitmap(r);
         }
-        for shards in [1usize, 2, 3, 8, 32] {
+        // 10_000 and 1<<20 shards on a 130-column matrix: the plan must
+        // degrade to ≤ 3 word-tile ranges, never hand a worker an empty
+        // (zero-width split_at_mut) slice.
+        for shards in [1usize, 2, 3, 8, 32, 10_000, 1 << 20] {
             let mut m = RowMatrix::new(0);
             m.fill_rows_sharded(130, &rows, shards, 4);
             assert_eq!(m, expect, "shards {shards}");

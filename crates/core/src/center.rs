@@ -355,6 +355,180 @@ impl AnalysisCenter {
         Ok(out)
     }
 
+    /// Runs both pipelines over an epoch delivered through an
+    /// aggregation tier (see [`crate::aggregate`]): each element of
+    /// `bundles` is one encoded [`AggregateBundle`](crate::aggregate::AggregateBundle) from a regional
+    /// aggregator. The embedded child frames — the same DCSR bytes a
+    /// flat deployment would have shipped — are parsed and validated
+    /// globally, so the detection output is byte-identical to
+    /// [`Self::analyze_epoch_wire`] over the union of the delivered
+    /// child frames.
+    ///
+    /// Cross-level accounting: every child the aggregators excluded
+    /// surfaces in the report's ingest section wrapped in
+    /// [`RouterFault::AtLevel`] (keeping its original fault kind and the
+    /// level it was lost at), and a bundle that fails to decode counts
+    /// as one excluded submission with an `AtLevel`-wrapped wire fault.
+    /// `submitted` — and therefore [`min_quorum`](AnalysisConfig::min_quorum)
+    /// — counts reachable *leaves*, never bundles.
+    pub fn analyze_epoch_aggregated<B: AsRef<[u8]>>(
+        &self,
+        bundles: &[B],
+    ) -> Result<EpochReport, IngestError> {
+        let t0 = Instant::now();
+        self.analyze_aggregated_inner(bundles.iter().map(|b| b.as_ref()), Vec::new(), None, t0)
+    }
+
+    /// [`Self::analyze_epoch_aggregated`] for an epoch collected off the
+    /// upstream transport hop: the reassembled frames of `epoch` are
+    /// aggregate bundles, and an aggregator the transport lost becomes a
+    /// single excluded submission wrapped in [`RouterFault::AtLevel`]
+    /// with the aggregator's id (its whole subtree is unreachable, but
+    /// its leaf count is unknown here — quorum degrades by at least
+    /// one). Delivery stats of the upstream hop are stamped onto the
+    /// report like [`Self::analyze_epoch_collected`].
+    pub fn analyze_epoch_aggregated_collected(
+        &self,
+        epoch: &CollectedEpoch,
+    ) -> Result<EpochReport, IngestError> {
+        let t0 = Instant::now();
+        let lost: Vec<(Option<u64>, RouterFault)> = epoch
+            .exclusions
+            .iter()
+            .map(|e| {
+                let agg = e.router_id.map(|r| r as u64);
+                (
+                    agg,
+                    RouterFault::AtLevel {
+                        level: 1,
+                        aggregator_id: agg,
+                        fault: Box::new(e.fault.clone()),
+                    },
+                )
+            })
+            .collect();
+        let mut out = self.analyze_aggregated_inner(
+            epoch.frames.iter().map(|(_, b)| b.as_slice()),
+            lost,
+            Some(epoch.stats),
+            t0,
+        )?;
+        out.transport = epoch.stats;
+        Ok(out)
+    }
+
+    /// Shared body of the aggregated ingest paths: decodes the bundles,
+    /// flattens their embedded child frames into one globally-validated
+    /// batch, and folds every below-centre exclusion into the ingest
+    /// accounting with its level.
+    fn analyze_aggregated_inner<'b>(
+        &self,
+        bundles: impl Iterator<Item = &'b [u8]>,
+        lost_aggregators: Vec<(Option<u64>, RouterFault)>,
+        stats: Option<TransportStats>,
+        t0: Instant,
+    ) -> Result<EpochReport, IngestError> {
+        use crate::aggregate::{level_label, AggregateBundle};
+        let fuse_t0 = Instant::now();
+        let mut decoded: Vec<AggregateBundle> = Vec::new();
+        let mut rejected: Vec<RouterFault> = Vec::new();
+        let mut received_bytes = 0u64;
+        for bytes in bundles {
+            received_bytes += bytes.len() as u64;
+            match AggregateBundle::decode_wire(bytes) {
+                Ok((bundle, _)) => decoded.push(bundle),
+                Err(e) => rejected.push(RouterFault::AtLevel {
+                    level: 1,
+                    aggregator_id: None,
+                    fault: Box::new(RouterFault::Wire(e.to_string())),
+                }),
+            }
+        }
+
+        // Flatten: every embedded child frame joins one global batch
+        // (per-bundle order preserved), every below-centre exclusion is
+        // wrapped with the level it was recorded at. Validation — shape,
+        // duplicates, epoch consensus, quorum — then runs ONCE over the
+        // global batch, exactly as flat ingest would.
+        let mut views: Vec<(usize, RouterDigestView<'_>)> = Vec::new();
+        let mut excluded: Vec<Exclusion> = Vec::new();
+        let mut index = 0usize;
+        let mut leaves = 0usize;
+        for bundle in &decoded {
+            for frame in &bundle.frames {
+                match RouterDigestView::parse(frame) {
+                    Ok((view, _)) => views.push((index, view)),
+                    Err(e) => excluded.push(Exclusion {
+                        index,
+                        router_id: None,
+                        fault: RouterFault::Wire(e.to_string()),
+                    }),
+                }
+                index += 1;
+                leaves += 1;
+            }
+            for excl in &bundle.exclusions {
+                excluded.push(Exclusion {
+                    index,
+                    router_id: Some(excl.router_id as usize),
+                    fault: RouterFault::AtLevel {
+                        level: bundle.level,
+                        aggregator_id: Some(bundle.aggregator_id),
+                        fault: Box::new(excl.fault.clone()),
+                    },
+                });
+                index += 1;
+                leaves += 1;
+            }
+        }
+        let rejected_bundles = rejected.len() as u64;
+        for fault in rejected {
+            excluded.push(Exclusion {
+                index,
+                router_id: None,
+                fault,
+            });
+            index += 1;
+        }
+        for (agg, fault) in lost_aggregators {
+            excluded.push(Exclusion {
+                index,
+                router_id: agg.map(|a| a as usize),
+                fault,
+            });
+            index += 1;
+        }
+        let submitted = index;
+
+        self.metrics
+            .counter("aggregate_bundles_total", &[])
+            .add(decoded.len() as u64);
+        self.metrics
+            .counter("aggregate_bundles_rejected_total", &[])
+            .add(rejected_bundles);
+        self.metrics
+            .counter("aggregate_received_bytes_total", &[])
+            .add(received_bytes);
+        if !decoded.is_empty() {
+            self.metrics
+                .gauge("aggregate_children_per_bundle", &[("level", "0")])
+                .set((leaves / decoded.len().max(1)) as u64);
+        }
+        self.metrics
+            .gauge("aggregate_fuse_ns", &[("level", level_label(0))])
+            .set((fuse_t0.elapsed().as_nanos() as u64).max(1));
+
+        let candidates: Vec<(usize, &RouterDigestView<'_>)> =
+            views.iter().map(|(i, v)| (*i, v)).collect();
+        let (accepted, report) =
+            ingest::validate_batch(submitted, candidates, excluded, self.cfg.min_quorum)?;
+        let out = self.analyze_validated(&accepted, report, t0);
+        if let Some(stats) = stats {
+            self.record_transport(&stats);
+        }
+        Ok(out)
+    }
+
     /// Both pipelines over an already-validated batch (owned digests or
     /// zero-copy views), through the centre's reusable epoch scratch.
     ///
@@ -1089,5 +1263,193 @@ mod tests {
             }
             other => panic!("expected QuorumTooSmall, got {other:?}"),
         }
+    }
+
+    /// Aggregated ingest is detection-equivalent to flat ingest: the
+    /// same leaf frames routed through three aggregate bundles must give
+    /// byte-identical aligned and unaligned verdicts.
+    #[test]
+    fn aggregated_and_flat_ingest_agree_byte_for_byte() {
+        use crate::aggregate::AggregateBundle;
+
+        let frames = wire_frames(31, 12);
+        let center = AnalysisCenter::new(AnalysisConfig::for_groups(48));
+        let flat = center
+            .analyze_epoch_wire(&frames)
+            .expect("12 clean frames form a quorum");
+
+        let bundles: Vec<Vec<u8>> = frames
+            .chunks(4)
+            .enumerate()
+            .map(|(agg, chunk)| {
+                let child_frames: Vec<(u64, Vec<u8>)> = chunk
+                    .iter()
+                    .enumerate()
+                    .map(|(i, f)| ((agg * 4 + i) as u64, f.clone()))
+                    .collect();
+                AggregateBundle::assemble(900 + agg as u64, 0, 1, child_frames, Vec::new())
+                    .encode_wire()
+            })
+            .collect();
+        let tiered = center
+            .analyze_epoch_aggregated(&bundles)
+            .expect("same 12 leaves through 3 bundles");
+
+        assert_eq!(tiered.routers, 12);
+        assert_eq!(tiered.ingest.submitted, 12, "quorum counts leaves");
+        assert_eq!(tiered.aligned.found, flat.aligned.found);
+        assert_eq!(tiered.aligned.routers, flat.aligned.routers);
+        assert_eq!(
+            tiered.aligned.signature_indices,
+            flat.aligned.signature_indices
+        );
+        assert_eq!(tiered.aligned.content_packets, flat.aligned.content_packets);
+        assert_eq!(tiered.unaligned.alarm, flat.unaligned.alarm);
+        assert_eq!(
+            tiered.unaligned.largest_component,
+            flat.unaligned.largest_component
+        );
+        assert_eq!(
+            tiered.unaligned.suspected_routers,
+            flat.unaligned.suspected_routers
+        );
+        assert_eq!(
+            tiered.unaligned.suspected_groups,
+            flat.unaligned.suspected_groups
+        );
+    }
+
+    /// Cross-level accounting: a child excluded at an aggregator and an
+    /// undecodable bundle both surface at the centre as `AtLevel` faults
+    /// with the right level and aggregator, and quorum is judged over
+    /// reachable leaves, not bundles.
+    #[test]
+    fn aggregated_ingest_composes_exclusions_across_levels() {
+        use crate::aggregate::{AggregateBundle, ChildExclusion};
+
+        let frames = wire_frames(32, 6);
+        let good = AggregateBundle::assemble(
+            1000,
+            0,
+            1,
+            frames[..4]
+                .iter()
+                .enumerate()
+                .map(|(i, f)| (i as u64, f.clone()))
+                .collect(),
+            vec![ChildExclusion {
+                router_id: 4,
+                fault: RouterFault::TimedOut {
+                    received: 2,
+                    total: 5,
+                },
+            }],
+        )
+        .encode_wire();
+        let garbage = vec![0x55u8; 80];
+
+        let center = AnalysisCenter::new(AnalysisConfig::for_groups(24));
+        let report = center
+            .analyze_epoch_aggregated(&[good.clone(), garbage.clone()])
+            .expect("four surviving leaves are a quorum");
+        // 4 delivered leaves + 1 child exclusion + 1 dead bundle.
+        assert_eq!(report.ingest.submitted, 6);
+        assert_eq!(report.routers, 4);
+        assert_eq!(report.ingest.excluded.len(), 2);
+        let timed = &report.ingest.excluded[0];
+        assert_eq!(timed.router_id, Some(4));
+        assert_eq!(timed.fault.kind(), "timed_out", "kind survives the wrap");
+        assert_eq!(timed.fault.level(), 1);
+        match &timed.fault {
+            RouterFault::AtLevel {
+                level: 1,
+                aggregator_id: Some(1000),
+                fault,
+            } => assert!(matches!(
+                **fault,
+                RouterFault::TimedOut {
+                    received: 2,
+                    total: 5
+                }
+            )),
+            other => panic!("expected AtLevel wrap, got {other:?}"),
+        }
+        let dead = &report.ingest.excluded[1];
+        assert_eq!(dead.router_id, None);
+        assert_eq!(dead.fault.kind(), "wire");
+        assert!(
+            matches!(
+                dead.fault,
+                RouterFault::AtLevel {
+                    level: 1,
+                    aggregator_id: None,
+                    ..
+                }
+            ),
+            "{:?}",
+            dead.fault
+        );
+
+        // Leaf-based quorum: 5 reachable leaves is not enough when the
+        // floor is 5 delivered... the 4 survivors miss a floor of 5.
+        let strict = AnalysisCenter::new(AnalysisConfig::for_groups(24).with_min_quorum(5));
+        match strict.analyze_epoch_aggregated(&[good, garbage]) {
+            Err(IngestError::QuorumTooSmall { required, report }) => {
+                assert_eq!(required, 5);
+                assert_eq!(report.accepted.len(), 4);
+                assert_eq!(report.submitted, 6);
+            }
+            other => panic!("expected QuorumTooSmall, got {other:?}"),
+        }
+    }
+
+    /// The collected aggregated path: an aggregator the upstream hop
+    /// lost entirely becomes one `AtLevel` exclusion carrying its id.
+    #[test]
+    fn lost_aggregator_surfaces_with_its_id() {
+        use crate::aggregate::AggregateBundle;
+        use crate::session::{CollectorConfig, EpochCollector};
+        use crate::transport::chunk_bundle;
+
+        let frames = wire_frames(33, 4);
+        let bundle = AggregateBundle::assemble(
+            700,
+            0,
+            1,
+            frames
+                .iter()
+                .enumerate()
+                .map(|(i, f)| (i as u64, f.clone()))
+                .collect(),
+            Vec::new(),
+        )
+        .encode_wire();
+
+        // Upstream hop expects aggregators 700 and 701; only 700 ships.
+        let mut coll = EpochCollector::new(0, [700u64, 701], CollectorConfig::default(), 9, 0);
+        for chunk in chunk_bundle(700, 0, &bundle, 4096) {
+            coll.offer(&chunk, 0);
+        }
+        let deadline = coll.deadline();
+        let epoch = coll.finalize(deadline);
+
+        let center = AnalysisCenter::new(AnalysisConfig::for_groups(16));
+        let report = center
+            .analyze_epoch_aggregated_collected(&epoch)
+            .expect("four leaves from the surviving aggregator");
+        assert_eq!(report.routers, 4);
+        assert_eq!(report.ingest.submitted, 5);
+        assert_eq!(report.ingest.excluded.len(), 1);
+        let e = &report.ingest.excluded[0];
+        assert_eq!(e.router_id, Some(701));
+        match &e.fault {
+            RouterFault::AtLevel {
+                level: 1,
+                aggregator_id: Some(701),
+                fault,
+            } => assert!(matches!(**fault, RouterFault::TimedOut { .. }), "{fault:?}"),
+            other => panic!("expected AtLevel timeout, got {other:?}"),
+        }
+        assert!(report.transport.chunks_received > 0, "stats not stamped");
     }
 }

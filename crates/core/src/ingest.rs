@@ -160,12 +160,31 @@ pub enum RouterFault {
         /// Declared total chunks (0 when never learned).
         total: usize,
     },
+    /// The fault was recorded below the centre, at an aggregation tier
+    /// (see [`crate::aggregate`]): a child router excluded while its
+    /// regional aggregator assembled the epoch's bundle, or a whole
+    /// aggregator lost on the way up. Wraps the underlying fault so
+    /// cross-level accounting keeps the original reason.
+    AtLevel {
+        /// Aggregation tier the fault was recorded at (the centre is
+        /// level 0, the first aggregation tier above the leaves 1).
+        level: u8,
+        /// The aggregator that recorded (or *was*) the fault, when
+        /// known — an aggregate bundle that failed to decode at the
+        /// centre has none.
+        aggregator_id: Option<u64>,
+        /// The underlying fault.
+        fault: Box<RouterFault>,
+    },
 }
 
 impl RouterFault {
     /// Stable lowercase tag of the fault variant — the wire-format "kind"
     /// discriminant, also used as the `fault` label of the
-    /// `ingest_excluded_total` metric family.
+    /// `ingest_excluded_total` metric family. [`RouterFault::AtLevel`]
+    /// delegates to the wrapped fault (its own serde tag is `at_level`),
+    /// so a child timing out at an aggregator counts under the same
+    /// `timed_out` label as one timing out at the centre.
     pub fn kind(&self) -> &'static str {
         match self {
             RouterFault::Wire(_) => "wire",
@@ -179,6 +198,16 @@ impl RouterFault {
             RouterFault::TimedOut { .. } => "timed_out",
             RouterFault::ChecksumMismatch { .. } => "checksum_mismatch",
             RouterFault::Incomplete { .. } => "incomplete",
+            RouterFault::AtLevel { fault, .. } => fault.kind(),
+        }
+    }
+
+    /// The aggregation tier the fault was recorded at: the wrapped level
+    /// for [`RouterFault::AtLevel`], 0 (the centre) for everything else.
+    pub fn level(&self) -> u8 {
+        match self {
+            RouterFault::AtLevel { level, .. } => *level,
+            _ => 0,
         }
     }
 }
@@ -227,6 +256,17 @@ impl fmt::Display for RouterFault {
                     f,
                     "session finalized with {received}/{total} chunks received"
                 )
+            }
+            RouterFault::AtLevel {
+                level,
+                aggregator_id,
+                fault,
+            } => {
+                write!(f, "at level {level}")?;
+                if let Some(agg) = aggregator_id {
+                    write!(f, " (aggregator {agg})")?;
+                }
+                write!(f, ": {fault}")
             }
         }
     }
@@ -289,6 +329,18 @@ impl serde::Serialize for RouterFault {
                 uint("received", *received),
                 uint("total", *total),
             ],
+            RouterFault::AtLevel {
+                level,
+                aggregator_id,
+                fault,
+            } => {
+                let mut fields = vec![tag("at_level"), uint("level", *level as usize)];
+                if let Some(agg) = aggregator_id {
+                    fields.push(("aggregator_id".to_string(), serde::Value::UInt(*agg)));
+                }
+                fields.push(("fault".to_string(), fault.to_value()));
+                fields
+            }
         })
     }
 }
@@ -334,6 +386,16 @@ impl serde::Deserialize for RouterFault {
             "incomplete" => RouterFault::Incomplete {
                 received: uint("received")?,
                 total: uint("total")?,
+            },
+            "at_level" => RouterFault::AtLevel {
+                level: u8::try_from(uint("level")?)
+                    .map_err(|_| serde::Error::new("aggregation level exceeds u8"))?,
+                // The field is omitted (not null) when unknown.
+                aggregator_id: match v.field("aggregator_id") {
+                    Ok(f) => Some(u64::from_value(f)?),
+                    Err(_) => None,
+                },
+                fault: Box::new(RouterFault::from_value(v.field("fault")?)?),
             },
             other => {
                 return Err(serde::Error::new(format!(
@@ -747,6 +809,39 @@ mod tests {
             validate(&digests, 1),
             Err(IngestError::QuorumTooSmall { .. })
         ));
+    }
+
+    #[test]
+    fn at_level_fault_wraps_kind_and_roundtrips() {
+        let inner = RouterFault::TimedOut {
+            received: 2,
+            total: 5,
+        };
+        let wrapped = RouterFault::AtLevel {
+            level: 1,
+            aggregator_id: Some(42),
+            fault: Box::new(inner.clone()),
+        };
+        // The metric label stays the inner fault's; the level is exposed
+        // separately.
+        assert_eq!(wrapped.kind(), "timed_out");
+        assert_eq!(wrapped.level(), 1);
+        assert_eq!(inner.level(), 0);
+        assert!(wrapped.to_string().contains("at level 1"));
+        assert!(wrapped.to_string().contains("aggregator 42"));
+
+        for fault in [
+            wrapped,
+            RouterFault::AtLevel {
+                level: 2,
+                aggregator_id: None,
+                fault: Box::new(RouterFault::Wire("bad magic".into())),
+            },
+        ] {
+            let json = serde_json::to_string(&fault).unwrap();
+            let back: RouterFault = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, fault);
+        }
     }
 
     #[test]

@@ -16,6 +16,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod aggregate;
 pub mod capture;
 pub mod center;
 pub mod deployment;
@@ -28,6 +29,9 @@ pub mod session;
 pub mod stages;
 pub mod transport;
 
+pub use aggregate::{
+    AggregateBundle, AggregateError, Aggregator, ChildExclusion, ChildWeight, AGGREGATE_MAGIC,
+};
 pub use capture::{GroupCapture, SignatureCapture};
 pub use center::{AnalysisCenter, AnalysisConfig};
 pub use deployment::{Deployment, DeploymentVerdict};
@@ -47,6 +51,9 @@ pub use dcs_obs::{MetricsRegistry, MetricsSnapshot};
 
 /// Convenient glob-import surface.
 pub mod prelude {
+    pub use crate::aggregate::{
+        AggregateBundle, AggregateError, Aggregator, ChildExclusion, ChildWeight,
+    };
     pub use crate::capture::{GroupCapture, SignatureCapture};
     pub use crate::center::{AnalysisCenter, AnalysisConfig};
     pub use crate::deployment::{Deployment, DeploymentVerdict};

@@ -69,6 +69,13 @@ pub enum EpochInput {
     /// A finalized transport epoch
     /// (`AnalysisCenter::analyze_epoch_collected`).
     Collected(CollectedEpoch),
+    /// Encoded aggregate bundles from a regional aggregation tier
+    /// (`AnalysisCenter::analyze_epoch_aggregated`).
+    Aggregated(Vec<Vec<u8>>),
+    /// A finalized transport epoch whose reassembled frames are
+    /// aggregate bundles
+    /// (`AnalysisCenter::analyze_epoch_aggregated_collected`).
+    AggregatedCollected(CollectedEpoch),
     /// Test-only: panics inside the analysis body, exercising the
     /// worker's panic containment (the public ingest paths validate
     /// malformed batches into typed exclusions before anything can
@@ -313,6 +320,8 @@ fn analyze(center: &AnalysisCenter, input: &EpochInput) -> Result<EpochReport, I
         EpochInput::Digests(digests) => center.analyze_epoch(digests),
         EpochInput::Frames(frames) => center.analyze_epoch_wire(frames),
         EpochInput::Collected(epoch) => center.analyze_epoch_collected(epoch),
+        EpochInput::Aggregated(bundles) => center.analyze_epoch_aggregated(bundles),
+        EpochInput::AggregatedCollected(epoch) => center.analyze_epoch_aggregated_collected(epoch),
         #[cfg(test)]
         EpochInput::PanicForTest => panic!("injected pipeline panic"),
     }

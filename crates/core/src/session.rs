@@ -87,7 +87,10 @@ pub enum StragglerPolicy {
     /// session completes or gives up.
     Quorum(usize),
     /// Finalize at the deadline with whatever completed (early if
-    /// everything did).
+    /// everything did). The deadline is a hard arrival cutoff: a chunk
+    /// offered at or after the deadline tick is late, whether or not
+    /// `finalize` has run yet — acceptance at the boundary must not
+    /// depend on the caller's offer/finalize ordering within the tick.
     Deadline,
 }
 
@@ -225,7 +228,9 @@ impl RouterSession {
             gave_up: false,
             crc_failed_seqs: Vec::new(),
         };
-        s.next_request_at = now + cfg.base_backoff + s.jitter(cfg, seed, 0);
+        s.next_request_at = now
+            .saturating_add(cfg.base_backoff)
+            .saturating_add(s.jitter(cfg, seed, 0));
         s
     }
 
@@ -354,7 +359,9 @@ impl RouterSession {
             .base_backoff
             .saturating_mul(1u64 << self.attempts.min(32))
             .min(cfg.max_backoff);
-        self.next_request_at = now + backoff + self.jitter(cfg, seed, self.attempts);
+        self.next_request_at =
+            now.saturating_add(backoff)
+                .saturating_add(self.jitter(cfg, seed, self.attempts));
         let missing = match self.total {
             None => Missing::All,
             Some(_) => Missing::Seqs(self.missing()),
@@ -502,9 +509,11 @@ impl EpochCollector {
         self.epoch_id
     }
 
-    /// The absolute tick of the epoch deadline.
+    /// The absolute tick of the epoch deadline (saturating: a deadline
+    /// near `u64::MAX` pins to "never expires" instead of wrapping into
+    /// the past).
     pub fn deadline(&self) -> u64 {
-        self.started_at + self.cfg.deadline
+        self.started_at.saturating_add(self.cfg.deadline)
     }
 
     /// The tick this collector started (or resumed) at.
@@ -556,6 +565,18 @@ impl EpochCollector {
             }
             Ok((chunk, _)) => {
                 if self.finalized || chunk.epoch_id != self.epoch_id {
+                    self.stats.late_chunks += 1;
+                    return ChunkDisposition::Late;
+                }
+                // Under the Deadline policy the deadline is a hard arrival
+                // cutoff: `ready()` and `finalize()` both treat
+                // `now >= deadline` as expired, so accepting a chunk at the
+                // boundary tick would make the outcome depend on whether
+                // the driver finalized before or after offering it.
+                // WaitAll/Quorum keep the advisory-deadline semantics
+                // (they legitimately accept past-deadline stragglers).
+                if matches!(self.cfg.straggler, StragglerPolicy::Deadline) && now >= self.deadline()
+                {
                     self.stats.late_chunks += 1;
                     return ChunkDisposition::Late;
                 }
@@ -808,7 +829,7 @@ impl EpochCollector {
             epoch_id,
             cfg,
             seed,
-            started_at: now.saturating_sub(0),
+            started_at: now,
             sessions,
             stats,
             finalized: false,
@@ -1006,6 +1027,123 @@ mod tests {
                 total: 3
             }
         );
+    }
+
+    #[test]
+    fn deadline_tick_chunk_is_late_regardless_of_call_order() {
+        // A chunk arriving exactly at the deadline tick (deadline 100,
+        // now == 100) must be treated identically whether the driver
+        // offers it before or after calling finalize — the historical bug
+        // accepted it in the offer-first ordering only.
+        let chunks = chunk_bundle(1, 1, &bundle_bytes(1, 100), 128);
+        assert_eq!(chunks.len(), 1);
+
+        // Ordering A: offer at the deadline tick, then finalize.
+        let mut offer_first = EpochCollector::new(1, [1], cfg(), 1, 0);
+        assert_eq!(offer_first.offer(&chunks[0], 100), ChunkDisposition::Late);
+        let a = offer_first.finalize(100);
+
+        // Ordering B: finalize at the deadline tick, then offer.
+        let mut finalize_first = EpochCollector::new(1, [1], cfg(), 1, 0);
+        let b = finalize_first.finalize(100);
+        assert_eq!(
+            finalize_first.offer(&chunks[0], 100),
+            ChunkDisposition::Late
+        );
+
+        for epoch in [&a, &b] {
+            assert!(epoch.frames.is_empty());
+            assert_eq!(epoch.exclusions.len(), 1);
+            assert_eq!(
+                epoch.exclusions[0].fault,
+                RouterFault::TimedOut {
+                    received: 0,
+                    total: 0
+                }
+            );
+        }
+        // Both orderings end with the same accounting: one late chunk.
+        assert_eq!(offer_first.stats().late_chunks, 1);
+        assert_eq!(finalize_first.stats().late_chunks, 1);
+
+        // One tick earlier the chunk is squarely in time.
+        let mut in_time = EpochCollector::new(1, [1], cfg(), 1, 0);
+        assert!(matches!(
+            in_time.offer(&chunks[0], 99),
+            ChunkDisposition::Accepted { .. }
+        ));
+        assert!(in_time.finalize(100).exclusions.is_empty());
+    }
+
+    #[test]
+    fn advisory_deadline_policies_still_accept_past_deadline_chunks() {
+        // WaitAll and Quorum hold epochs open past the deadline by
+        // design; the hard cutoff must apply to the Deadline policy only.
+        for straggler in [StragglerPolicy::WaitAll, StragglerPolicy::Quorum(1)] {
+            let ccfg = CollectorConfig {
+                deadline: 10,
+                straggler,
+                session: cfg().session,
+            };
+            let mut coll = EpochCollector::new(1, [1], ccfg, 1, 0);
+            let chunks = chunk_bundle(1, 1, &bundle_bytes(1, 100), 128);
+            assert!(
+                matches!(
+                    coll.offer(&chunks[0], 10),
+                    ChunkDisposition::Accepted { .. }
+                ),
+                "{straggler:?} must accept at the (advisory) deadline"
+            );
+        }
+    }
+
+    #[test]
+    fn extreme_backoff_configs_never_overflow_the_timer_arithmetic() {
+        // Timer scheduling is `now + backoff + jitter`; with hostile
+        // configs or a clock near u64::MAX every term must saturate
+        // instead of wrapping (a wrapped timer fires constantly, spamming
+        // retransmits forever).
+        let scfg = SessionConfig {
+            base_backoff: u64::MAX / 2,
+            max_backoff: u64::MAX,
+            max_retries: u32::MAX,
+            jitter: u64::MAX,
+        };
+        let ccfg = CollectorConfig {
+            deadline: u64::MAX,
+            straggler: StragglerPolicy::WaitAll,
+            session: scfg,
+        };
+        // Session opened near the end of time: construction saturates.
+        let mut coll = EpochCollector::new(1, [9], ccfg, 42, u64::MAX - 1);
+        assert_eq!(coll.deadline(), u64::MAX, "deadline must saturate");
+        coll.poll(u64::MAX); // must not panic
+                             // High attempt counts: drive a zero-jitter session through many
+                             // retransmit rounds with the timer forced due each tick; the
+                             // shifted backoff saturates at max_backoff and the schedule stays
+                             // monotone (no wrap into the past).
+        let scfg = SessionConfig {
+            base_backoff: u64::MAX / 2,
+            max_backoff: u64::MAX,
+            max_retries: 100,
+            jitter: 0,
+        };
+        let mut s = RouterSession::new(9, &scfg, 1, 0);
+        for _ in 0..100 {
+            s.next_request_at = 0; // force the timer due
+            assert!(
+                s.poll(&scfg, 1, u64::MAX - 3).is_some(),
+                "retries left, timer due"
+            );
+            assert!(
+                s.next_request_at >= u64::MAX - 3,
+                "timer wrapped into the past: {}",
+                s.next_request_at
+            );
+        }
+        s.next_request_at = 0;
+        assert!(s.poll(&scfg, 1, u64::MAX).is_none(), "retries exhausted");
+        assert!(s.gave_up());
     }
 
     #[test]

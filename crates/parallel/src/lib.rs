@@ -311,6 +311,78 @@ where
 }
 
 #[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+
+        // The degenerate regimes tiered fusion leans on: `shards` far
+        // beyond `ncols / align` must still yield an exact, ascending,
+        // aligned cover of `0..ncols` with NO empty range — a zero-width
+        // range would hand `split_at_mut` carving (ColMatrix /
+        // RowMatrix sharded fills) an empty slice and a worker no work.
+        #[test]
+        fn shard_columns_plan_is_sound_at_extreme_shard_counts(
+            ncols in 0usize..5000,
+            shards in 1usize..2_000_000,
+            align_pick in 0usize..4,
+        ) {
+            let align = [1usize, 3, 64, 1000][align_pick];
+            let ranges = shard_columns(ncols, shards, align);
+            if ncols == 0 {
+                prop_assert!(ranges.is_empty());
+                return Ok(());
+            }
+            let mut next = 0;
+            for r in &ranges {
+                prop_assert_eq!(r.start, next, "gap/overlap at {}", r.start);
+                prop_assert!(!r.is_empty(), "empty range at {}", r.start);
+                prop_assert_eq!(r.start % align, 0, "unaligned cut at {}", r.start);
+                next = r.end;
+            }
+            prop_assert_eq!(next, ncols, "cover must end at ncols");
+            prop_assert!(ranges.len() <= shards);
+            prop_assert!(ranges.len() <= ncols.div_ceil(align));
+        }
+
+        #[test]
+        fn split_range_never_returns_empty_ranges(
+            len in 0usize..10_000,
+            parts in 1usize..2_000_000,
+        ) {
+            let ranges = split_range(len, parts);
+            let mut next = 0;
+            for r in &ranges {
+                prop_assert_eq!(r.start, next);
+                prop_assert!(!r.is_empty());
+                next = r.end;
+            }
+            prop_assert_eq!(next, len);
+            prop_assert!(ranges.len() <= parts.min(len.max(1)));
+        }
+
+        // effective_shards / workers_for never resolve to zero, whatever
+        // the budget says.
+        #[test]
+        fn budget_resolution_never_yields_zero(
+            threads in 0usize..10_000,
+            shards in 0usize..10_000,
+            items in 0usize..10_000,
+        ) {
+            let b = ComputeBudget { threads, block_cols: 0, shards };
+            prop_assert!(b.effective_threads() >= 1);
+            prop_assert!(b.effective_shards() >= 1);
+            prop_assert!(b.effective_block_cols() >= 1);
+            let w = b.workers_for(items);
+            prop_assert!(w >= 1);
+            prop_assert!(w <= items.max(1));
+        }
+    }
+}
+
+#[cfg(test)]
 mod tests {
     use super::*;
 

@@ -21,6 +21,9 @@
 //! * [`soak`] — the transport soak harness: many epochs of monitors →
 //!   lossy channel → epoch collector → analysis centre, with optional
 //!   mid-soak centre kill/restart through the checkpoint path;
+//! * [`tiered`] — the two-level topology soak: leaves → regional
+//!   aggregators → centre, with per-epoch flat-replay detection
+//!   equivalence checking;
 //! * [`table`] — plain-text row/series formatting for the `repro_*`
 //!   binaries.
 
@@ -34,4 +37,5 @@ pub mod faults;
 pub mod soak;
 pub mod stress;
 pub mod table;
+pub mod tiered;
 pub mod unaligned;

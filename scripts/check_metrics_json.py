@@ -9,10 +9,18 @@
   that silently shifts work into one stage trips CI on any runner
   (shares are machine-independent where absolute times are not).
 
+Every malformed input (missing file, unparseable JSON, absent
+`center_stage_ns`/`metrics` sections, zero stage totals, budget files
+without ceilings) is a one-line diagnostic and exit code 1 — never a
+Python traceback, which CI logs render as an infrastructure failure
+rather than the regression it actually is.
+
 Usage: check_metrics_json.py [path-to-json] [--budgets budgets.json]
+       check_metrics_json.py --selftest
 """
 
 import json
+import os
 import sys
 
 STAGES = {
@@ -20,16 +28,43 @@ STAGES = {
     "unaligned": ["stack_rows", "graph_build", "er_test", "peel"],
 }
 
+FIXTURES_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "fixtures")
+
+
+class GateError(Exception):
+    """A malformed report or budgets file: report and exit 1, no traceback."""
+
+
+def load_json(path: str, what: str) -> dict:
+    try:
+        with open(path, encoding="utf-8") as f:
+            return json.load(f)
+    except FileNotFoundError:
+        raise GateError(f"{path}: {what} not found")
+    except json.JSONDecodeError as e:
+        raise GateError(f"{path}: {what} is not valid JSON ({e})")
+
+
+def report_section(path: str, report: dict, key: str) -> dict:
+    section = report.get(key)
+    if not isinstance(section, dict):
+        raise GateError(
+            f"{path}: report has no `{key}` object — is this a bench report "
+            f"with an embedded metrics snapshot?"
+        )
+    return section
+
 
 def check_smoke(path: str, report: dict) -> int:
-    breakdown = report["center_stage_ns"]
+    breakdown = report_section(path, report, "center_stage_ns")
     flat_keys = [f"{s}_ns" for stages in STAGES.values() for s in stages]
     bad = [k for k in flat_keys if breakdown.get(k, 0) <= 0]
     if bad:
         print(f"{path}: zero or missing stage spans in center_stage_ns: {bad}")
         return 1
 
-    gauges = {g["key"]: g["value"] for g in report["metrics"]["gauges"]}
+    metrics = report_section(path, report, "metrics")
+    gauges = {g["key"]: g["value"] for g in metrics.get("gauges", [])}
     missing = []
     for pipeline, stages in STAGES.items():
         for stage in stages:
@@ -43,7 +78,7 @@ def check_smoke(path: str, report: dict) -> int:
         print(f"{path}: epoch_total_ns gauge missing or zero")
         return 1
 
-    counters = {c["key"]: c["value"] for c in report["metrics"]["counters"]}
+    counters = {c["key"]: c["value"] for c in metrics.get("counters", [])}
     if counters.get("epochs_analyzed_total", 0) <= 0:
         print(f"{path}: epochs_analyzed_total counter missing or zero")
         return 1
@@ -56,10 +91,13 @@ def check_smoke(path: str, report: dict) -> int:
 
 
 def check_budgets(path: str, report: dict, budgets_path: str) -> int:
-    with open(budgets_path, encoding="utf-8") as f:
-        budgets = json.load(f)["max_share_of_stage_sum"]
+    budgets = load_json(budgets_path, "budgets file").get("max_share_of_stage_sum")
+    if not isinstance(budgets, dict):
+        raise GateError(
+            f"{budgets_path}: budgets file has no `max_share_of_stage_sum` object"
+        )
 
-    breakdown = report["center_stage_ns"]
+    breakdown = report_section(path, report, "center_stage_ns")
     spans = {
         f"{pipeline}/{stage}": breakdown.get(f"{stage}_ns", 0)
         for pipeline, stages in STAGES.items()
@@ -67,7 +105,10 @@ def check_budgets(path: str, report: dict, budgets_path: str) -> int:
     }
     total = sum(spans.values())
     if total <= 0:
-        print(f"{path}: stage span sum is zero, cannot evaluate budgets")
+        print(
+            f"{path}: stage span sum is zero, cannot evaluate budgets — the "
+            f"report covers no analysed epoch (or every stage span is missing)"
+        )
         return 1
 
     unbudgeted = sorted(set(spans) - set(budgets))
@@ -94,8 +135,65 @@ def check_budgets(path: str, report: dict, budgets_path: str) -> int:
     return 0
 
 
+def run_gate(path: str, budgets_path) -> int:
+    report = load_json(path, "metrics report")
+    rc = check_smoke(path, report)
+    if rc == 0 and budgets_path is not None:
+        rc = check_budgets(path, report, budgets_path)
+    return rc
+
+
+def selftest() -> int:
+    """Regression fixtures: every malformed input must produce a clean
+    one-line diagnostic (exit 1), never an uncaught exception."""
+    budgets = os.path.join(os.path.dirname(FIXTURES_DIR), "stage_budgets.json")
+    cases = [
+        ("zero_stage_total.json", None),
+        ("zero_stage_total.json", budgets),
+        ("missing_metrics.json", None),
+        ("missing_center_stage_ns.json", None),
+        ("no_such_file.json", None),
+        ("zero_stage_total.json", os.path.join(FIXTURES_DIR, "no_such_budgets.json")),
+        ("zero_stage_total.json", os.path.join(FIXTURES_DIR, "missing_metrics.json")),
+    ]
+    failures = []
+    for fixture, budgets_path in cases:
+        path = os.path.join(FIXTURES_DIR, fixture)
+        label = f"{fixture} budgets={os.path.basename(budgets_path) if budgets_path else None}"
+        try:
+            rc = run_gate(path, budgets_path)
+        except GateError as e:
+            print(e)
+            rc = 1
+        except Exception as e:  # noqa: BLE001 — the regression being pinned
+            failures.append(f"{label}: raised {type(e).__name__}: {e}")
+            continue
+        if rc != 1:
+            failures.append(f"{label}: expected exit 1, got {rc}")
+
+    # The budgets divider itself (smoke normally runs first and masks it):
+    # an all-zero stage breakdown must be the clean "sum is zero" line, not
+    # a ZeroDivisionError.
+    zero = load_json(os.path.join(FIXTURES_DIR, "zero_stage_total.json"), "fixture")
+    try:
+        rc = check_budgets("zero_stage_total.json", zero, budgets)
+        if rc != 1:
+            failures.append(f"check_budgets zero-total: expected exit 1, got {rc}")
+    except Exception as e:  # noqa: BLE001
+        failures.append(f"check_budgets zero-total: raised {type(e).__name__}: {e}")
+    if failures:
+        print("selftest FAILED:")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print(f"selftest: {len(cases)} malformed-input fixtures all fail cleanly")
+    return 0
+
+
 def main() -> int:
     argv = sys.argv[1:]
+    if "--selftest" in argv:
+        return selftest()
     budgets_path = None
     if "--budgets" in argv:
         i = argv.index("--budgets")
@@ -106,13 +204,11 @@ def main() -> int:
         del argv[i : i + 2]
     path = argv[0] if argv else "BENCH_pipeline.json"
 
-    with open(path, encoding="utf-8") as f:
-        report = json.load(f)
-
-    rc = check_smoke(path, report)
-    if rc == 0 and budgets_path is not None:
-        rc = check_budgets(path, report, budgets_path)
-    return rc
+    try:
+        return run_gate(path, budgets_path)
+    except GateError as e:
+        print(e)
+        return 1
 
 
 if __name__ == "__main__":

@@ -257,6 +257,149 @@ fn corrupt_frames_leave_no_trace_in_fusion() {
     }
 }
 
+/// Encodes each digest to its wire frame, keyed by router id.
+fn wire_frames(digests: &[RouterDigest]) -> Vec<(u64, Vec<u8>)> {
+    digests
+        .iter()
+        .map(|d| {
+            (
+                d.router_id as u64,
+                d.encode_wire()
+                    .expect("collector digests fit the wire format")
+                    .to_vec(),
+            )
+        })
+        .collect()
+}
+
+/// A partially faulted aggregator — half its region's leaves never
+/// reported before its deadline — must surface at the centre as typed
+/// exclusions for *exactly its subtree*, and detection must match flat
+/// ingest of the frames that did make it through.
+#[test]
+fn faulted_aggregator_children_surface_as_its_subtree_exclusions() {
+    let digests = collect_epoch(77);
+    let frames = wire_frames(&digests);
+
+    // Three regions of 8 leaves behind aggregators 1000..1003.
+    // Aggregator 1001 (leaves 8..16) loses leaves 12..16 to timeouts.
+    let lost: Vec<u64> = (12..16).collect();
+    let mut bundles = Vec::new();
+    for (a, region) in [(1000u64, 0..8usize), (1001, 8..16), (1002, 16..24)] {
+        let children: Vec<(u64, Vec<u8>)> = frames[region]
+            .iter()
+            .filter(|(id, _)| a != 1001 || !lost.contains(id))
+            .cloned()
+            .collect();
+        let exclusions = if a == 1001 {
+            lost.iter()
+                .map(|&id| ChildExclusion {
+                    router_id: id,
+                    fault: RouterFault::TimedOut {
+                        received: 0,
+                        total: 0,
+                    },
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let bundle = AggregateBundle::assemble(a, 9, 1, children, exclusions);
+        bundles.push(bundle.encode_wire());
+    }
+
+    let report = center()
+        .analyze_epoch_aggregated(&bundles)
+        .expect("20 of 24 leaves is a quorum");
+    assert_eq!(report.ingest.submitted, ROUTERS);
+    assert_eq!(report.ingest.accepted.len(), ROUTERS - lost.len());
+    let excluded: Vec<u64> = report
+        .ingest
+        .excluded
+        .iter()
+        .map(|e| e.router_id.expect("aggregator knew the leaf's id") as u64)
+        .collect();
+    assert_eq!(excluded, lost, "exclusions must be exactly the subtree");
+    for e in &report.ingest.excluded {
+        assert_eq!(e.fault.level(), 1, "fault must carry its tier");
+        match &e.fault {
+            RouterFault::AtLevel {
+                aggregator_id,
+                fault,
+                ..
+            } => {
+                assert_eq!(*aggregator_id, Some(1001));
+                assert_eq!(fault.kind(), "timed_out");
+            }
+            other => panic!("expected AtLevel, got {other:?}"),
+        }
+    }
+
+    // Detection equivalence with flat ingest of the delivered frames.
+    let delivered: Vec<Vec<u8>> = frames
+        .iter()
+        .filter(|(id, _)| !lost.contains(id))
+        .map(|(_, f)| f.clone())
+        .collect();
+    let flat = center()
+        .analyze_epoch_wire(&delivered)
+        .expect("same quorum flat");
+    assert_eq!(report.aligned.found, flat.aligned.found);
+    assert_eq!(report.aligned.routers, flat.aligned.routers);
+    assert_eq!(
+        report.aligned.signature_indices,
+        flat.aligned.signature_indices
+    );
+    assert_eq!(report.unaligned.alarm, flat.unaligned.alarm);
+    assert_eq!(
+        report.unaligned.suspected_routers,
+        flat.unaligned.suspected_routers
+    );
+}
+
+/// Every aggregator faulted — all bundles undecodable, or none at all —
+/// must be a typed quorum error, never a panic, with every rejected
+/// bundle accounted as a level-1 exclusion.
+#[test]
+fn all_aggregators_faulted_is_quorum_too_small_never_panic() {
+    let garbage: Vec<Vec<u8>> = (0..3)
+        .map(|i| vec![0xA5u8 ^ i as u8; 80 + i * 13])
+        .collect();
+    match center().analyze_epoch_aggregated(&garbage) {
+        Err(IngestError::QuorumTooSmall { report, .. }) => {
+            assert_eq!(report.accepted.len(), 0);
+            assert_eq!(report.submitted, garbage.len());
+            assert_eq!(report.excluded.len(), garbage.len());
+            for e in &report.excluded {
+                assert_eq!(e.router_id, None, "undecodable bundles have no id");
+                assert_eq!(e.fault.level(), 1);
+                match &e.fault {
+                    RouterFault::AtLevel {
+                        aggregator_id,
+                        fault,
+                        ..
+                    } => {
+                        assert_eq!(*aggregator_id, None);
+                        assert_eq!(fault.kind(), "wire");
+                    }
+                    other => panic!("expected AtLevel, got {other:?}"),
+                }
+            }
+        }
+        other => panic!("expected typed quorum error, got {other:?}"),
+    }
+
+    // Zero bundles is the same typed failure, not a panic.
+    let none: Vec<Vec<u8>> = Vec::new();
+    match center().analyze_epoch_aggregated(&none) {
+        Err(IngestError::NoDigests) => {}
+        Err(IngestError::QuorumTooSmall { report, .. }) => {
+            assert_eq!(report.accepted.len(), 0)
+        }
+        Ok(_) => panic!("empty bundle set must not analyse"),
+    }
+}
+
 #[test]
 fn every_fault_kind_is_covered_by_the_matrix() {
     // Keep this test in sync with the matrix above: if a kind is added to

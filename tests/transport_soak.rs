@@ -355,7 +355,7 @@ mod fuzz {
         #[test]
         fn bundle_chunk_and_checkpoint_decoders_never_panic_on_64k_soup(
             bytes in proptest::collection::vec(any::<u8>(), 0..(64 * 1024)),
-            magic_kind in 0u8..4,
+            magic_kind in 0u8..5,
         ) {
             let mut soup = bytes;
             if soup.len() >= 5 {
@@ -368,6 +368,10 @@ mod fuzz {
                         soup[..4].copy_from_slice(b"DCSC");
                         soup[4] = 1;
                     }
+                    3 => {
+                        soup[..4].copy_from_slice(b"DCSG");
+                        soup[4] = 1;
+                    }
                     _ => {
                         soup[..4].copy_from_slice(b"DCSK");
                         soup[4] = 1;
@@ -377,6 +381,7 @@ mod fuzz {
             let _ = RouterDigest::decode_wire(&soup);
             let _ = ChunkFrame::decode(&soup);
             let _ = ChunkFrame::salvage_header(&soup);
+            let _ = dcs_core::aggregate::AggregateBundle::decode_wire(&soup);
             let _ = EpochCollector::resume(&soup, CollectorConfig::default(), 1, 0);
         }
 

@@ -1,0 +1,372 @@
+//! PR-8 acceptance bench: the subquadratic unaligned graph engine.
+//!
+//! Three measurements over one 10× paper-scale null matrix (no planted
+//! content — the regime the centre sits in almost every epoch):
+//!
+//! 1. **all-pairs oracle** — the retained reference path
+//!    (`build_group_graph_parallel`), exact AND-popcount over every
+//!    group pair;
+//! 2. **prescreened cold build** — same graph through the conservative
+//!    weight-class/band screen (on dense null rows the screen rarely
+//!    fires: the point of this row is showing the screen's overhead is
+//!    negligible, not that it prunes here);
+//! 3. **incremental steady state** — [`IncrementalCorrelator`] across
+//!    churned epochs, where the headline ≥ 5× exact-pair reduction
+//!    comes from: only `changed × all` group pairs are re-tested.
+//!
+//! A churn sweep then shows per-epoch work scaling with churned groups,
+//! not total groups, and a real [`AnalysisCenter`] runs a few epochs so
+//! the emitted `BENCH_graph.json` carries the ten-stage span breakdown
+//! and metrics snapshot `scripts/check_metrics_json.py` gates in CI.
+
+use dcs_bench::{banner, write_report, BenchError, RunScale, StageGauges};
+use dcs_bitmap::{Bitmap, RowMatrix};
+use dcs_core::{
+    AnalysisCenter, AnalysisConfig, MetricsSnapshot, MonitorConfig, MonitoringPoint, RouterDigest,
+};
+use dcs_traffic::{gen, BackgroundConfig, SizeMix};
+use dcs_unaligned::{
+    build_group_graph_parallel, build_group_graph_prescreened, GroupLayout, IncrementalConfig,
+    IncrementalCorrelator, LambdaTable, PreScreen, ScreenConfig,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+use std::time::Instant;
+
+/// Paper null-traffic shape: 1,024-bit rows at the design fill
+/// (~44 %, the weight a 586-packet group settles at).
+const ARRAY_BITS: usize = 1024;
+const ROW_WEIGHT: usize = 446;
+const ARRAYS_PER_GROUP: usize = 10;
+/// The paper's per-row-pair exceedance operating point (≈ its
+/// 102,400-vertex detection graph level).
+const P_STAR: f64 = 2.0e-7;
+
+#[derive(serde::Serialize)]
+struct Shape {
+    groups: usize,
+    arrays_per_group: usize,
+    rows: usize,
+    array_bits: usize,
+    row_weight: usize,
+    p_star: f64,
+    threads: usize,
+}
+
+#[derive(serde::Serialize)]
+struct ChurnPoint {
+    churn_frac: f64,
+    groups_churned: usize,
+    epochs: usize,
+    mean_pair_visits: f64,
+    mean_exact_pairs: f64,
+    mean_epoch_ms: f64,
+}
+
+#[derive(serde::Serialize)]
+struct Report {
+    generator: String,
+    scale: String,
+    note: String,
+    shape: Shape,
+    allpairs_ms: f64,
+    allpairs_exact_pairs: u64,
+    prescreened_cold_ms: f64,
+    prescreened_screened_pairs: u64,
+    prescreened_exact_pairs: u64,
+    steady_churn_frac: f64,
+    steady_epochs: usize,
+    steady_mean_exact_pairs: f64,
+    steady_mean_epoch_ms: f64,
+    /// all-pairs exact pairs ÷ steady-state mean exact pairs — the
+    /// acceptance headline (must be ≥ 5).
+    exact_pair_reduction: f64,
+    churn_sweep: Vec<ChurnPoint>,
+    center_stage_ns: StageGauges,
+    metrics: MetricsSnapshot,
+}
+
+/// `groups × ARRAYS_PER_GROUP` null rows at the design weight.
+fn null_matrix(rng: &mut StdRng, groups: usize) -> RowMatrix {
+    let mut m = RowMatrix::new(ARRAY_BITS);
+    for _ in 0..groups * ARRAYS_PER_GROUP {
+        let mut bm = Bitmap::new(ARRAY_BITS);
+        while (bm.weight() as usize) < ROW_WEIGHT {
+            bm.set(rng.gen_range(0..ARRAY_BITS));
+        }
+        m.push_bitmap(&bm);
+    }
+    m
+}
+
+/// Rewrites exactly `count` distinct groups with fresh null rows; the
+/// rest persist verbatim. Deterministic churn volume keeps the measured
+/// reduction ratio stable across seeds.
+fn churn_groups(rng: &mut StdRng, m: &RowMatrix, groups: usize, count: usize) -> RowMatrix {
+    let mut victims = BTreeSet::new();
+    while victims.len() < count.min(groups) {
+        victims.insert(rng.gen_range(0..groups));
+    }
+    let mut out = RowMatrix::new(ARRAY_BITS);
+    for g in 0..groups {
+        for r in g * ARRAYS_PER_GROUP..(g + 1) * ARRAYS_PER_GROUP {
+            if victims.contains(&g) {
+                let mut bm = Bitmap::new(ARRAY_BITS);
+                while (bm.weight() as usize) < ROW_WEIGHT {
+                    bm.set(rng.gen_range(0..ARRAY_BITS));
+                }
+                out.push_bitmap(&bm);
+            } else {
+                out.push_words(m.row(r));
+            }
+        }
+    }
+    out
+}
+
+fn sorted_edges(g: &dcs_graph::Graph) -> Vec<(u32, u32)> {
+    let mut e: Vec<_> = g.edges().collect();
+    e.sort_unstable();
+    e
+}
+
+/// A few real centre epochs (8 routers, one churned per epoch) so the
+/// report embeds the ten-stage breakdown and the engine's counters.
+fn center_epochs(threads: usize) -> (StageGauges, MetricsSnapshot) {
+    let mut rng = StdRng::seed_from_u64(0x6EA9);
+    let routers = 8;
+    let mcfg = MonitorConfig::small(7, 1 << 13, 4);
+    let bg = BackgroundConfig {
+        packets: 500,
+        flows: 120,
+        zipf_exponent: 1.0,
+        size_mix: SizeMix::constant(536),
+    };
+    let digest = |rng: &mut StdRng, id: usize| -> RouterDigest {
+        let traffic = gen::generate_epoch(rng, &bg);
+        let mut mp = MonitoringPoint::new(id, &mcfg);
+        mp.observe_all(&traffic);
+        mp.finish_epoch()
+    };
+    let mut digests: Vec<RouterDigest> = (0..routers).map(|id| digest(&mut rng, id)).collect();
+    let mut cfg = AnalysisConfig::for_groups(routers * 4)
+        .with_compute(dcs_parallel::ComputeBudget::with_threads(threads));
+    cfg.search.n_prime = 300;
+    cfg.search.hopefuls = 200;
+    cfg.ugraph.audit_every = 2;
+    let center = AnalysisCenter::new(cfg);
+    for epoch in 0..3u64 {
+        let id = epoch as usize % routers;
+        digests[id] = digest(&mut rng, id);
+        for d in &mut digests {
+            d.epoch_id = epoch;
+        }
+        center.analyze_epoch(&digests).expect("clean quorum");
+    }
+    let metrics = center.metrics();
+    (StageGauges::from_snapshot(&metrics), metrics)
+}
+
+fn run() -> Result<(), BenchError> {
+    let scale = RunScale::from_env(1);
+    banner(
+        "Unaligned graph engine — prescreen + cross-epoch delta maintenance",
+        "10× the Section V-B segment shape (32 groups × 10 arrays × 1,024 bits), null traffic",
+    );
+    // 10× the paper segment's 32 groups at full scale.
+    let groups = if scale.quick { 64 } else { 320 };
+    let steady_churn_frac = 0.08;
+    let steady_epochs = if scale.quick { 4 } else { 8 };
+    let layout = GroupLayout {
+        rows_per_group: ARRAYS_PER_GROUP,
+    };
+    let table = LambdaTable::new(ARRAY_BITS, P_STAR);
+    let threads = scale.threads;
+    let mut rng = StdRng::seed_from_u64(0x9A4B);
+    let m0 = null_matrix(&mut rng, groups);
+
+    // 1. All-pairs oracle.
+    let t = Instant::now();
+    let oracle = build_group_graph_parallel(&m0, layout, &table, threads);
+    let allpairs_ms = t.elapsed().as_secs_f64() * 1e3;
+    let allpairs_exact_pairs =
+        (groups * (groups - 1) / 2) as u64 * (ARRAYS_PER_GROUP * ARRAYS_PER_GROUP) as u64;
+
+    // 2. Prescreened cold build — identical graph, by construction.
+    let mut screen = PreScreen::new();
+    let t = Instant::now();
+    screen.rebuild(&m0, &table, ScreenConfig::default(), threads);
+    let (pre_graph, pre_stats) =
+        build_group_graph_prescreened(&m0, layout, &table, &screen, threads);
+    let prescreened_cold_ms = t.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        sorted_edges(&pre_graph),
+        sorted_edges(&oracle),
+        "prescreened build diverged from the all-pairs oracle"
+    );
+    // ≤, not ==: a group pair early-exits its remaining row pairs once
+    // one row pair connects, so the tally undershoots the nominal
+    // triangle by a hair whenever the null graph grows an edge.
+    assert!(pre_stats.total() <= allpairs_exact_pairs);
+
+    // 3. Incremental steady state at fixed churn.
+    let steady_churn = ((steady_churn_frac * groups as f64).round() as usize).max(1);
+    let mut corr = IncrementalCorrelator::new(IncrementalConfig { audit_every: 2 });
+    let mut m = m0;
+    screen.rebuild(&m, &table, ScreenConfig::default(), threads);
+    corr.epoch(&m, layout, &table, &screen, threads); // cold full build
+    let (mut exact_sum, mut ms_sum, mut ms_epochs) = (0u64, 0.0f64, 0usize);
+    for _ in 0..steady_epochs {
+        m = churn_groups(&mut rng, &m, groups, steady_churn);
+        let t = Instant::now();
+        screen.rebuild(&m, &table, ScreenConfig::default(), threads);
+        let (_, stats) = corr.epoch(&m, layout, &table, &screen, threads);
+        let ms = t.elapsed().as_secs_f64() * 1e3;
+        assert!(!stats.full_rebuild, "steady state must not rebuild");
+        exact_sum += stats.pairs_exact;
+        // Audited epochs pay a deliberate extra full build (the safety
+        // net); time the incremental path, not the net.
+        if !stats.audited {
+            ms_sum += ms;
+            ms_epochs += 1;
+        }
+    }
+    let steady_mean_exact_pairs = exact_sum as f64 / steady_epochs as f64;
+    let steady_mean_epoch_ms = ms_sum / ms_epochs.max(1) as f64;
+    let exact_pair_reduction = allpairs_exact_pairs as f64 / steady_mean_exact_pairs.max(1.0);
+
+    // 4. Churn sweep: per-epoch work follows churned groups, not total.
+    let sweep_epochs = if scale.quick { 2 } else { 3 };
+    let mut churn_sweep = Vec::new();
+    for &frac in &[0.02f64, 0.05, 0.1, 0.2, 0.4] {
+        let count = ((frac * groups as f64).round() as usize).max(1);
+        let mut corr = IncrementalCorrelator::new(IncrementalConfig { audit_every: 0 });
+        let mut m = null_matrix(&mut rng, groups);
+        screen.rebuild(&m, &table, ScreenConfig::default(), threads);
+        corr.epoch(&m, layout, &table, &screen, threads);
+        let (mut visits, mut exact, mut ms) = (0u64, 0u64, 0.0f64);
+        for _ in 0..sweep_epochs {
+            m = churn_groups(&mut rng, &m, groups, count);
+            let t = Instant::now();
+            screen.rebuild(&m, &table, ScreenConfig::default(), threads);
+            let (_, stats) = corr.epoch(&m, layout, &table, &screen, threads);
+            ms += t.elapsed().as_secs_f64() * 1e3;
+            visits += stats.pairs_screened + stats.pairs_exact;
+            exact += stats.pairs_exact;
+        }
+        churn_sweep.push(ChurnPoint {
+            churn_frac: frac,
+            groups_churned: count,
+            epochs: sweep_epochs,
+            mean_pair_visits: visits as f64 / sweep_epochs as f64,
+            mean_exact_pairs: exact as f64 / sweep_epochs as f64,
+            mean_epoch_ms: ms / sweep_epochs as f64,
+        });
+    }
+    for w in churn_sweep.windows(2) {
+        assert!(
+            w[0].mean_pair_visits <= w[1].mean_pair_visits,
+            "per-epoch work must grow with churn, not stay at the all-pairs level"
+        );
+    }
+
+    // 5. Real centre epochs for the CI-gated stage/metrics sections.
+    let (center_stage_ns, metrics) = center_epochs(threads);
+    assert!(
+        center_stage_ns.all_nonzero(),
+        "every stage of both pipelines must record a span"
+    );
+    for key in ["pairs_screened_total", "pairs_exact_total"] {
+        assert!(
+            metrics.counter(key).is_some(),
+            "{key} missing from the centre snapshot"
+        );
+    }
+    assert_eq!(
+        metrics.counter("graph_full_rebuilds_total"),
+        Some(1),
+        "only the centre's cold epoch may rebuild from scratch"
+    );
+    assert!(metrics.gauge("graph_edges_live").is_some());
+
+    println!(
+        "{:<34} {:>12} {:>14} {:>14}",
+        "engine", "epoch_ms", "screened", "exact_pairs"
+    );
+    println!(
+        "{:<34} {:>12.2} {:>14} {:>14}",
+        "all-pairs oracle (cold)", allpairs_ms, "-", allpairs_exact_pairs
+    );
+    println!(
+        "{:<34} {:>12.2} {:>14} {:>14}",
+        "prescreened (cold)", prescreened_cold_ms, pre_stats.pairs_screened, pre_stats.pairs_exact
+    );
+    println!(
+        "{:<34} {:>12.2} {:>14} {:>14.0}",
+        format!("incremental steady ({steady_churn} grp churn)"),
+        steady_mean_epoch_ms,
+        "-",
+        steady_mean_exact_pairs
+    );
+    println!("\nchurn sweep (per-epoch mean):");
+    for p in &churn_sweep {
+        println!(
+            "  churn {:>5.2} ({:>3} groups): {:>12.0} pair visits, {:>8.2} ms",
+            p.churn_frac, p.groups_churned, p.mean_pair_visits, p.mean_epoch_ms
+        );
+    }
+
+    assert!(
+        exact_pair_reduction >= 5.0,
+        "steady-state exact-pair reduction {exact_pair_reduction:.1}x is below the 5x acceptance bar"
+    );
+
+    let report = Report {
+        generator: "repro_graph".to_string(),
+        scale: if scale.quick { "quick" } else { "paper" }.to_string(),
+        note: "Null traffic at the paper's design fill keeps row weights dense and \
+               near-equal, so the conservative prescreen rarely prunes here (it earns \
+               its keep on skewed/sparse regimes — see the wide tiered soak); the \
+               headline reduction is cross-epoch delta maintenance re-testing only \
+               changed × all group pairs. The all-pairs build is retained as the \
+               reference oracle and the incremental path audits against a full \
+               rebuild every audit_every epochs."
+            .to_string(),
+        shape: Shape {
+            groups,
+            arrays_per_group: ARRAYS_PER_GROUP,
+            rows: groups * ARRAYS_PER_GROUP,
+            array_bits: ARRAY_BITS,
+            row_weight: ROW_WEIGHT,
+            p_star: P_STAR,
+            threads,
+        },
+        allpairs_ms,
+        allpairs_exact_pairs,
+        prescreened_cold_ms,
+        prescreened_screened_pairs: pre_stats.pairs_screened,
+        prescreened_exact_pairs: pre_stats.pairs_exact,
+        steady_churn_frac,
+        steady_epochs,
+        steady_mean_exact_pairs,
+        steady_mean_epoch_ms,
+        exact_pair_reduction,
+        churn_sweep,
+        center_stage_ns,
+        metrics,
+    };
+    write_report("BENCH_graph.json", &report)?;
+    println!(
+        "\nsteady-state exact-pair reduction {exact_pair_reduction:.1}x vs all-pairs; \
+         wrote BENCH_graph.json"
+    );
+    Ok(())
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -78,7 +78,7 @@ struct Report {
     /// …and on the same centre at steady state (scratch reused).
     epoch_timings_steady: EpochTimings,
     /// Per-stage breakdown of the centre's final sampled epoch — all
-    /// nine stages of both pipelines, from the metrics registry.
+    /// ten stages of both pipelines, from the metrics registry.
     center_stage_ns: StageGauges,
     /// The centre's full metrics snapshot after the sampled epochs
     /// (cumulative histograms/counters; gauges hold the last epoch).
@@ -508,14 +508,15 @@ fn run() -> Result<(), BenchError> {
     );
     println!(
         "per-stage (last epoch): aligned fuse {:.2} / screen {:.2} / core_find {:.2} / \
-         sweep {:.2} / terminate {:.2} ms; unaligned stack_rows {:.2} / graph_build {:.2} / \
-         er_test {:.2} / peel {:.2} ms",
+         sweep {:.2} / terminate {:.2} ms; unaligned stack_rows {:.2} / prescreen {:.2} / \
+         graph_build {:.2} / er_test {:.2} / peel {:.2} ms",
         center_stage_ns.fuse_ns as f64 / 1e6,
         center_stage_ns.screen_ns as f64 / 1e6,
         center_stage_ns.core_find_ns as f64 / 1e6,
         center_stage_ns.sweep_ns as f64 / 1e6,
         center_stage_ns.terminate_ns as f64 / 1e6,
         center_stage_ns.stack_rows_ns as f64 / 1e6,
+        center_stage_ns.prescreen_ns as f64 / 1e6,
         center_stage_ns.graph_build_ns as f64 / 1e6,
         center_stage_ns.er_test_ns as f64 / 1e6,
         center_stage_ns.peel_ns as f64 / 1e6,

@@ -55,7 +55,7 @@ struct Report {
     /// Per-epoch breakdown of the standard (issue) regime.
     standard_epochs: Vec<EpochRow>,
     /// Per-stage breakdown of the standard regime's final analysed
-    /// epoch — all nine stages of both pipelines.
+    /// epoch — all ten stages of both pipelines.
     center_stage_ns: StageGauges,
     /// The standard regime centre's full metrics snapshot: cumulative
     /// per-stage histograms plus ingest/transport counters of the soak.

@@ -152,7 +152,11 @@ pub struct StageGauges {
     pub terminate_ns: u64,
     /// Unaligned `stack_rows`: array stacking and group-owner mapping.
     pub stack_rows_ns: u64,
-    /// Unaligned `graph_build`: λ table + match-graph construction.
+    /// Unaligned `prescreen`: λ table, weight classes and band
+    /// signatures for the conservative pair screen.
+    pub prescreen_ns: u64,
+    /// Unaligned `graph_build`: screened/incremental match-graph
+    /// construction.
     pub graph_build_ns: u64,
     /// Unaligned `er_test`: Erdős–Rényi giant-component test.
     pub er_test_ns: u64,
@@ -161,7 +165,7 @@ pub struct StageGauges {
 }
 
 impl StageGauges {
-    /// Reads the nine stage gauges out of a snapshot (zero for stages
+    /// Reads the ten stage gauges out of a snapshot (zero for stages
     /// the snapshot has never seen).
     pub fn from_snapshot(snap: &MetricsSnapshot) -> StageGauges {
         let g = |s: Stage| snap.gauge(&s.gauge_key()).unwrap_or(0);
@@ -172,6 +176,7 @@ impl StageGauges {
             sweep_ns: g(Stage::Sweep),
             terminate_ns: g(Stage::Terminate),
             stack_rows_ns: g(Stage::StackRows),
+            prescreen_ns: g(Stage::Prescreen),
             graph_build_ns: g(Stage::GraphBuild),
             er_test_ns: g(Stage::ErTest),
             peel_ns: g(Stage::Peel),
@@ -187,6 +192,7 @@ impl StageGauges {
             self.sweep_ns,
             self.terminate_ns,
             self.stack_rows_ns,
+            self.prescreen_ns,
             self.graph_build_ns,
             self.er_test_ns,
             self.peel_ns,
@@ -210,7 +216,7 @@ mod tests {
     }
 
     #[test]
-    fn stage_gauges_read_all_nine_stages() {
+    fn stage_gauges_read_all_ten_stages() {
         let reg = dcs_obs::MetricsRegistry::new();
         let rec = dcs_core::StageRecorder::new(&reg);
         let empty = StageGauges::from_snapshot(&reg.snapshot());
@@ -225,7 +231,8 @@ mod tests {
         let gauges = StageGauges::from_snapshot(&reg.snapshot());
         assert!(gauges.all_nonzero());
         assert_eq!(gauges.fuse_ns, 10);
-        assert_eq!(gauges.peel_ns, 90);
+        assert_eq!(gauges.prescreen_ns, 70);
+        assert_eq!(gauges.peel_ns, 100);
     }
 
     #[test]

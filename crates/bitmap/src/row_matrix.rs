@@ -220,6 +220,23 @@ impl RowMatrix {
         self.row(row)[col / 64] >> (col % 64) & 1 == 1
     }
 
+    /// The packed backing words, row-major (`words_per_row` words per
+    /// row). Exposed for kernels that stream several rows at once — the
+    /// band-signature extraction of [`crate::sig`] and sharded builds
+    /// that slice disjoint row ranges.
+    #[inline]
+    pub fn as_words(&self) -> &[u64] {
+        &self.data
+    }
+
+    /// Fills `out[r * bands + b]` with the band-`b` signature of row `r`
+    /// (see [`crate::sig`]), resizing `out` to `nrows * bands`.
+    pub fn band_signatures_into(&self, bands: usize, out: &mut Vec<u64>) {
+        out.clear();
+        out.resize(self.nrows * bands, 0);
+        crate::sig::band_signatures_into(&self.data, self.words_per_row, self.nrows, bands, out);
+    }
+
     /// Approximate heap footprint in bytes (digest-size accounting).
     pub fn byte_size(&self) -> usize {
         self.data.len() * 8

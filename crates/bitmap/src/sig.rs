@@ -1,0 +1,275 @@
+//! Band-signature extraction kernels for the unaligned prescreen.
+//!
+//! The prescreen of `dcs-unaligned::graphbuild` needs, for every stacked
+//! row, a small vector of *band signatures*: the row's words are split
+//! into `bands` contiguous word ranges and each range is folded into one
+//! 64-bit hash. Two properties make the signatures usable as a
+//! **conservative** screen (never pruning a pair the exact λ test would
+//! connect):
+//!
+//! * the hash is a pure deterministic function of the band's words, so
+//!   `sig_a[b] != sig_b[b]` **proves** the two rows differ in at least
+//!   one bit inside band `b` — differing signatures in `d` bands give a
+//!   Hamming-distance lower bound of `d`;
+//! * per-word hashes are combined with XOR, which is commutative and
+//!   associative, so every kernel (and any evaluation order) produces
+//!   bit-identical signatures — the same guarantee the popcount kernels
+//!   give, asserted by the same scalar-reference test pattern.
+//!
+//! Like the popcount kernels in [`crate::words`], extraction dispatches at
+//! runtime ([`Kernel`]): a straight-line scalar reference, a blocked
+//! 4-row-interleaved portable kernel, and an AVX2 kernel that hashes the
+//! same word position of four consecutive rows per vector (64-bit
+//! multiplies emulated with `_mm256_mul_epu32`, gathered row loads).
+
+use crate::words::{self, Kernel};
+
+/// Per-word hash: a splitmix64-style finalizer over the word XOR a
+/// position-dependent stream constant. Word position is the *absolute*
+/// word index within the row, so band boundaries never change a word's
+/// hash contribution.
+#[inline(always)]
+pub(crate) fn mix_word(word: u64, pos: u64) -> u64 {
+    let mut z = word ^ pos.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xD1B5_4A32_D192_ED03;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Word range `[start, end)` of band `b` when `words_per_row` words are
+/// split into `bands` near-equal contiguous bands (the first
+/// `words_per_row % bands` bands get the extra word). Empty when there
+/// are more bands than words and `b` is past the last word.
+#[inline]
+pub fn band_bounds(words_per_row: usize, bands: usize, b: usize) -> (usize, usize) {
+    debug_assert!(bands > 0 && b < bands);
+    let base = words_per_row / bands;
+    let extra = words_per_row % bands;
+    let start = b * base + b.min(extra);
+    let end = start + base + usize::from(b < extra);
+    (start, end)
+}
+
+/// Fills `out[r * bands + b]` with the band-`b` signature of row `r` of a
+/// row-major word matrix, dispatching to the active kernel.
+///
+/// # Panics
+/// Panics unless `bands > 0`, `data.len() == nrows * words_per_row` and
+/// `out.len() == nrows * bands`.
+pub fn band_signatures_into(
+    data: &[u64],
+    words_per_row: usize,
+    nrows: usize,
+    bands: usize,
+    out: &mut [u64],
+) {
+    let k = words::active_kernel();
+    words::tally(k, nrows as u64);
+    band_signatures_with(k, data, words_per_row, nrows, bands, out);
+}
+
+/// [`band_signatures_into`] through an explicitly chosen kernel.
+pub fn band_signatures_with(
+    kernel: Kernel,
+    data: &[u64],
+    words_per_row: usize,
+    nrows: usize,
+    bands: usize,
+    out: &mut [u64],
+) {
+    assert!(bands > 0, "band_signatures: need at least one band");
+    assert_eq!(
+        data.len(),
+        nrows * words_per_row,
+        "band_signatures: data length mismatch"
+    );
+    assert_eq!(
+        out.len(),
+        nrows * bands,
+        "band_signatures: out length mismatch"
+    );
+    match kernel {
+        Kernel::Scalar => band_signatures_scalar(data, words_per_row, nrows, bands, out),
+        Kernel::Blocked => band_signatures_blocked(data, words_per_row, nrows, bands, out),
+        Kernel::Avx2 => band_signatures_avx2(data, words_per_row, nrows, bands, out),
+    }
+}
+
+/// Straight-line reference: one row at a time, one band at a time.
+pub fn band_signatures_scalar(
+    data: &[u64],
+    words_per_row: usize,
+    nrows: usize,
+    bands: usize,
+    out: &mut [u64],
+) {
+    for r in 0..nrows {
+        let row = &data[r * words_per_row..(r + 1) * words_per_row];
+        for b in 0..bands {
+            let (s, e) = band_bounds(words_per_row, bands, b);
+            let mut acc = 0u64;
+            for (j, &w) in row[s..e].iter().enumerate() {
+                acc ^= mix_word(w, (s + j) as u64);
+            }
+            out[r * bands + b] = acc;
+        }
+    }
+}
+
+/// Portable blocked kernel: four rows interleaved per word position, so
+/// the four hash chains pipeline through the multiplier. XOR combination
+/// makes the result bit-identical to the scalar reference.
+pub fn band_signatures_blocked(
+    data: &[u64],
+    words_per_row: usize,
+    nrows: usize,
+    bands: usize,
+    out: &mut [u64],
+) {
+    let mut r = 0;
+    while r + 4 <= nrows {
+        let base = r * words_per_row;
+        for b in 0..bands {
+            let (s, e) = band_bounds(words_per_row, bands, b);
+            let mut acc = [0u64; 4];
+            for j in s..e {
+                let pos = j as u64;
+                acc[0] ^= mix_word(data[base + j], pos);
+                acc[1] ^= mix_word(data[base + words_per_row + j], pos);
+                acc[2] ^= mix_word(data[base + 2 * words_per_row + j], pos);
+                acc[3] ^= mix_word(data[base + 3 * words_per_row + j], pos);
+            }
+            for (lane, &a) in acc.iter().enumerate() {
+                out[(r + lane) * bands + b] = a;
+            }
+        }
+        r += 4;
+    }
+    if r < nrows {
+        band_signatures_scalar(
+            &data[r * words_per_row..],
+            words_per_row,
+            nrows - r,
+            bands,
+            &mut out[r * bands..],
+        );
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+fn band_signatures_avx2(
+    data: &[u64],
+    words_per_row: usize,
+    nrows: usize,
+    bands: usize,
+    out: &mut [u64],
+) {
+    crate::simd::band_signatures(data, words_per_row, nrows, bands, out);
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn band_signatures_avx2(
+    data: &[u64],
+    words_per_row: usize,
+    nrows: usize,
+    bands: usize,
+    out: &mut [u64],
+) {
+    band_signatures_blocked(data, words_per_row, nrows, bands, out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::words::available_kernels;
+
+    fn fill(len: usize, mut seed: u64) -> Vec<u64> {
+        (0..len)
+            .map(|_| {
+                seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                mix_word(seed, 7)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn band_bounds_partition_words() {
+        for wpr in 0..40 {
+            for bands in 1..12 {
+                let mut covered = 0;
+                let mut prev_end = 0;
+                for b in 0..bands {
+                    let (s, e) = band_bounds(wpr, bands, b);
+                    assert_eq!(s, prev_end, "bands must be contiguous");
+                    assert!(e >= s);
+                    covered += e - s;
+                    prev_end = e;
+                }
+                assert_eq!(covered, wpr, "wpr={wpr} bands={bands}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_kernel_matches_scalar_across_shapes() {
+        for &k in available_kernels() {
+            for &(nrows, wpr, bands) in &[
+                (0usize, 16usize, 8usize),
+                (1, 16, 8),
+                (3, 16, 4),
+                (4, 16, 8),
+                (5, 16, 8),
+                (7, 5, 3),
+                (9, 1, 4),
+                (13, 16, 16),
+                (32, 16, 8),
+                (33, 7, 2),
+            ] {
+                let data = fill(nrows * wpr, 11 + nrows as u64);
+                let mut expect = vec![0u64; nrows * bands];
+                band_signatures_scalar(&data, wpr, nrows, bands, &mut expect);
+                let mut got = vec![!0u64; nrows * bands];
+                band_signatures_with(k, &data, wpr, nrows, bands, &mut got);
+                assert_eq!(got, expect, "{k:?} nrows={nrows} wpr={wpr} bands={bands}");
+            }
+        }
+    }
+
+    #[test]
+    fn differing_band_implies_differing_signature_is_never_violated_in_reverse() {
+        // Equal words always produce equal signatures (determinism): the
+        // direction the conservative screen relies on.
+        let a = fill(32, 3);
+        let b = a.clone();
+        let mut sa = vec![0u64; 2 * 4];
+        band_signatures_scalar(&[a.clone(), b].concat(), 32, 2, 4, &mut sa);
+        assert_eq!(&sa[..4], &sa[4..]);
+    }
+
+    #[test]
+    fn single_bit_flip_changes_exactly_one_band() {
+        let a = fill(16, 9);
+        let mut b = a.clone();
+        b[5] ^= 1 << 17; // word 5 lives in band 2 of 8 (2 words per band)
+        let mut sigs = vec![0u64; 2 * 8];
+        band_signatures_scalar(&[a, b].concat(), 16, 2, 8, &mut sigs);
+        let differing: Vec<usize> = (0..8).filter(|&i| sigs[i] != sigs[8 + i]).collect();
+        assert_eq!(differing, vec![2]);
+    }
+
+    #[test]
+    fn more_bands_than_words_yields_empty_tail_bands() {
+        let data = fill(2, 21);
+        let mut sigs = vec![!0u64; 5];
+        band_signatures_scalar(&data, 2, 1, 5, &mut sigs);
+        // Bands 2..5 are empty word ranges: signature 0 by definition.
+        assert_eq!(&sigs[2..], &[0, 0, 0]);
+        assert_ne!(sigs[0], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out length mismatch")]
+    fn wrong_out_length_rejected() {
+        band_signatures_with(Kernel::Scalar, &[0u64; 16], 16, 1, 8, &mut [0u64; 7]);
+    }
+}

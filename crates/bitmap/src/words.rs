@@ -84,7 +84,7 @@ static ACTIVE: AtomicU8 = AtomicU8::new(0);
 static DISPATCHED: [AtomicU64; 3] = [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)];
 
 #[inline]
-fn tally(kernel: Kernel, calls: u64) {
+pub(crate) fn tally(kernel: Kernel, calls: u64) {
     DISPATCHED[kernel.index()].fetch_add(calls, Ordering::Relaxed);
 }
 

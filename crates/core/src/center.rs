@@ -12,8 +12,9 @@ use dcs_obs::{MetricsRegistry, MetricsSnapshot};
 use dcs_parallel::ComputeBudget;
 use dcs_unaligned::lambda::p_star_for_edge_prob;
 use dcs_unaligned::{
-    build_group_graph_parallel, er_test, find_pattern, CoreFindConfig, ErTestConfig, GroupLayout,
-    LambdaTable,
+    build_group_graph_parallel, build_group_graph_prescreened, er_test, find_pattern,
+    CoreFindConfig, ErTestConfig, GroupLayout, IncrementalConfig, IncrementalCorrelator,
+    LambdaTable, PreScreen, ScreenConfig,
 };
 use std::sync::{Mutex, PoisonError};
 use std::time::Instant;
@@ -44,6 +45,48 @@ pub struct AnalysisConfig {
     /// [`IngestError::QuorumTooSmall`] instead of running the pipelines
     /// on a sliver of the deployment. 1 = run on whatever survives.
     pub min_quorum: usize,
+    /// Unaligned test-graph engine settings (prescreen shape, incremental
+    /// maintenance, audit cadence).
+    pub ugraph: UnalignedGraphConfig,
+}
+
+/// How the unaligned statistical-test graph is built each epoch.
+///
+/// The detection graph raised on an alarm always uses the retained
+/// all-pairs path ([`dcs_unaligned::build_group_graph_parallel`]) — it is
+/// rare and serves as the reference oracle.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct UnalignedGraphConfig {
+    /// Band signatures per row for the conservative prescreen.
+    pub prescreen_bands: usize,
+    /// Weight-class bucket width (bits) for the prescreen.
+    pub class_width: u32,
+    /// Maintain the graph incrementally across epochs (delta re-test of
+    /// changed groups only). `false` = full prescreened rebuild every
+    /// epoch; either way the graph is identical to the all-pairs build.
+    pub incremental: bool,
+    /// Full-rebuild equality audit cadence in epochs (0 disables).
+    pub audit_every: u64,
+}
+
+impl Default for UnalignedGraphConfig {
+    fn default() -> Self {
+        UnalignedGraphConfig {
+            prescreen_bands: 8,
+            class_width: 32,
+            incremental: true,
+            audit_every: 16,
+        }
+    }
+}
+
+impl UnalignedGraphConfig {
+    fn screen(&self) -> ScreenConfig {
+        ScreenConfig {
+            bands: self.prescreen_bands,
+            class_width: self.class_width,
+        }
+    }
 }
 
 fn default_min_quorum() -> usize {
@@ -67,6 +110,7 @@ impl AnalysisConfig {
             corefind: CoreFindConfig::default(),
             compute: dcs_parallel::ComputeBudget::default(),
             min_quorum: default_min_quorum(),
+            ugraph: UnalignedGraphConfig::default(),
         }
     }
 
@@ -102,6 +146,8 @@ struct EpochScratch {
     urows: RowMatrix,
     /// Owner router of each global flow-split group.
     group_owner: Vec<usize>,
+    /// Conservative pair prescreen (weights, classes, band signatures).
+    screen: PreScreen,
 }
 
 impl EpochScratch {
@@ -112,6 +158,7 @@ impl EpochScratch {
             search: SearchScratch::new(),
             urows: RowMatrix::new(0),
             group_owner: Vec::new(),
+            screen: PreScreen::new(),
         }
     }
 }
@@ -217,15 +264,28 @@ pub struct AnalysisCenter {
     /// ([`crate::runtime::EpochPipeline`]) the pool holds one warm
     /// scratch per in-flight epoch (double-buffering).
     scratch: Mutex<Vec<EpochScratch>>,
+    /// Pool of incremental test-graph correlators, checked out per epoch
+    /// like the scratches. Kept separate from [`EpochScratch`]: scratch
+    /// contents are per-epoch throwaway, correlator state must persist
+    /// *across* epochs to be worth anything. Under the pipelined runtime
+    /// analysis is serialised, so one correlator sees every epoch in
+    /// order; if epochs ever run concurrently each checkout still
+    /// produces a correct (merely colder) graph, because a correlator
+    /// re-tests exactly what differs from the last epoch *it* saw.
+    correlators: Mutex<Vec<IncrementalCorrelator>>,
     metrics: MetricsRegistry,
 }
 
 impl AnalysisCenter {
     /// Creates the centre.
     pub fn new(cfg: AnalysisConfig) -> Self {
+        let inc = IncrementalConfig {
+            audit_every: cfg.ugraph.audit_every,
+        };
         AnalysisCenter {
             cfg,
             scratch: Mutex::new(vec![EpochScratch::new()]),
+            correlators: Mutex::new(vec![IncrementalCorrelator::new(inc)]),
             metrics: MetricsRegistry::new(),
         }
     }
@@ -270,6 +330,29 @@ impl AnalysisCenter {
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
             .push(scratch);
+    }
+
+    /// Checks an incremental correlator out of the pool (a cold one if
+    /// every warm correlator is in flight — correct, just a full build).
+    fn take_correlator(&self) -> IncrementalCorrelator {
+        self.correlators
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .pop()
+            .unwrap_or_else(|| {
+                IncrementalCorrelator::new(IncrementalConfig {
+                    audit_every: self.cfg.ugraph.audit_every,
+                })
+            })
+    }
+
+    /// Returns a correlator (with its warm cross-epoch state) to the
+    /// pool. Like scratches, a panicking epoch drops its checkout.
+    fn return_correlator(&self, corr: IncrementalCorrelator) {
+        self.correlators
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(corr);
     }
 
     /// Runs both pipelines over one epoch's digests.
@@ -590,7 +673,7 @@ impl AnalysisCenter {
             content_packets: det.cols.len(),
             signature_indices: det.cols,
         };
-        let unaligned = self.unaligned_from_rows(&s.urows, &s.group_owner, k, &rec);
+        let unaligned = self.unaligned_from_rows(&s.urows, &mut s.screen, &s.group_owner, k, &rec);
 
         self.return_scratch(scratch);
         self.record_kernels();
@@ -661,18 +744,22 @@ impl AnalysisCenter {
 
     /// Capacities of the most recently recycled epoch scratch:
     /// fused-matrix words, weight slots, stacked unaligned words,
-    /// group-owner slots, then the aligned search's
-    /// [`SearchScratch::capacities`]. Steady-state epochs of one
-    /// deployment shape must not grow any of these — the no-allocation
-    /// invariant the zero-copy fusion path is built around.
-    pub fn scratch_capacities(&self) -> [usize; 8] {
+    /// group-owner slots, the prescreen's weight and signature buffers,
+    /// then the aligned search's [`SearchScratch::capacities`].
+    /// Steady-state epochs of one deployment shape must not grow any of
+    /// these — the no-allocation invariant the zero-copy fusion path is
+    /// built around.
+    pub fn scratch_capacities(&self) -> [usize; 10] {
         let s = self.take_scratch();
         let [order, shard_orders, work, fanouts] = s.search.capacities();
+        let [screen_weights, screen_sigs] = s.screen.capacities();
         let caps = [
             s.matrix.word_capacity(),
             s.col_weights.capacity(),
             s.urows.word_capacity(),
             s.group_owner.capacity(),
+            screen_weights,
+            screen_sigs,
             order,
             shard_orders,
             work,
@@ -738,18 +825,30 @@ impl AnalysisCenter {
                     .extend(std::iter::repeat_n(d.router_id, d.unaligned.groups()));
             }
         });
-        let report = self.unaligned_from_rows(&s.urows, &s.group_owner, k, &rec);
+        let report = self.unaligned_from_rows(&s.urows, &mut s.screen, &s.group_owner, k, &rec);
         self.return_scratch(scratch);
         Ok(report)
     }
 
     /// ER test + core finding over an already-stacked row matrix, staged
-    /// as `graph_build → er_test → peel` through `rec`. `rows` holds
-    /// every accepted router's arrays vertically concatenated;
-    /// `group_owner[g]` is the router owning global group `g`.
+    /// as `prescreen → graph_build → er_test → peel` through `rec`.
+    /// `rows` holds every accepted router's arrays vertically
+    /// concatenated; `group_owner[g]` is the router owning global group
+    /// `g`; `screen` is the epoch scratch's reusable prescreen.
+    ///
+    /// The test graph comes from the prescreened engine — incrementally
+    /// maintained across epochs when
+    /// [`incremental`](UnalignedGraphConfig::incremental) is on, rebuilt
+    /// fresh each epoch otherwise — and is bit-identical to the all-pairs
+    /// oracle either way. Per-epoch engine accounting lands in the
+    /// `pairs_screened_total` / `pairs_exact_total` /
+    /// `graph_full_rebuilds_total` / `graph_audit_runs_total` counters
+    /// and the `graph_edges_live` / `graph_groups_changed` gauges (all
+    /// registered every epoch, so the keys exist even at zero).
     fn unaligned_from_rows(
         &self,
         rows: &RowMatrix,
+        screen: &mut PreScreen,
         group_owner: &[usize],
         k: usize,
         rec: &StageRecorder<'_>,
@@ -758,6 +857,7 @@ impl AnalysisCenter {
         let layout = GroupLayout { rows_per_group: k };
         let n_groups = group_owner.len();
         let pairs = k * k;
+        let workers = self.cfg.compute.workers_for(n_groups);
         let er_cfg = match self.cfg.component_threshold {
             Some(t) => ErTestConfig {
                 component_threshold: t,
@@ -765,24 +865,55 @@ impl AnalysisCenter {
             None => ErTestConfig::scaled(n_groups, self.cfg.test_p1),
         };
 
-        // Statistical-test graph.
-        let (test_graph, _) = rec.run(Stage::GraphBuild, || {
+        // Prescreen: λ table for the test graph, then weights, classes
+        // and band signatures for every row.
+        let (test_table, _) = rec.run(Stage::Prescreen, || {
             let p_star_test = p_star_for_edge_prob(self.cfg.test_p1, pairs);
-            let test_table = LambdaTable::new(ncols, p_star_test);
-            build_group_graph_parallel(
-                rows,
-                layout,
-                &test_table,
-                self.cfg.compute.workers_for(n_groups),
-            )
+            let table = LambdaTable::new(ncols, p_star_test);
+            screen.rebuild(rows, &table, self.cfg.ugraph.screen(), workers);
+            table
         });
+
+        // Statistical-test graph through the prescreened engine.
+        let ((test_graph, gstats), _) = rec.run(Stage::GraphBuild, || {
+            if self.cfg.ugraph.incremental {
+                let mut corr = self.take_correlator();
+                let (graph, es) = corr.epoch(rows, layout, &test_table, screen, workers);
+                self.return_correlator(corr);
+                (graph, es)
+            } else {
+                let (graph, bs) =
+                    build_group_graph_prescreened(rows, layout, &test_table, screen, workers);
+                let es = dcs_unaligned::EpochStats {
+                    pairs_screened: bs.pairs_screened,
+                    pairs_exact: bs.pairs_exact,
+                    rows_changed: rows.nrows(),
+                    groups_changed: n_groups,
+                    edges_live: graph.m(),
+                    full_rebuild: true,
+                    audited: false,
+                };
+                (graph, es)
+            }
+        });
+        let c = |name: &str, v: u64| self.metrics.counter(name, &[]).add(v);
+        c("pairs_screened_total", gstats.pairs_screened);
+        c("pairs_exact_total", gstats.pairs_exact);
+        c("graph_full_rebuilds_total", u64::from(gstats.full_rebuild));
+        c("graph_audit_runs_total", u64::from(gstats.audited));
+        let g = |name: &str, v: u64| self.metrics.gauge(name, &[]).set(v);
+        g("graph_edges_live", gstats.edges_live as u64);
+        g("graph_groups_changed", gstats.groups_changed as u64);
         let (test, _) = rec.run(Stage::ErTest, || er_test(&test_graph, er_cfg));
 
         // Peel always runs as a recorded span — a quiet epoch records a
         // trivial one — so the stage is present in every snapshot.
         let ((suspected_groups, suspected_routers), _) = rec.run(Stage::Peel, || {
             if test.alarm {
-                // Detection graph with the laxer λ′ table.
+                // Detection graph with the laxer λ′ table — built by the
+                // retained all-pairs reference path: alarms are rare, and
+                // running the oracle here keeps localisation independent
+                // of the screened/incremental engine.
                 let p_star_det = p_star_for_edge_prob(self.cfg.detect_p1.min(0.999), pairs);
                 let det_table = LambdaTable::new(ncols, p_star_det);
                 let det_graph = build_group_graph_parallel(
@@ -1451,5 +1582,85 @@ mod tests {
             other => panic!("expected AtLevel timeout, got {other:?}"),
         }
         assert!(report.transport.chunks_received > 0, "stats not stamped");
+    }
+
+    /// The incremental test-graph engine must be invisible in the
+    /// results: across epochs of persisting traffic with partial churn,
+    /// a centre with incremental maintenance on and one with it off
+    /// (full prescreened rebuild each epoch — itself identical to the
+    /// all-pairs oracle) produce byte-identical unaligned reports, while
+    /// the incremental centre pays the full build only once.
+    #[test]
+    fn incremental_and_rebuild_centres_agree_across_epochs() {
+        let mut r = StdRng::seed_from_u64(41);
+        let mcfg = MonitorConfig::small(7, 1 << 12, 4);
+        let bg = BackgroundConfig {
+            packets: 300,
+            flows: 80,
+            zipf_exponent: 1.0,
+            size_mix: SizeMix::constant(536),
+        };
+        let routers = 8;
+        let mut digests: Vec<RouterDigest> = (0..routers)
+            .map(|id| {
+                let traffic = gen::generate_epoch(&mut r, &bg);
+                let mut mp = MonitoringPoint::new(id, &mcfg);
+                mp.observe_all(&traffic);
+                mp.finish_epoch()
+            })
+            .collect();
+
+        let mut inc_cfg = AnalysisConfig::for_groups(routers * 4);
+        inc_cfg.ugraph.audit_every = 2;
+        let mut full_cfg = inc_cfg.clone();
+        full_cfg.ugraph.incremental = false;
+        let inc = AnalysisCenter::new(inc_cfg);
+        let full = AnalysisCenter::new(full_cfg);
+
+        for epoch in 0..5u64 {
+            // Churn one router per epoch; the rest persist verbatim.
+            let id = epoch as usize % routers;
+            let traffic = gen::generate_epoch(&mut r, &bg);
+            let mut mp = MonitoringPoint::new(id, &mcfg);
+            mp.observe_all(&traffic);
+            digests[id] = mp.finish_epoch();
+            for d in &mut digests {
+                d.epoch_id = epoch;
+            }
+            let a = inc.analyze_epoch(&digests).expect("quorum").unaligned;
+            let b = full.analyze_epoch(&digests).expect("quorum").unaligned;
+            assert_eq!(a.alarm, b.alarm, "epoch {epoch}");
+            assert_eq!(a.largest_component, b.largest_component, "epoch {epoch}");
+            assert_eq!(a.suspected_groups, b.suspected_groups, "epoch {epoch}");
+            assert_eq!(a.suspected_routers, b.suspected_routers, "epoch {epoch}");
+        }
+
+        let snap = inc.metrics();
+        assert_eq!(
+            snap.counter("graph_full_rebuilds_total"),
+            Some(1),
+            "only the cold epoch may rebuild from scratch"
+        );
+        assert_eq!(
+            snap.counter("graph_audit_runs_total"),
+            Some(2),
+            "audit cadence 2 over 5 epochs"
+        );
+        assert!(snap.counter("pairs_screened_total").is_some());
+        assert!(snap.counter("pairs_exact_total").unwrap_or(0) > 0);
+        assert!(snap.gauge("graph_edges_live").is_some());
+        assert!(snap.gauge("graph_groups_changed").is_some());
+        // The delta epochs re-tested far fewer pairs than the full-build
+        // centre paid for the same traffic.
+        let full_snap = full.metrics();
+        let inc_pairs = snap.counter("pairs_exact_total").unwrap()
+            + snap.counter("pairs_screened_total").unwrap();
+        let full_pairs = full_snap.counter("pairs_exact_total").unwrap()
+            + full_snap.counter("pairs_screened_total").unwrap();
+        assert!(
+            inc_pairs * 2 < full_pairs,
+            "incremental engine did {inc_pairs} pair visits vs {full_pairs} for full rebuilds"
+        );
+        assert_eq!(full_snap.counter("graph_full_rebuilds_total"), Some(5));
     }
 }

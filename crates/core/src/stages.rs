@@ -3,9 +3,9 @@
 //! Both detection pipelines of the [`AnalysisCenter`] run as a fixed
 //! sequence of named [`Stage`]s driven through one [`StageRecorder`]:
 //! the aligned pipeline as `fuse → screen → core_find → sweep →
-//! terminate`, the unaligned pipeline as `stack_rows → graph_build →
-//! er_test → peel`. Every stage span lands in three metric families of
-//! the centre's [`MetricsRegistry`]:
+//! terminate`, the unaligned pipeline as `stack_rows → prescreen →
+//! graph_build → er_test → peel`. Every stage span lands in three metric
+//! families of the centre's [`MetricsRegistry`]:
 //!
 //! * gauge `epoch_stage_ns{pipeline,stage}` — the last epoch's span (the
 //!   view behind [`EpochTimings`](crate::report::EpochTimings));
@@ -39,6 +39,10 @@ pub enum Stage {
     /// Unaligned: stack per-router arrays vertically and map group
     /// ownership.
     StackRows,
+    /// Unaligned: conservative pair screen — per-row weight classes and
+    /// band signatures that discharge row pairs provably unable to pass
+    /// the λ test, leaving the graph bit-identical.
+    Prescreen,
     /// Unaligned: pairwise λ-similarity graph construction.
     GraphBuild,
     /// Unaligned: Erdős–Rényi giant-component statistical test.
@@ -59,8 +63,9 @@ impl Stage {
     ];
 
     /// The unaligned pipeline's stages, in execution order.
-    pub const UNALIGNED: [Stage; 4] = [
+    pub const UNALIGNED: [Stage; 5] = [
         Stage::StackRows,
+        Stage::Prescreen,
         Stage::GraphBuild,
         Stage::ErTest,
         Stage::Peel,
@@ -75,6 +80,7 @@ impl Stage {
             Stage::Sweep => "sweep",
             Stage::Terminate => "terminate",
             Stage::StackRows => "stack_rows",
+            Stage::Prescreen => "prescreen",
             Stage::GraphBuild => "graph_build",
             Stage::ErTest => "er_test",
             Stage::Peel => "peel",
@@ -87,7 +93,11 @@ impl Stage {
             Stage::Fuse | Stage::Screen | Stage::CoreFind | Stage::Sweep | Stage::Terminate => {
                 "aligned"
             }
-            Stage::StackRows | Stage::GraphBuild | Stage::ErTest | Stage::Peel => "unaligned",
+            Stage::StackRows
+            | Stage::Prescreen
+            | Stage::GraphBuild
+            | Stage::ErTest
+            | Stage::Peel => "unaligned",
         }
     }
 
@@ -157,7 +167,7 @@ mod tests {
             .collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 9, "stage names must be distinct");
+        assert_eq!(names.len(), 10, "stage names must be distinct");
     }
 
     #[test]

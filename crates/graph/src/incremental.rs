@@ -1,0 +1,312 @@
+//! Epoch-incremental group graph: edges with epoch stamps, expiry, and
+//! lazily rebuilt connected components.
+//!
+//! The unaligned correlation engine keeps the λ-test graph alive across
+//! measurement epochs instead of rebuilding it from scratch: edges whose
+//! endpoint rows did not change between epochs keep their previous test
+//! result (the exact λ test is a pure function of the two rows), while
+//! edges touching changed rows are re-confirmed or expired. This type is
+//! the graph-side half of that engine:
+//!
+//! * every live edge carries the **epoch stamp** of its last
+//!   confirmation ([`IncrementalGraph::add_edge`] inserts or refreshes);
+//! * [`IncrementalGraph::expire_incident_before`] removes stale edges
+//!   around a changed vertex set, [`IncrementalGraph::expire_before`]
+//!   applies a global TTL;
+//! * a [`UnionFind`] over the live edges answers component queries.
+//!   Unions are maintained incrementally while edges are only added;
+//!   any removal raises the **rebuild watermark** (union-find cannot
+//!   split sets), and the next component query pays one rebuild from
+//!   the live edge set — cheap, because the λ-test graph is sparse by
+//!   construction (p₁ ≈ 0.65/n).
+//!
+//! The materialised [`Graph`] view ([`IncrementalGraph::to_graph`]) is
+//! built through [`GraphBuilder`], so downstream consumers (ER test,
+//! peeling) see exactly the type the from-scratch path produces, and
+//! equality audits compare like with like.
+
+use crate::{Graph, GraphBuilder, UnionFind};
+use std::collections::HashMap;
+
+/// A mutable undirected simple graph maintained across epochs.
+#[derive(Debug, Clone)]
+pub struct IncrementalGraph {
+    n: usize,
+    /// Normalised `(u, v)` with `u < v` → epoch stamp of last confirmation.
+    edges: HashMap<(u32, u32), u64>,
+    uf: UnionFind,
+    /// Rebuild watermark: set when any edge was removed since the last
+    /// union-find rebuild, cleared by [`Self::ensure_components`].
+    uf_stale: bool,
+    epoch: u64,
+}
+
+impl IncrementalGraph {
+    /// An empty graph over `n` vertices at epoch 0.
+    pub fn new(n: usize) -> Self {
+        IncrementalGraph {
+            n,
+            edges: HashMap::new(),
+            uf: UnionFind::new(n),
+            uf_stale: false,
+            epoch: 0,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of live edges.
+    pub fn live_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The current epoch stamp.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Whether the next component query must rebuild the union-find.
+    pub fn components_stale(&self) -> bool {
+        self.uf_stale
+    }
+
+    /// Drops every edge and re-dimensions to `n` vertices (deployment
+    /// shape change or a cold start).
+    pub fn reset(&mut self, n: usize) {
+        self.n = n;
+        self.edges.clear();
+        self.uf = UnionFind::new(n);
+        self.uf_stale = false;
+    }
+
+    /// Starts an epoch: subsequent [`Self::add_edge`] confirmations carry
+    /// `stamp`.
+    pub fn begin_epoch(&mut self, stamp: u64) {
+        self.epoch = stamp;
+    }
+
+    /// Inserts the edge `{u, v}` (or refreshes its stamp to the current
+    /// epoch if already live). Returns `true` when the edge is new.
+    ///
+    /// # Panics
+    /// Panics on a self-loop or out-of-range endpoint.
+    pub fn add_edge(&mut self, u: u32, v: u32) -> bool {
+        assert_ne!(u, v, "self-loops are not allowed");
+        assert!(
+            (u as usize) < self.n && (v as usize) < self.n,
+            "edge ({u},{v}) out of range for n={}",
+            self.n
+        );
+        let key = if u < v { (u, v) } else { (v, u) };
+        let fresh = self.edges.insert(key, self.epoch).is_none();
+        if fresh && !self.uf_stale {
+            // Union-find stays exact while the graph only grows.
+            self.uf.union(u, v);
+        }
+        fresh
+    }
+
+    /// Epoch stamp of the edge `{u, v}`, if live.
+    pub fn edge_stamp(&self, u: u32, v: u32) -> Option<u64> {
+        let key = if u < v { (u, v) } else { (v, u) };
+        self.edges.get(&key).copied()
+    }
+
+    /// Removes every edge with an endpoint in `vertices` whose stamp is
+    /// older than `stamp`; returns the number removed. This is the delta
+    /// step's expiry: after re-testing all pairs around the changed
+    /// vertices at epoch `stamp`, any incident edge *not* re-confirmed
+    /// this epoch is dead. Removal raises the rebuild watermark.
+    pub fn expire_incident_before(&mut self, vertices: &[bool], stamp: u64) -> usize {
+        let before = self.edges.len();
+        self.edges.retain(|&(u, v), &mut s| {
+            s >= stamp || (!vertices[u as usize] && !vertices[v as usize])
+        });
+        let removed = before - self.edges.len();
+        if removed > 0 {
+            self.uf_stale = true;
+        }
+        removed
+    }
+
+    /// Removes every edge with a stamp older than `stamp` (global TTL);
+    /// returns the number removed. Removal raises the rebuild watermark.
+    pub fn expire_before(&mut self, stamp: u64) -> usize {
+        let before = self.edges.len();
+        self.edges.retain(|_, &mut s| s >= stamp);
+        let removed = before - self.edges.len();
+        if removed > 0 {
+            self.uf_stale = true;
+        }
+        removed
+    }
+
+    /// Rebuilds the union-find from the live edge set if the watermark is
+    /// raised. Called by every component query; a no-op on a clean graph.
+    fn ensure_components(&mut self) {
+        if !self.uf_stale {
+            return;
+        }
+        self.uf = UnionFind::new(self.n);
+        for &(u, v) in self.edges.keys() {
+            self.uf.union(u, v);
+        }
+        self.uf_stale = false;
+    }
+
+    /// Whether `a` and `b` are in the same component (rebuilds lazily).
+    pub fn connected(&mut self, a: u32, b: u32) -> bool {
+        self.ensure_components();
+        self.uf.connected(a, b)
+    }
+
+    /// Size of the largest connected component (rebuilds lazily).
+    pub fn largest_component_size(&mut self) -> usize {
+        self.ensure_components();
+        let mut best = 0;
+        for v in 0..self.n as u32 {
+            best = best.max(self.uf.set_size(v));
+        }
+        best as usize
+    }
+
+    /// The live edges, sorted ascending — the canonical order every
+    /// equality audit compares in.
+    pub fn sorted_edges(&self) -> Vec<(u32, u32)> {
+        let mut es: Vec<(u32, u32)> = self.edges.keys().copied().collect();
+        es.sort_unstable();
+        es
+    }
+
+    /// Materialises the live graph as an immutable [`Graph`] — the exact
+    /// type and normal form the from-scratch builder produces, so the
+    /// downstream ER test and peeling run unchanged.
+    pub fn to_graph(&self) -> Graph {
+        let mut b = GraphBuilder::with_capacity(self.n, self.edges.len());
+        for &(u, v) in self.edges.keys() {
+            b.add_edge(u, v);
+        }
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_refresh_and_stamps() {
+        let mut g = IncrementalGraph::new(4);
+        g.begin_epoch(1);
+        assert!(g.add_edge(0, 1));
+        assert!(!g.add_edge(1, 0), "normalised duplicate refreshes");
+        assert_eq!(g.edge_stamp(0, 1), Some(1));
+        g.begin_epoch(2);
+        g.add_edge(1, 0);
+        assert_eq!(g.edge_stamp(0, 1), Some(2), "refresh restamps");
+        assert_eq!(g.live_edges(), 1);
+    }
+
+    #[test]
+    fn incremental_unions_track_additions() {
+        let mut g = IncrementalGraph::new(5);
+        g.begin_epoch(1);
+        g.add_edge(0, 1);
+        g.add_edge(2, 3);
+        assert!(g.connected(0, 1));
+        assert!(!g.connected(0, 2));
+        assert!(!g.components_stale(), "pure additions keep UF exact");
+        g.add_edge(1, 2);
+        assert!(g.connected(0, 3));
+        assert_eq!(g.largest_component_size(), 4);
+    }
+
+    #[test]
+    fn expiry_raises_watermark_and_rebuild_splits_components() {
+        let mut g = IncrementalGraph::new(4);
+        g.begin_epoch(1);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        assert_eq!(g.largest_component_size(), 3);
+        // Epoch 2: vertex 1 changed; only 0–1 is re-confirmed.
+        g.begin_epoch(2);
+        g.add_edge(0, 1);
+        let mut changed = vec![false; 4];
+        changed[1] = true;
+        let removed = g.expire_incident_before(&changed, 2);
+        assert_eq!(removed, 1, "1–2 expired, 0–1 re-confirmed");
+        assert!(g.components_stale(), "removal raises the watermark");
+        assert!(!g.connected(0, 2), "rebuild splits the component");
+        assert!(!g.components_stale(), "query cleared the watermark");
+        assert_eq!(g.largest_component_size(), 2);
+    }
+
+    #[test]
+    fn expire_incident_spares_untouched_edges() {
+        let mut g = IncrementalGraph::new(6);
+        g.begin_epoch(1);
+        g.add_edge(0, 1);
+        g.add_edge(4, 5);
+        g.begin_epoch(7);
+        let mut changed = vec![false; 6];
+        changed[0] = true;
+        assert_eq!(g.expire_incident_before(&changed, 7), 1);
+        assert_eq!(
+            g.sorted_edges(),
+            vec![(4, 5)],
+            "edge away from the changed set survives with its old stamp"
+        );
+        assert_eq!(g.edge_stamp(4, 5), Some(1));
+    }
+
+    #[test]
+    fn global_ttl_expiry() {
+        let mut g = IncrementalGraph::new(4);
+        g.begin_epoch(1);
+        g.add_edge(0, 1);
+        g.begin_epoch(5);
+        g.add_edge(2, 3);
+        assert_eq!(g.expire_before(5), 1);
+        assert_eq!(g.sorted_edges(), vec![(2, 3)]);
+        assert_eq!(g.largest_component_size(), 2);
+    }
+
+    #[test]
+    fn to_graph_matches_builder_normal_form() {
+        let mut g = IncrementalGraph::new(5);
+        g.begin_epoch(1);
+        g.add_edge(3, 1);
+        g.add_edge(0, 4);
+        g.add_edge(1, 3);
+        let mat = g.to_graph();
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(1, 3);
+        b.add_edge(0, 4);
+        let expect = b.build();
+        assert_eq!(mat.m(), expect.m());
+        let (a, e): (Vec<_>, Vec<_>) = (mat.edges().collect(), expect.edges().collect());
+        assert_eq!(a, e);
+    }
+
+    #[test]
+    fn reset_redimensions() {
+        let mut g = IncrementalGraph::new(3);
+        g.begin_epoch(1);
+        g.add_edge(0, 2);
+        g.reset(8);
+        assert_eq!(g.n(), 8);
+        assert_eq!(g.live_edges(), 0);
+        g.begin_epoch(2);
+        g.add_edge(6, 7);
+        assert!(g.connected(6, 7));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_rejected() {
+        IncrementalGraph::new(2).add_edge(0, 2);
+    }
+}

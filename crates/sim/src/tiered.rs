@@ -112,9 +112,13 @@ impl TieredSoakConfig {
     }
 
     /// A wide-deployment regime: `leaves` (1,000+) tiny-digest leaves
-    /// behind `aggregators` regions. Digest shapes are shrunk so the
-    /// all-pairs unaligned graph stays inside a test budget — the
-    /// point of a wide run is topology accounting, not detection power.
+    /// behind `aggregators` regions. Digest shapes are reduced from the
+    /// paper's, but the budget is sized for the *prescreened* unaligned
+    /// graph engine: the weight-class/band screen discharges most of
+    /// the quadratic group-pair work on this null traffic, which is
+    /// what lets a wide run keep paper-width 1,024-bit arrays. (The
+    /// pre-PR-8 all-pairs engine forced 256-bit arrays here.) The point
+    /// of a wide run is topology accounting, not detection power.
     pub fn wide(leaves: usize, aggregators: usize, epochs: usize, seed: u64) -> Self {
         TieredSoakConfig {
             leaves,
@@ -134,7 +138,7 @@ impl TieredSoakConfig {
             aligned_bits: 1 << 10,
             groups_per_leaf: 1,
             arrays_per_group: 2,
-            array_bits: 256,
+            array_bits: 1024,
             pipelined: false,
         }
     }
@@ -520,6 +524,18 @@ mod tests {
                 .gauge("aggregate_fuse_ns{level=1}")
                 .is_some(),
             "aggregator tier must record its fuse span"
+        );
+        // The centre's unaligned graph ran through the prescreened
+        // engine: both pair-accounting counters exist and work happened.
+        let screened = result.metrics.counter("pairs_screened_total");
+        let exact = result.metrics.counter("pairs_exact_total");
+        assert!(
+            screened.is_some() && exact.is_some(),
+            "prescreen pair counters missing from the tiered snapshot"
+        );
+        assert!(
+            screened.unwrap() + exact.unwrap() > 0,
+            "tiered soak visited no unaligned group pairs"
         );
     }
 

@@ -10,9 +10,19 @@
 //!   to a large number of CPUs" (scoped worker threads via
 //!   `dcs-parallel`, embarrassingly parallel over group pairs);
 //! * [`build_group_graph_sampled`] — possibility 2, "sample 10 % of the
-//!   vertices and find a core only in this subset".
+//!   vertices and find a core only in this subset";
+//! * [`build_group_graph_prescreened`] — the conservative-screen build:
+//!   identical graph, but pairs provably unable to pass the λ test
+//!   ([`crate::prescreen`]) skip the AND-popcount, with per-pair
+//!   accounting in [`GraphBuildStats`].
+//!
+//! Parallel variants stride the outer index with
+//! [`balanced_outer_indices`] (zigzag pairing), which keeps per-worker
+//! pair counts within `threads − 1` of each other for every `n` — the
+//! triangular loop's heavy low indices and light high indices cancel.
 
 use crate::lambda::LambdaTable;
+use crate::prescreen::PreScreen;
 use dcs_bitmap::RowMatrix;
 use dcs_graph::{Graph, GraphBuilder};
 use dcs_parallel::map_workers;
@@ -41,6 +51,65 @@ impl GroupLayout {
         );
         rows.nrows() / self.rows_per_group
     }
+}
+
+/// Pair-level accounting of a screened graph build: how many row pairs
+/// the conservative prescreen discharged without an exact test, and how
+/// many paid the AND-popcount. Both are pure functions of the row data
+/// (never of the thread/shard partition), so they are deterministic
+/// across compute budgets and feed the `pairs_screened_total` /
+/// `pairs_exact_total` metrics directly.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GraphBuildStats {
+    /// Row pairs pruned by the conservative screen (no exact test run).
+    pub pairs_screened: u64,
+    /// Row pairs that ran the exact AND-popcount λ test.
+    pub pairs_exact: u64,
+}
+
+impl GraphBuildStats {
+    /// Folds another worker's tally into this one.
+    pub fn merge(&mut self, other: GraphBuildStats) {
+        self.pairs_screened += other.pairs_screened;
+        self.pairs_exact += other.pairs_exact;
+    }
+
+    /// Total row pairs considered.
+    pub fn total(&self) -> u64 {
+        self.pairs_screened + self.pairs_exact
+    }
+}
+
+/// Outer indices owned by worker `t` of `threads` under zigzag striding:
+/// each block of `2 × threads` consecutive outer indices gives worker
+/// `t` the pair `base + t` and `base + 2·threads − 1 − t`. In the
+/// triangular pair loop outer index `i` costs `n − 1 − i` inner
+/// iterations, so the two indices of a full block sum to the same pair
+/// count for every worker; only the final partial block differs, by at
+/// most `threads − 1` pairs total (proptested below). The plain
+/// `t, t + threads, …` stride this replaces skewed by
+/// `Θ(n · (threads − 1) / threads)` pairs whenever `n % threads != 0`.
+///
+/// # Panics
+/// Panics if `threads == 0` or `t >= threads`.
+pub fn balanced_outer_indices(n: usize, threads: usize, t: usize) -> Vec<usize> {
+    assert!(threads > 0, "need at least one thread");
+    assert!(t < threads, "worker {t} out of range for {threads} threads");
+    let span = 2 * threads;
+    let mut out = Vec::with_capacity(n / threads + 2);
+    let mut base = 0;
+    while base < n {
+        let lo = base + t;
+        if lo < n {
+            out.push(lo);
+        }
+        let hi = base + span - 1 - t;
+        if hi != lo && hi < n {
+            out.push(hi);
+        }
+        base += span;
+    }
+    out
 }
 
 /// Whether groups `ga` and `gb` are connected: does any row pair exceed
@@ -88,10 +157,11 @@ pub fn build_group_graph(rows: &RowMatrix, layout: GroupLayout, table: &LambdaTa
 }
 
 /// Parallel conversion using `threads` scoped worker threads. Group
-/// pairs are split by striding the outer index, which balances the
-/// triangular loop well; each worker collects a private edge list and
-/// the lists are concatenated in worker order, so the resulting graph is
-/// identical for any thread count.
+/// pairs are split by zigzag-striding the outer index
+/// ([`balanced_outer_indices`]), which balances the triangular loop to
+/// within `threads − 1` pairs per worker; each worker collects a private
+/// edge list and the lists are concatenated in worker order, so the
+/// resulting graph is identical for any thread count.
 ///
 /// # Panics
 /// Panics if `threads == 0`.
@@ -112,14 +182,12 @@ pub fn build_group_graph_parallel(
     }
     let edge_lists: Vec<Vec<(u32, u32)>> = map_workers(threads, |t| {
         let mut local = Vec::new();
-        let mut ga = t;
-        while ga < n {
+        for ga in balanced_outer_indices(n, threads, t) {
             for gb in (ga + 1)..n {
                 if groups_connected(rows, &weights, layout, table, ga, gb) {
                     local.push((ga as u32, gb as u32));
                 }
             }
-            ga += threads;
         }
         local
     });
@@ -130,6 +198,88 @@ pub fn build_group_graph_parallel(
         }
     }
     b.build()
+}
+
+/// Whether groups `ga` and `gb` are connected, consulting the
+/// conservative prescreen before each exact test. Tallies every row pair
+/// inspected into `stats`; pairs after an early edge hit are not counted
+/// (the cut-off point is a pure function of the row data, so the tallies
+/// stay partition-invariant).
+pub(crate) fn groups_connected_screened(
+    rows: &RowMatrix,
+    screen: &PreScreen,
+    layout: GroupLayout,
+    table: &LambdaTable,
+    ga: usize,
+    gb: usize,
+    stats: &mut GraphBuildStats,
+) -> bool {
+    let k = layout.rows_per_group;
+    let weights = screen.weights();
+    for ra in ga * k..(ga + 1) * k {
+        for rb in gb * k..(gb + 1) * k {
+            if !screen.needs_exact(ra, rb) {
+                stats.pairs_screened += 1;
+                continue;
+            }
+            stats.pairs_exact += 1;
+            if rows.common_ones(ra, rb) > table.lambda(weights[ra], weights[rb]) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Prescreened parallel conversion: the same graph as
+/// [`build_group_graph`] / [`build_group_graph_parallel`] — guaranteed,
+/// because the screen only prunes pairs it can *prove* cannot pass the λ
+/// test — plus the screened/exact pair tally. The screen must have been
+/// [rebuilt](PreScreen::rebuild) against `rows` and `table`.
+///
+/// # Panics
+/// Panics if `threads == 0` or the screen's row count does not match.
+pub fn build_group_graph_prescreened(
+    rows: &RowMatrix,
+    layout: GroupLayout,
+    table: &LambdaTable,
+    screen: &PreScreen,
+    threads: usize,
+) -> (Graph, GraphBuildStats) {
+    assert!(threads > 0, "need at least one thread");
+    assert_eq!(
+        screen.nrows(),
+        rows.nrows(),
+        "prescreen was built for a different matrix"
+    );
+    let n = layout.groups(rows);
+    // Pre-warm the λ memo serially so worker threads mostly read.
+    for &w in screen.weights() {
+        if w > 0 {
+            table.lambda(w, w);
+        }
+    }
+    let results: Vec<(Vec<(u32, u32)>, GraphBuildStats)> = map_workers(threads, |t| {
+        let mut local = Vec::new();
+        let mut stats = GraphBuildStats::default();
+        for ga in balanced_outer_indices(n, threads, t) {
+            for gb in (ga + 1)..n {
+                if groups_connected_screened(rows, screen, layout, table, ga, gb, &mut stats) {
+                    local.push((ga as u32, gb as u32));
+                }
+            }
+        }
+        (local, stats)
+    });
+    let mut stats = GraphBuildStats::default();
+    let mut b = GraphBuilder::with_capacity(n, results.iter().map(|(l, _)| l.len()).sum());
+    for (list, s) in results {
+        stats.merge(s);
+        for (u, v) in list {
+            b.add_edge(u, v);
+        }
+    }
+    (b.build(), stats)
 }
 
 /// Vertex-sampled conversion (paper's possibility 2): keep every
@@ -387,5 +537,126 @@ mod tests {
         let mut m = RowMatrix::new(NBITS);
         m.push_bitmap(&Bitmap::new(NBITS));
         GroupLayout { rows_per_group: 4 }.groups(&m);
+    }
+
+    /// Matrix whose groups span wildly different weight regimes — the
+    /// shape where the class/band prunes actually fire.
+    fn skewed_matrix(rng: &mut StdRng, groups: usize) -> RowMatrix {
+        let mut m = RowMatrix::new(NBITS);
+        for g in 0..groups {
+            for r in 0..K {
+                let w = match g % 4 {
+                    0 => 0,
+                    1 => 5 + r,
+                    2 => 120 + 17 * r,
+                    _ => 480 + 16 * r,
+                };
+                let mut bm = Bitmap::new(NBITS);
+                while (bm.weight() as usize) < w {
+                    bm.set(rng.gen_range(0..NBITS));
+                }
+                m.push_bitmap(&bm);
+            }
+        }
+        m
+    }
+
+    fn screen_for(m: &RowMatrix, t: &LambdaTable) -> crate::prescreen::PreScreen {
+        let mut s = crate::prescreen::PreScreen::new();
+        s.rebuild(m, t, crate::prescreen::ScreenConfig::default(), 2);
+        s
+    }
+
+    #[test]
+    fn prescreened_matches_serial_oracle() {
+        let layout = GroupLayout { rows_per_group: K };
+        let t = table();
+        let mut r = StdRng::seed_from_u64(21);
+        for m in [
+            test_matrix(&mut r, 12, 512, &[1, 4, 9], 220),
+            test_matrix(&mut r, 16, 512, &[], 0),
+            skewed_matrix(&mut r, 12),
+        ] {
+            let oracle = build_group_graph(&m, layout, &t);
+            let screen = screen_for(&m, &t);
+            for threads in [1usize, 2, 4] {
+                let (g, stats) = build_group_graph_prescreened(&m, layout, &t, &screen, threads);
+                let mut es: Vec<_> = oracle.edges().collect();
+                let mut ep: Vec<_> = g.edges().collect();
+                es.sort_unstable();
+                ep.sort_unstable();
+                assert_eq!(es, ep, "screened graph differs at {threads} threads");
+                assert!(stats.total() > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn prescreened_stats_are_thread_invariant_and_prune_skew() {
+        let layout = GroupLayout { rows_per_group: K };
+        let t = table();
+        let mut r = StdRng::seed_from_u64(22);
+        let m = skewed_matrix(&mut r, 16);
+        let screen = screen_for(&m, &t);
+        let (_, base) = build_group_graph_prescreened(&m, layout, &t, &screen, 1);
+        for threads in [2usize, 4, 8] {
+            let (_, s) = build_group_graph_prescreened(&m, layout, &t, &screen, threads);
+            assert_eq!(s, base, "pair tallies drifted at {threads} threads");
+        }
+        assert!(
+            base.pairs_screened > base.pairs_exact,
+            "skewed matrix should be mostly screened: {base:?}"
+        );
+    }
+
+    #[test]
+    fn balanced_indices_cover_disjointly() {
+        for n in [0usize, 1, 2, 5, 7, 8, 16, 31] {
+            for threads in 1..=6usize {
+                let mut seen = vec![false; n];
+                for t in 0..threads {
+                    for i in balanced_outer_indices(n, threads, t) {
+                        assert!(!seen[i], "index {i} assigned twice (n={n}, T={threads})");
+                        seen[i] = true;
+                    }
+                }
+                assert!(seen.iter().all(|&s| s), "gap in cover (n={n}, T={threads})");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod striding_proptests {
+    use super::balanced_outer_indices;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Satellite balance pin: under zigzag striding the per-worker
+        /// *pair* counts of the triangular loop (outer index `i` costs
+        /// `n − 1 − i` inner iterations) differ by at most `threads − 1`
+        /// — far under the one-outer-stride (`n − 1`) skew the old
+        /// `t, t + threads, …` striding allowed to accumulate.
+        #[test]
+        fn zigzag_pair_counts_balanced(n in 0usize..200, threads in 1usize..9) {
+            let counts: Vec<u64> = (0..threads)
+                .map(|t| {
+                    balanced_outer_indices(n, threads, t)
+                        .into_iter()
+                        .map(|i| (n - 1 - i) as u64)
+                        .sum()
+                })
+                .collect();
+            let max = counts.iter().copied().max().unwrap_or(0);
+            let min = counts.iter().copied().min().unwrap_or(0);
+            prop_assert!(
+                max - min <= (threads - 1) as u64,
+                "pair counts {counts:?} spread {} > threads − 1 (n={n})",
+                max - min
+            );
+            let total: u64 = counts.iter().sum();
+            let expect = if n == 0 { 0 } else { (n as u64) * (n as u64 - 1) / 2 };
+            prop_assert_eq!(total, expect, "triangle pair total mismatch");
+        }
     }
 }

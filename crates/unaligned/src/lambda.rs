@@ -111,6 +111,24 @@ mod tests {
         assert!(l1 < l2 && l2 < l3);
     }
 
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(32))]
+
+        /// Soundness pin for the prescreen's weight-class prune: λ must
+        /// be monotone non-decreasing in *each* weight separately
+        /// (hypergeometric stochastic dominance), off the diagonal too —
+        /// the class prune lower-bounds λ(wa, wb) by λ(lo_a, lo_b) and
+        /// is conservative only if this holds everywhere.
+        #[test]
+        fn lambda_monotone_off_diagonal(i in 0u32..=256, j in 0u32..=256, di in 0u32..=16) {
+            let t = LambdaTable::new(256, 1e-4);
+            proptest::prop_assert!(
+                t.lambda(i.min(256 - di) + di, j) >= t.lambda(i.min(256 - di), j),
+                "λ decreased when raising one weight ({i},{j})+{di}"
+            );
+        }
+    }
+
     #[test]
     fn uniformity_across_weight_pairs() {
         // The whole point of Λ: exceedance stays ≈ p* (never above; can be

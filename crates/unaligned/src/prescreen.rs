@@ -1,0 +1,354 @@
+//! Conservative pair prescreen for the group-graph build.
+//!
+//! The exact edge test between two rows of weights `wa`, `wb` is
+//! `common_ones > λ(wa, wb)`. Before paying an AND-popcount (and a λ
+//! lookup) per row pair, the prescreen buckets rows by **weight class**
+//! and attaches a small **band signature** per row; pairs are pruned only
+//! when one of three *proofs* shows the exact test cannot pass, so the
+//! resulting graph is identical to the all-pairs build — never
+//! approximate:
+//!
+//! 1. **Zero weight** — a row with no ones shares no ones:
+//!    `common = 0 ≤ λ` (λ ≥ 0). Matches the skip the all-pairs kernel
+//!    already performs.
+//! 2. **Weight class** — `common ≤ min(wa, wb)` always, and λ is
+//!    monotone non-decreasing in each weight (hypergeometric stochastic
+//!    dominance; pinned by a proptest in [`crate::lambda`]). Rows are
+//!    classed by `w / class_width`, and each class is anchored at the
+//!    minimum and maximum *occupied* nonzero weights `[lo, hi]` it
+//!    actually holds this epoch (data-adaptive, so a class is never
+//!    diluted by theoretical members it doesn't have). For a class pair,
+//!    `λ(lo_a, lo_b) ≤ λ(wa, wb)` for every member pair, so
+//!    `min(hi_a, hi_b) ≤ λ(lo_a, lo_b)` prunes the whole class pair,
+//!    and per pair `min(wa, wb) ≤ λ(lo_a, lo_b)` prunes with no λ
+//!    lookup — one λ evaluation per occupied class pair total.
+//! 3. **Band signature** — each row's words are split into `bands`
+//!    ranges, each hashed to 64 bits ([`dcs_bitmap::sig`]). Signatures
+//!    are pure functions of the words, so `d` differing bands prove
+//!    Hamming distance ≥ `d`, and `common = (wa + wb − dist) / 2` gives
+//!    `common ≤ (wa + wb − d) / 2`. If that bound (tightened by
+//!    `min(wa, wb)`) is ≤ `λ(lo_a, lo_b) ≤ λ(wa, wb)`, prune.
+//!
+//! Every proof bounds `common` from above and λ from below, so a pruned
+//! pair can never satisfy `common > λ(wa, wb)` — the screen is
+//! **conservative by construction**. (The converse is free: unpruned
+//! pairs just pay the exact test.) All three checks are pure functions of
+//! the row data, independent of thread/shard partition, so screening
+//! decisions — and the screened/exact pair counters — are deterministic
+//! across compute budgets.
+//!
+//! In the paper's dense null regime (rows ~44 % full, near-equal
+//! weights) overlap concentrates tightly under λ and checks 2–3 rarely
+//! fire — there the engine's win comes from cross-epoch delta
+//! maintenance ([`crate::incremental`]). The class and band checks earn
+//! their keep on skewed traffic: weight spread across flow-split groups,
+//! sparse epochs, and quiet leaves behind the aggregation tier.
+
+use crate::lambda::LambdaTable;
+use dcs_bitmap::{sig, RowMatrix};
+use dcs_parallel::{run_jobs, split_range};
+
+/// Prescreen shape knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ScreenConfig {
+    /// Band signatures per row (word ranges hashed to 64 bits each).
+    pub bands: usize,
+    /// Weight-class bucket width in bits (class = `weight / class_width`).
+    pub class_width: u32,
+}
+
+impl Default for ScreenConfig {
+    fn default() -> Self {
+        // 8 bands over the paper's 16-word rows = 2 words per band;
+        // 32-bit classes keep the class-pair λ table tiny (≤ 33 classes
+        // at 1,024-bit rows) while separating weight regimes.
+        ScreenConfig {
+            bands: 8,
+            class_width: 32,
+        }
+    }
+}
+
+/// Per-epoch prescreen state: row weights, classes, band signatures, and
+/// the class-pair connectability table for one λ table. Buffers are
+/// reused across epochs ([`PreScreen::rebuild`] clears and refills), so
+/// steady-state epochs of one deployment shape allocate nothing — the
+/// same pooling contract as the centre's epoch scratch.
+#[derive(Debug, Default)]
+pub struct PreScreen {
+    bands: usize,
+    class_width: u32,
+    n_classes: usize,
+    weights: Vec<u32>,
+    class: Vec<u32>,
+    sigs: Vec<u64>,
+    /// `connectable[ca * n_classes + cb]`: may any pair from these
+    /// classes pass the exact test? (Symmetric; both triangles filled.)
+    connectable: Vec<bool>,
+    /// `λ(lo_a, lo_b)` per class pair, with `lo` the minimum occupied
+    /// nonzero weight of the class — the λ lower bound the per-pair
+    /// weight and band checks compare against.
+    lambda_lo: Vec<u32>,
+}
+
+impl PreScreen {
+    /// An empty prescreen (rebuild before use).
+    pub fn new() -> Self {
+        PreScreen::default()
+    }
+
+    /// Number of rows screened.
+    pub fn nrows(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Bands per row in the current build.
+    pub fn bands(&self) -> usize {
+        self.bands
+    }
+
+    /// Per-row weights (index = row).
+    pub fn weights(&self) -> &[u32] {
+        &self.weights
+    }
+
+    /// Band signatures of row `r`.
+    pub fn row_sigs(&self, r: usize) -> &[u64] {
+        &self.sigs[r * self.bands..(r + 1) * self.bands]
+    }
+
+    /// Rebuilds the screen for `rows` against `table`, sharding the
+    /// per-row pass (weights + signatures + classes) over up to
+    /// `workers` threads. Results are written into disjoint row ranges,
+    /// so the build is bit-identical for any worker count.
+    pub fn rebuild(
+        &mut self,
+        rows: &RowMatrix,
+        table: &LambdaTable,
+        cfg: ScreenConfig,
+        workers: usize,
+    ) {
+        assert!(cfg.bands > 0, "prescreen needs at least one band");
+        assert!(cfg.class_width > 0, "class width must be positive");
+        self.bands = cfg.bands;
+        self.class_width = cfg.class_width;
+        let nrows = rows.nrows();
+        let wpr = rows.words_per_row();
+        self.weights.clear();
+        self.weights.resize(nrows, 0);
+        self.class.clear();
+        self.class.resize(nrows, 0);
+        self.sigs.clear();
+        self.sigs.resize(nrows * cfg.bands, 0);
+
+        let ranges = split_range(nrows, workers.max(1));
+        let mut jobs = Vec::with_capacity(ranges.len());
+        {
+            let mut wrest: &mut [u32] = &mut self.weights;
+            let mut crest: &mut [u32] = &mut self.class;
+            let mut srest: &mut [u64] = &mut self.sigs;
+            for range in ranges {
+                let len = range.end - range.start;
+                let (w, wtail) = wrest.split_at_mut(len);
+                let (c, ctail) = crest.split_at_mut(len);
+                let (s, stail) = srest.split_at_mut(len * cfg.bands);
+                wrest = wtail;
+                crest = ctail;
+                srest = stail;
+                jobs.push((range, w, c, s));
+            }
+        }
+        let width = cfg.class_width;
+        run_jobs(jobs, workers.max(1), |(range, w, c, s)| {
+            let data = &rows.as_words()[range.start * wpr..range.end * wpr];
+            sig::band_signatures_into(data, wpr, range.end - range.start, cfg.bands, s);
+            for (local, r) in range.enumerate() {
+                let wt = rows.row_weight(r);
+                w[local] = wt;
+                c[local] = wt / width;
+            }
+        });
+
+        // Class-pair connectability: one λ evaluation per *occupied*
+        // class pair (real digests occupy a narrow weight band, so this
+        // is a handful of memoised quantiles). Classes are anchored at
+        // the occupied nonzero weight range — zero-weight rows never
+        // reach the class check (proof 1 fires first), so they must not
+        // drag a class's λ anchor down to λ(0, ·) = 0.
+        let ncols = rows.ncols() as u32;
+        self.n_classes = (ncols / width) as usize + 1;
+        let nc = self.n_classes;
+        self.connectable.clear();
+        self.connectable.resize(nc * nc, false);
+        self.lambda_lo.clear();
+        self.lambda_lo.resize(nc * nc, 0);
+        let mut class_lo = vec![u32::MAX; nc];
+        let mut class_hi = vec![0u32; nc];
+        for (&c, &w) in self.class.iter().zip(&self.weights) {
+            if w > 0 {
+                let c = c as usize;
+                class_lo[c] = class_lo[c].min(w);
+                class_hi[c] = class_hi[c].max(w);
+            }
+        }
+        for ca in 0..nc {
+            if class_hi[ca] == 0 {
+                continue;
+            }
+            for cb in ca..nc {
+                if class_hi[cb] == 0 {
+                    continue;
+                }
+                let lam_lo = table.lambda(class_lo[ca], class_lo[cb]);
+                let conn = class_hi[ca].min(class_hi[cb]) > lam_lo;
+                self.connectable[ca * nc + cb] = conn;
+                self.connectable[cb * nc + ca] = conn;
+                self.lambda_lo[ca * nc + cb] = lam_lo;
+                self.lambda_lo[cb * nc + ca] = lam_lo;
+            }
+        }
+    }
+
+    /// Whether the row pair `(ra, rb)` needs the exact AND-popcount test:
+    /// `false` means one of the conservative proofs shows
+    /// `common ≤ λ(wa, wb)`, so the pair cannot be an edge.
+    #[inline]
+    pub fn needs_exact(&self, ra: usize, rb: usize) -> bool {
+        let (wa, wb) = (self.weights[ra], self.weights[rb]);
+        // Proof 1: zero weight.
+        if wa == 0 || wb == 0 {
+            return false;
+        }
+        // Proof 2: weight bounds against the class-pair λ lower bound —
+        // whole-class first, then the sharper per-pair min weight.
+        let idx = self.class[ra] as usize * self.n_classes + self.class[rb] as usize;
+        if !self.connectable[idx] || wa.min(wb) <= self.lambda_lo[idx] {
+            return false;
+        }
+        // Proof 3: band-signature Hamming lower bound.
+        let (sa, sb) = (self.row_sigs(ra), self.row_sigs(rb));
+        let d_lb = sa.iter().zip(sb).filter(|(x, y)| x != y).count() as u32;
+        if d_lb > 0 {
+            let ub = ((wa + wb).saturating_sub(d_lb) / 2).min(wa.min(wb));
+            if ub <= self.lambda_lo[idx] {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Capacities of the reusable buffers (steady-state no-allocation
+    /// diagnostics, mirroring [`dcs_bitmap::RowMatrix::word_capacity`]).
+    pub fn capacities(&self) -> [usize; 2] {
+        [self.weights.capacity(), self.sigs.capacity()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcs_bitmap::Bitmap;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    const NBITS: usize = 1024;
+
+    fn matrix_with_weights(rng: &mut StdRng, weights: &[usize]) -> RowMatrix {
+        let mut m = RowMatrix::new(NBITS);
+        for &w in weights {
+            let mut bm = Bitmap::new(NBITS);
+            while (bm.weight() as usize) < w {
+                bm.set(rng.gen_range(0..NBITS));
+            }
+            m.push_bitmap(&bm);
+        }
+        m
+    }
+
+    /// The one property everything rests on: a pruned pair never passes
+    /// the exact test.
+    #[test]
+    fn pruned_pairs_never_pass_exact_test() {
+        let mut rng = StdRng::seed_from_u64(11);
+        // Mixed regimes: zero rows, light rows, dense paper-like rows.
+        let weights = [0usize, 3, 17, 40, 120, 300, 446, 446, 450, 512, 900];
+        let m = matrix_with_weights(&mut rng, &weights);
+        let table = LambdaTable::new(NBITS, 1e-4);
+        let mut screen = PreScreen::new();
+        for workers in [1usize, 3] {
+            screen.rebuild(&m, &table, ScreenConfig::default(), workers);
+            for a in 0..m.nrows() {
+                for b in (a + 1)..m.nrows() {
+                    if !screen.needs_exact(a, b) {
+                        let lam = table.lambda(m.row_weight(a), m.row_weight(b));
+                        assert!(
+                            m.common_ones(a, b) <= lam,
+                            "screen pruned a passing pair ({a},{b})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rebuild_is_worker_count_invariant() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let weights: Vec<usize> = (0..37).map(|i| (i * 29) % 700).collect();
+        let m = matrix_with_weights(&mut rng, &weights);
+        let table = LambdaTable::new(NBITS, 1e-5);
+        let mut base = PreScreen::new();
+        base.rebuild(&m, &table, ScreenConfig::default(), 1);
+        for workers in [2usize, 5, 8] {
+            let mut s = PreScreen::new();
+            s.rebuild(&m, &table, ScreenConfig::default(), workers);
+            assert_eq!(s.weights(), base.weights(), "workers={workers}");
+            for r in 0..m.nrows() {
+                assert_eq!(s.row_sigs(r), base.row_sigs(r), "row {r} workers={workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_and_light_rows_are_pruned() {
+        let mut rng = StdRng::seed_from_u64(7);
+        // λ(446, 446) at p*=1e-4 is far above 2, so a weight-2 row can
+        // never reach it: class prune must fire.
+        let m = matrix_with_weights(&mut rng, &[0, 2, 446, 446]);
+        let table = LambdaTable::new(NBITS, 1e-4);
+        let mut screen = PreScreen::new();
+        screen.rebuild(&m, &table, ScreenConfig::default(), 1);
+        assert!(!screen.needs_exact(0, 2), "zero-weight row must be pruned");
+        assert!(!screen.needs_exact(1, 2), "λ-unreachable class pair pruned");
+        assert!(screen.needs_exact(2, 3), "dense pair needs the exact test");
+    }
+
+    #[test]
+    fn identical_rows_survive_the_screen() {
+        // Identical dense rows share all their ones — the screen must
+        // keep them (signatures equal, d_lb = 0).
+        let mut rng = StdRng::seed_from_u64(9);
+        let m0 = matrix_with_weights(&mut rng, &[500]);
+        let mut m = RowMatrix::new(NBITS);
+        m.push_words(m0.row(0));
+        m.push_words(m0.row(0));
+        let table = LambdaTable::new(NBITS, 1e-4);
+        let mut screen = PreScreen::new();
+        screen.rebuild(&m, &table, ScreenConfig::default(), 1);
+        assert!(screen.needs_exact(0, 1));
+    }
+
+    #[test]
+    fn steady_state_rebuild_reuses_buffers() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let m = matrix_with_weights(&mut rng, &[300; 24]);
+        let table = LambdaTable::new(NBITS, 1e-4);
+        let mut screen = PreScreen::new();
+        screen.rebuild(&m, &table, ScreenConfig::default(), 2);
+        let caps = screen.capacities();
+        for _ in 0..3 {
+            screen.rebuild(&m, &table, ScreenConfig::default(), 2);
+            assert_eq!(screen.capacities(), caps, "steady-state rebuild regrew");
+        }
+    }
+}

@@ -5,7 +5,7 @@
 * smoke — the report parses and carries a non-zero span for every stage
   of both detection pipelines, plus the epoch total and counter;
 * perf budgets (``--budgets budgets.json``) — every stage's share of the
-  nine-stage span sum stays within its checked-in ceiling, so a change
+  ten-stage span sum stays within its checked-in ceiling, so a change
   that silently shifts work into one stage trips CI on any runner
   (shares are machine-independent where absolute times are not).
 
@@ -25,7 +25,7 @@ import sys
 
 STAGES = {
     "aligned": ["fuse", "screen", "core_find", "sweep", "terminate"],
-    "unaligned": ["stack_rows", "graph_build", "er_test", "peel"],
+    "unaligned": ["stack_rows", "prescreen", "graph_build", "er_test", "peel"],
 }
 
 FIXTURES_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "fixtures")
@@ -150,6 +150,7 @@ def selftest() -> int:
     cases = [
         ("zero_stage_total.json", None),
         ("zero_stage_total.json", budgets),
+        ("over_budget_graph_build.json", budgets),
         ("missing_metrics.json", None),
         ("missing_center_stage_ns.json", None),
         ("no_such_file.json", None),

@@ -105,6 +105,22 @@ fn wide_tiered_soak_survives_at_thousand_plus_leaves() {
         .metrics
         .counter("aggregate_bundles_total")
         .is_some_and(|v| v >= cfg.aggregators as u64));
+    // The prescreened unaligned engine ran at this width: both pair
+    // counters are in the snapshot, and on 1,000+ null leaves the
+    // weight-class/band screen must discharge most group pairs — that
+    // prune is what pays for paper-width arrays in the wide regime.
+    let screened = result
+        .metrics
+        .counter("pairs_screened_total")
+        .expect("pairs_screened_total missing from wide-soak snapshot");
+    let exact = result
+        .metrics
+        .counter("pairs_exact_total")
+        .expect("pairs_exact_total missing from wide-soak snapshot");
+    assert!(
+        screened + exact > 0,
+        "wide soak visited no unaligned group pairs"
+    );
 }
 
 /// The pipelined runtime drives `EpochInput::AggregatedCollected`

@@ -178,7 +178,11 @@ impl AggregateBundle {
     /// Frames that fail [`RouterDigestView::parse`] become
     /// [`RouterFault::Wire`] exclusions and are **not** forwarded (they
     /// cannot parse at the centre either — dropping them here is the
-    /// bandwidth the tier saves). Parseable frames are embedded
+    /// bandwidth the tier saves). A child frame that is itself a DCSG
+    /// bundle (a lower-level aggregator) is flattened: its leaf frames,
+    /// weights and fused bitmap merge into this bundle, and its
+    /// exclusions are re-wrapped one level deeper in
+    /// [`RouterFault::AtLevel`]. Parseable leaf frames are embedded
     /// verbatim; those matching the first child's aligned width are
     /// OR-fused into [`AggregateBundle::fused`] with a weight-sidecar
     /// entry each.
@@ -190,9 +194,47 @@ impl AggregateBundle {
         mut exclusions: Vec<ChildExclusion>,
     ) -> AggregateBundle {
         let mut fused = Bitmap::new(0);
-        let mut child_weights = Vec::new();
+        let mut child_weights: Vec<ChildWeight> = Vec::new();
         let mut frames = Vec::with_capacity(child_frames.len());
         for (router_id, bytes) in child_frames {
+            // A child that is itself an aggregator ships a nested DCSG
+            // bundle; flatten it so the upstream tier (and ultimately the
+            // centre) keeps accounting in *leaves*. The nested bundle's
+            // leaf frames are spliced in verbatim, its pre-fused bitmap
+            // is OR-merged, its leaf weights carry over, and each of its
+            // exclusions is re-wrapped in [`RouterFault::AtLevel`] so
+            // the fault's full path through the tree survives the hop.
+            if bytes.len() >= 4 && bytes[..4] == AGGREGATE_MAGIC {
+                match AggregateBundle::decode_wire(&bytes) {
+                    Err(e) => exclusions.push(ChildExclusion {
+                        router_id,
+                        fault: RouterFault::Wire(e.to_string()),
+                    }),
+                    Ok((nested, _)) => {
+                        if !nested.child_weights.is_empty() {
+                            if child_weights.is_empty() {
+                                fused = nested.fused;
+                                child_weights = nested.child_weights;
+                            } else if nested.fused.len() == fused.len() {
+                                fused.or_assign(&nested.fused);
+                                child_weights.extend(nested.child_weights);
+                            }
+                            // Width mismatch: leaf frames still forward;
+                            // the centre's consensus vote decides.
+                        }
+                        frames.extend(nested.frames);
+                        exclusions.extend(nested.exclusions.into_iter().map(|e| ChildExclusion {
+                            router_id: e.router_id,
+                            fault: RouterFault::AtLevel {
+                                level: nested.level,
+                                aggregator_id: Some(nested.aggregator_id),
+                                fault: Box::new(e.fault),
+                            },
+                        }));
+                    }
+                }
+                continue;
+            }
             match RouterDigestView::parse(&bytes) {
                 Err(e) => exclusions.push(ChildExclusion {
                     router_id,
@@ -880,6 +922,80 @@ mod tests {
             }
         }
         assert_eq!(bundle.leaves(), 3);
+    }
+
+    #[test]
+    fn assemble_flattens_nested_bundles_into_leaf_accounting() {
+        // Two level-1 aggregators over disjoint leaf sets, one with a
+        // timed-out leaf, feed a level-2 aggregator alongside one direct
+        // leaf. The level-2 bundle must account in leaves, not bundles.
+        let leaves_a: Vec<(u64, Vec<u8>)> = (0..3)
+            .map(|id| (id, leaf_frame(40 + id, id as usize, 1 << 10)))
+            .collect();
+        let leaves_b: Vec<(u64, Vec<u8>)> = (3..5)
+            .map(|id| (id, leaf_frame(40 + id, id as usize, 1 << 10)))
+            .collect();
+        let mut expected_frames: Vec<Vec<u8>> = leaves_a.iter().map(|(_, f)| f.clone()).collect();
+        expected_frames.extend(leaves_b.iter().map(|(_, f)| f.clone()));
+        let direct = leaf_frame(99, 6, 1 << 10);
+        expected_frames.push(direct.clone());
+
+        let l1_a = AggregateBundle::assemble(100, 5, 1, leaves_a, Vec::new());
+        let l1_b = AggregateBundle::assemble(
+            101,
+            5,
+            1,
+            leaves_b,
+            vec![ChildExclusion {
+                router_id: 5,
+                fault: RouterFault::TimedOut {
+                    received: 1,
+                    total: 4,
+                },
+            }],
+        );
+        let l2 = AggregateBundle::assemble(
+            200,
+            5,
+            2,
+            vec![
+                (100, l1_a.encode_wire()),
+                (101, l1_b.encode_wire()),
+                (6, direct),
+            ],
+            Vec::new(),
+        );
+
+        assert_eq!(l2.frames, expected_frames, "leaf frames splice verbatim");
+        assert_eq!(l2.child_weights.len(), 6, "leaf weights carry over");
+        assert_eq!(
+            l2.child_weights
+                .iter()
+                .map(|w| w.router_id)
+                .collect::<Vec<_>>(),
+            vec![0, 1, 2, 3, 4, 6]
+        );
+        assert_eq!(l2.fused.len(), 1 << 10);
+        assert_eq!(l2.leaves(), 7, "6 delivered leaves + 1 exclusion");
+        // The excluded leaf's fault gained one AtLevel wrapper recording
+        // which aggregator lost it.
+        assert_eq!(l2.exclusions.len(), 1);
+        assert_eq!(l2.exclusions[0].router_id, 5);
+        match &l2.exclusions[0].fault {
+            RouterFault::AtLevel {
+                level,
+                aggregator_id,
+                fault,
+            } => {
+                assert_eq!(*level, 1);
+                assert_eq!(*aggregator_id, Some(101));
+                assert!(matches!(**fault, RouterFault::TimedOut { .. }));
+            }
+            other => panic!("expected AtLevel wrapper, got {other:?}"),
+        }
+        // And the flattened bundle still round-trips the wire format.
+        let (decoded, _) = AggregateBundle::decode_wire(&l2.encode_wire()).unwrap();
+        assert_eq!(decoded, l2);
     }
 
     #[test]

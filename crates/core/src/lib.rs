@@ -19,10 +19,12 @@
 pub mod aggregate;
 pub mod capture;
 pub mod center;
+pub mod clock;
 pub mod deployment;
 pub mod epochs;
 pub mod ingest;
 pub mod monitor;
+pub mod net;
 pub mod report;
 pub mod runtime;
 pub mod session;
@@ -34,10 +36,16 @@ pub use aggregate::{
 };
 pub use capture::{GroupCapture, SignatureCapture};
 pub use center::{AnalysisCenter, AnalysisConfig, UnalignedGraphConfig};
+pub use clock::{Clock, ManualClock, TickClock};
 pub use deployment::{Deployment, DeploymentVerdict};
 pub use epochs::{catch_probability, AlarmTracker, EpochSampler};
 pub use ingest::{DigestShape, Exclusion, IngestError, IngestReport, RouterFault};
 pub use monitor::{MonitorConfig, MonitoringPoint, RouterDigest, RouterDigestView};
+pub use net::{
+    run_center_epoch, run_monitor_epoch, CenterEpochEnd, CenterSocket, ControlError, ControlFrame,
+    ImpairmentConfig, ImpairmentShim, MonitorEpochConfig, MonitorEpochEnd, MonitorSocket,
+    Transport,
+};
 pub use report::{AlignedReport, EpochReport, EpochTimings, TransportStats, UnalignedReport};
 pub use runtime::{EpochInput, EpochPipeline, PipelineConfig, PipelineError, PipelineResult};
 pub use session::{
@@ -45,7 +53,7 @@ pub use session::{
     StragglerPolicy,
 };
 pub use stages::{Stage, StageRecorder};
-pub use transport::{chunk_bundle, ChunkError, ChunkFrame};
+pub use transport::{chunk_bundle, ChunkError, ChunkFrame, DATAGRAM_SAFE_PAYLOAD};
 
 pub use dcs_obs::{MetricsRegistry, MetricsSnapshot};
 
@@ -56,10 +64,16 @@ pub mod prelude {
     };
     pub use crate::capture::{GroupCapture, SignatureCapture};
     pub use crate::center::{AnalysisCenter, AnalysisConfig};
+    pub use crate::clock::{Clock, ManualClock, TickClock};
     pub use crate::deployment::{Deployment, DeploymentVerdict};
     pub use crate::epochs::{AlarmTracker, EpochSampler};
     pub use crate::ingest::{Exclusion, IngestError, IngestReport, RouterFault};
     pub use crate::monitor::{MonitorConfig, MonitoringPoint, RouterDigest, RouterDigestView};
+    pub use crate::net::{
+        run_center_epoch, run_monitor_epoch, CenterEpochEnd, CenterSocket, ControlFrame,
+        ImpairmentConfig, ImpairmentShim, MonitorEpochConfig, MonitorEpochEnd, MonitorSocket,
+        Transport,
+    };
     pub use crate::report::{
         AlignedReport, EpochReport, EpochTimings, TransportStats, UnalignedReport,
     };
@@ -71,7 +85,7 @@ pub mod prelude {
         StragglerPolicy,
     };
     pub use crate::stages::{Stage, StageRecorder};
-    pub use crate::transport::{chunk_bundle, ChunkError, ChunkFrame};
+    pub use crate::transport::{chunk_bundle, ChunkError, ChunkFrame, DATAGRAM_SAFE_PAYLOAD};
     pub use dcs_aligned::{refined_detect, SearchConfig};
     pub use dcs_collect::{AlignedConfig, UnalignedConfig};
     pub use dcs_obs::{MetricsRegistry, MetricsSnapshot};

@@ -1,0 +1,1401 @@
+//! Real-socket transport: UDP (primary) and TCP (fallback) bindings for
+//! the chunk/session layer, plus the in-process impairment shim the
+//! wire-speed soak injects faults with.
+//!
+//! Everything above this module is unchanged: the same
+//! [`EpochCollector`] state machine collects DCSC chunks, emits
+//! retransmit requests and trips straggler deadlines — it just reads
+//! time from a [`Clock`] and exchanges frames over
+//! real sockets instead of a simulated channel. The module adds one new
+//! wire format, the **DCSA control frame**, for the centre→monitor
+//! direction (acks, retransmit requests, epoch advance, shutdown):
+//!
+//! ```text
+//!  ┌───────┬───┬──────┬───────────┬──────────┬─────┬───────┬────────┬───────┐
+//!  │ magic │ v │ kind │ router id │ epoch id │ arg │ nseqs │ seqs…  │ CRC32 │
+//!  │ DCSA  │ 1 │  u8  │    u64    │   u64    │ u32 │  u32  │ u32×n  │  u32  │
+//!  └───────┴───┴──────┴───────────┴──────────┴─────┴───────┴────────┴───────┘
+//! ```
+//!
+//! Graceful degradation is the design rule: every socket error becomes a
+//! metric and a typed outcome (a dropped frame, an exclusion, a
+//! `QuorumTooSmall`), never a panic. A dead monitor is indistinguishable
+//! from a lossy link, which is exactly what the session layer's
+//! deadline/backoff machinery already handles; a dead *centre* is
+//! handled by monitors re-pushing unacked chunks on capped backoff until
+//! the resumed centre (restored from a DCSK checkpoint) NACKs or acks
+//! them over the new socket.
+//!
+//! ## Transports
+//!
+//! * **UDP** — one frame per datagram. Chunk payloads must stay
+//!   datagram-safe ([`crate::transport::DATAGRAM_SAFE_PAYLOAD`]); the
+//!   peer address table is learned from received frame headers, so a
+//!   centre restart needs no reconfiguration.
+//! * **TCP** — a length-prefixed frame stream (`u32` LE length, then the
+//!   frame bytes) for deployments that cannot pass UDP. Reordering and
+//!   loss disappear, but the chunk/ack machinery still bounds memory and
+//!   survives connection resets.
+
+use crate::clock::Clock;
+use crate::session::{ChunkDisposition, CollectedEpoch, EpochCollector, Missing};
+use crate::transport::{ChunkFrame, MAX_CHUNKS, MAX_CHUNK_PAYLOAD};
+use dcs_hash::crc32::crc32;
+use dcs_obs::MetricsRegistry;
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+use std::io::{ErrorKind, Read as _, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs, UdpSocket};
+
+/// Magic for control frames (`b"DCSA"`).
+pub const CONTROL_MAGIC: [u8; 4] = *b"DCSA";
+
+/// Control frame version.
+pub const CONTROL_VERSION: u8 = 1;
+
+/// Fixed control-frame bytes before the seq list: magic + version +
+/// kind + router id + epoch id + arg + seq count.
+pub const CONTROL_HEADER: usize = 4 + 1 + 1 + 8 + 8 + 4 + 4;
+
+/// Largest frame a TCP stream may declare: a max-payload chunk frame
+/// plus envelope. Anything larger is a protocol violation and resets
+/// the connection.
+pub const MAX_STREAM_FRAME: usize = MAX_CHUNK_PAYLOAD + 128;
+
+const KIND_HELLO: u8 = 0;
+const KIND_ACK: u8 = 1;
+const KIND_NACK_ALL: u8 = 2;
+const KIND_NACK_SEQS: u8 = 3;
+const KIND_ADVANCE: u8 = 4;
+const KIND_SHUTDOWN: u8 = 5;
+
+/// A decoded DCSA control frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ControlFrame {
+    /// Monitor → centre: register this router's address before (or
+    /// without) sending data.
+    Hello {
+        /// The registering router.
+        router_id: u64,
+    },
+    /// Centre → monitor: the session's cumulative ack for `epoch_id`.
+    Ack {
+        /// The acked router.
+        router_id: u64,
+        /// The epoch being collected.
+        epoch_id: u64,
+        /// Leading contiguous chunks now held.
+        cumulative_ack: u32,
+    },
+    /// Centre → monitor: resend every chunk of the epoch.
+    NackAll {
+        /// The router whose chunks are missing.
+        router_id: u64,
+        /// The epoch being collected.
+        epoch_id: u64,
+    },
+    /// Centre → monitor: resend these chunk seqs.
+    NackSeqs {
+        /// The router whose chunks are missing.
+        router_id: u64,
+        /// The epoch being collected.
+        epoch_id: u64,
+        /// The missing seqs.
+        seqs: Vec<u32>,
+    },
+    /// Centre → monitor: the centre is now collecting `epoch_id`; stop
+    /// sending older epochs.
+    Advance {
+        /// The addressed router (or `u64::MAX` for broadcast).
+        router_id: u64,
+        /// The epoch the centre collects now.
+        epoch_id: u64,
+    },
+    /// Centre → monitor: stop cleanly.
+    Shutdown {
+        /// The addressed router (or `u64::MAX` for broadcast).
+        router_id: u64,
+    },
+}
+
+/// Errors from decoding control frames.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ControlError {
+    /// Buffer too short for the declared structure.
+    Truncated,
+    /// Unexpected magic bytes.
+    BadMagic([u8; 4]),
+    /// Unsupported control version.
+    BadVersion(u8),
+    /// Unknown control kind.
+    BadKind(u8),
+    /// The CRC-32 trailer disagrees with the frame bytes.
+    ChecksumMismatch,
+    /// Structurally impossible field.
+    Malformed(&'static str),
+}
+
+impl fmt::Display for ControlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ControlError::Truncated => write!(f, "control frame truncated"),
+            ControlError::BadMagic(m) => write!(f, "bad control magic {m:02x?}"),
+            ControlError::BadVersion(v) => write!(f, "unsupported control version {v}"),
+            ControlError::BadKind(k) => write!(f, "unknown control kind {k}"),
+            ControlError::ChecksumMismatch => write!(f, "control checksum mismatch"),
+            ControlError::Malformed(what) => write!(f, "malformed control frame: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ControlError {}
+
+impl ControlFrame {
+    /// The addressed router.
+    pub fn router_id(&self) -> u64 {
+        match *self {
+            ControlFrame::Hello { router_id }
+            | ControlFrame::Ack { router_id, .. }
+            | ControlFrame::NackAll { router_id, .. }
+            | ControlFrame::NackSeqs { router_id, .. }
+            | ControlFrame::Advance { router_id, .. }
+            | ControlFrame::Shutdown { router_id } => router_id,
+        }
+    }
+
+    /// Encodes the frame with its CRC-32 trailer.
+    pub fn encode(&self) -> Vec<u8> {
+        let (kind, router_id, epoch_id, arg, seqs): (u8, u64, u64, u32, &[u32]) = match self {
+            ControlFrame::Hello { router_id } => (KIND_HELLO, *router_id, 0, 0, &[]),
+            ControlFrame::Ack {
+                router_id,
+                epoch_id,
+                cumulative_ack,
+            } => (KIND_ACK, *router_id, *epoch_id, *cumulative_ack, &[]),
+            ControlFrame::NackAll {
+                router_id,
+                epoch_id,
+            } => (KIND_NACK_ALL, *router_id, *epoch_id, 0, &[]),
+            ControlFrame::NackSeqs {
+                router_id,
+                epoch_id,
+                seqs,
+            } => (KIND_NACK_SEQS, *router_id, *epoch_id, 0, seqs),
+            ControlFrame::Advance {
+                router_id,
+                epoch_id,
+            } => (KIND_ADVANCE, *router_id, *epoch_id, 0, &[]),
+            ControlFrame::Shutdown { router_id } => (KIND_SHUTDOWN, *router_id, 0, 0, &[]),
+        };
+        assert!(seqs.len() <= MAX_CHUNKS as usize, "seq list over cap");
+        let mut buf = Vec::with_capacity(CONTROL_HEADER + seqs.len() * 4 + 4);
+        buf.extend_from_slice(&CONTROL_MAGIC);
+        buf.push(CONTROL_VERSION);
+        buf.push(kind);
+        buf.extend_from_slice(&router_id.to_le_bytes());
+        buf.extend_from_slice(&epoch_id.to_le_bytes());
+        buf.extend_from_slice(&arg.to_le_bytes());
+        buf.extend_from_slice(&(seqs.len() as u32).to_le_bytes());
+        for s in seqs {
+            buf.extend_from_slice(&s.to_le_bytes());
+        }
+        let crc = crc32(&buf);
+        buf.extend_from_slice(&crc.to_le_bytes());
+        buf
+    }
+
+    /// Decodes a control frame. Never panics on arbitrary input; every
+    /// declared count is capped before allocation and the CRC-32 trailer
+    /// is verified first.
+    pub fn decode(buf: &[u8]) -> Result<ControlFrame, ControlError> {
+        if buf.len() < CONTROL_HEADER + 4 {
+            return Err(ControlError::Truncated);
+        }
+        if buf[..4] != CONTROL_MAGIC {
+            let mut m = [0u8; 4];
+            m.copy_from_slice(&buf[..4]);
+            return Err(ControlError::BadMagic(m));
+        }
+        if buf[4] != CONTROL_VERSION {
+            return Err(ControlError::BadVersion(buf[4]));
+        }
+        let kind = buf[5];
+        let router_id = u64::from_le_bytes(buf[6..14].try_into().expect("8-byte slice"));
+        let epoch_id = u64::from_le_bytes(buf[14..22].try_into().expect("8-byte slice"));
+        let arg = u32::from_le_bytes(buf[22..26].try_into().expect("4-byte slice"));
+        let nseqs = u32::from_le_bytes(buf[26..30].try_into().expect("4-byte slice"));
+        if nseqs > MAX_CHUNKS {
+            return Err(ControlError::Malformed("seq count over cap"));
+        }
+        let total = CONTROL_HEADER + nseqs as usize * 4 + 4;
+        if buf.len() < total {
+            return Err(ControlError::Truncated);
+        }
+        let body = &buf[..total - 4];
+        let declared = u32::from_le_bytes(buf[total - 4..total].try_into().expect("4-byte slice"));
+        if crc32(body) != declared {
+            return Err(ControlError::ChecksumMismatch);
+        }
+        let seqs: Vec<u32> = body[CONTROL_HEADER..]
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().expect("4-byte slice")))
+            .collect();
+        Ok(match kind {
+            KIND_HELLO => ControlFrame::Hello { router_id },
+            KIND_ACK => ControlFrame::Ack {
+                router_id,
+                epoch_id,
+                cumulative_ack: arg,
+            },
+            KIND_NACK_ALL => ControlFrame::NackAll {
+                router_id,
+                epoch_id,
+            },
+            KIND_NACK_SEQS => ControlFrame::NackSeqs {
+                router_id,
+                epoch_id,
+                seqs,
+            },
+            KIND_ADVANCE => ControlFrame::Advance {
+                router_id,
+                epoch_id,
+            },
+            KIND_SHUTDOWN => ControlFrame::Shutdown { router_id },
+            other => return Err(ControlError::BadKind(other)),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Impairment shim
+// ---------------------------------------------------------------------
+
+/// Impairment probabilities, in per-mille, applied to outgoing frames
+/// *before* they reach the socket. The shim is how the soak makes a real
+/// localhost link behave like a lossy WAN while staying deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ImpairmentConfig {
+    /// Frame silently dropped (‰).
+    pub drop_per_mille: u16,
+    /// Frame sent twice (‰).
+    pub duplicate_per_mille: u16,
+    /// Frame held back and released after the next send (‰).
+    pub reorder_per_mille: u16,
+    /// One bit of the frame flipped (‰) — the CRC layer must catch it.
+    pub corrupt_per_mille: u16,
+}
+
+impl ImpairmentConfig {
+    /// No impairment.
+    pub fn perfect() -> Self {
+        ImpairmentConfig {
+            drop_per_mille: 0,
+            duplicate_per_mille: 0,
+            reorder_per_mille: 0,
+            corrupt_per_mille: 0,
+        }
+    }
+
+    /// The soak regime: 10% drop, 5% reorder, 3% duplicate, 2% corrupt —
+    /// ≥10% of frames impaired, matching the simulated
+    /// `ChannelConfig::soak()` severity.
+    pub fn soak() -> Self {
+        ImpairmentConfig {
+            drop_per_mille: 100,
+            duplicate_per_mille: 30,
+            reorder_per_mille: 50,
+            corrupt_per_mille: 20,
+        }
+    }
+}
+
+/// Deterministic fault injector at the socket boundary (SplitMix64
+/// driven, so a seeded soak replays bit-identically).
+#[derive(Debug)]
+pub struct ImpairmentShim {
+    cfg: ImpairmentConfig,
+    state: u64,
+    held: Option<Vec<u8>>,
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl ImpairmentShim {
+    /// A shim applying `cfg` with deterministic decisions from `seed`.
+    pub fn new(cfg: ImpairmentConfig, seed: u64) -> Self {
+        ImpairmentShim {
+            cfg,
+            state: seed ^ 0x5EED_50CC_E75B_0B0B,
+            held: None,
+        }
+    }
+
+    fn chance(&mut self, per_mille: u16) -> bool {
+        per_mille > 0 && splitmix64(&mut self.state) % 1000 < per_mille as u64
+    }
+
+    /// Applies the impairment schedule to one outgoing frame, returning
+    /// the frames to actually put on the wire (possibly none, possibly
+    /// several, possibly corrupted). Each impairment increments
+    /// `socket_impaired_total{kind}` in `metrics`.
+    pub fn outgoing(&mut self, frame: &[u8], metrics: &MetricsRegistry) -> Vec<Vec<u8>> {
+        let mut out = Vec::with_capacity(2);
+        if self.chance(self.cfg.drop_per_mille) {
+            metrics
+                .counter("socket_impaired_total", &[("kind", "drop")])
+                .inc();
+            // A drop still releases any held frame: the link stays live.
+            out.extend(self.held.take());
+            return out;
+        }
+        let mut frame = frame.to_vec();
+        if self.chance(self.cfg.corrupt_per_mille) && !frame.is_empty() {
+            let bit = splitmix64(&mut self.state) as usize % (frame.len() * 8);
+            frame[bit / 8] ^= 1 << (bit % 8);
+            metrics
+                .counter("socket_impaired_total", &[("kind", "corrupt")])
+                .inc();
+        }
+        let duplicate = self.chance(self.cfg.duplicate_per_mille);
+        if self.chance(self.cfg.reorder_per_mille) {
+            metrics
+                .counter("socket_impaired_total", &[("kind", "reorder")])
+                .inc();
+            // Hold this frame back; release the previously held one (if
+            // any) in its place.
+            out.extend(self.held.replace(frame.clone()));
+        } else {
+            out.push(frame.clone());
+            out.extend(self.held.take());
+        }
+        if duplicate {
+            metrics
+                .counter("socket_impaired_total", &[("kind", "duplicate")])
+                .inc();
+            out.push(frame);
+        }
+        out
+    }
+
+    /// Releases a held reordered frame, if any. Call when a send burst
+    /// ends so nothing is withheld forever.
+    pub fn flush(&mut self) -> Option<Vec<u8>> {
+        self.held.take()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sockets
+// ---------------------------------------------------------------------
+
+/// Which transport a socket endpoint runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transport {
+    /// One frame per datagram (primary).
+    Udp,
+    /// Length-prefixed frame stream (fallback).
+    Tcp,
+}
+
+impl std::str::FromStr for Transport {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "udp" => Ok(Transport::Udp),
+            "tcp" => Ok(Transport::Tcp),
+            other => Err(format!("unknown transport {other:?} (udp|tcp)")),
+        }
+    }
+}
+
+/// Where a peer can be reached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Peer {
+    Udp(SocketAddr),
+    Tcp(usize),
+}
+
+#[derive(Debug)]
+struct TcpConn {
+    stream: TcpStream,
+    rdbuf: Vec<u8>,
+    dead: bool,
+}
+
+impl TcpConn {
+    fn new(stream: TcpStream) -> std::io::Result<Self> {
+        stream.set_nonblocking(true)?;
+        stream.set_nodelay(true)?;
+        Ok(TcpConn {
+            stream,
+            rdbuf: Vec::new(),
+            dead: false,
+        })
+    }
+
+    /// Drains readable bytes and parses complete length-prefixed frames.
+    fn poll_frames(&mut self, scratch: &mut [u8]) -> Vec<Vec<u8>> {
+        let mut frames = Vec::new();
+        loop {
+            match self.stream.read(scratch) {
+                Ok(0) => {
+                    self.dead = true;
+                    break;
+                }
+                Ok(n) => self.rdbuf.extend_from_slice(&scratch[..n]),
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.dead = true;
+                    break;
+                }
+            }
+        }
+        let mut off = 0;
+        while self.rdbuf.len() - off >= 4 {
+            let len =
+                u32::from_le_bytes(self.rdbuf[off..off + 4].try_into().expect("4 bytes")) as usize;
+            if len > MAX_STREAM_FRAME {
+                // Protocol violation: drop the connection, typed.
+                self.dead = true;
+                break;
+            }
+            if self.rdbuf.len() - off - 4 < len {
+                break;
+            }
+            frames.push(self.rdbuf[off + 4..off + 4 + len].to_vec());
+            off += 4 + len;
+        }
+        self.rdbuf.drain(..off);
+        frames
+    }
+
+    /// Writes one length-prefixed frame; returns false when the
+    /// connection died. A short nonblocking write blocks briefly rather
+    /// than splitting frame state across calls — frames are small
+    /// (≤ [`MAX_STREAM_FRAME`]) and localhost TCP buffers absorb them.
+    fn send_frame(&mut self, frame: &[u8]) -> bool {
+        if self.dead {
+            return false;
+        }
+        let mut buf = Vec::with_capacity(4 + frame.len());
+        buf.extend_from_slice(&(frame.len() as u32).to_le_bytes());
+        buf.extend_from_slice(frame);
+        let mut off = 0;
+        while off < buf.len() {
+            match self.stream.write(&buf[off..]) {
+                Ok(0) => {
+                    self.dead = true;
+                    return false;
+                }
+                Ok(n) => off += n,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    std::thread::sleep(std::time::Duration::from_micros(50));
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.dead = true;
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Extracts the routing identity of a received frame: DCSC chunk headers
+/// and DCSA control frames both carry the router id up front.
+fn frame_router_id(frame: &[u8]) -> Option<u64> {
+    if frame.len() >= 4 && frame[..4] == CONTROL_MAGIC {
+        return ControlFrame::decode(frame).ok().map(|c| c.router_id());
+    }
+    ChunkFrame::salvage_header(frame).map(|(router_id, _, _)| router_id)
+}
+
+/// The analysis centre's socket endpoint: binds UDP (and, for
+/// [`Transport::Tcp`], a listener on the same port), learns peer
+/// addresses from received frames, and queues outgoing control frames
+/// with stall-aware nonblocking sends.
+#[derive(Debug)]
+pub struct CenterSocket {
+    udp: UdpSocket,
+    listener: Option<TcpListener>,
+    conns: Vec<TcpConn>,
+    peers: BTreeMap<u64, Peer>,
+    outq: VecDeque<(Peer, Vec<u8>)>,
+    scratch: Vec<u8>,
+    shim: Option<ImpairmentShim>,
+}
+
+const ROLE_CENTER: [(&str, &str); 1] = [("role", "center")];
+const ROLE_MONITOR: [(&str, &str); 1] = [("role", "monitor")];
+
+impl CenterSocket {
+    /// Binds the centre endpoint on `addr` (e.g. `127.0.0.1:0`). With
+    /// [`Transport::Tcp`] a listener is opened on the same port as the
+    /// UDP socket; UDP remains live so mixed deployments work.
+    pub fn bind(addr: impl ToSocketAddrs, transport: Transport) -> std::io::Result<CenterSocket> {
+        let udp = UdpSocket::bind(addr)?;
+        udp.set_nonblocking(true)?;
+        let listener = match transport {
+            Transport::Udp => None,
+            Transport::Tcp => {
+                let l = TcpListener::bind(udp.local_addr()?)?;
+                l.set_nonblocking(true)?;
+                Some(l)
+            }
+        };
+        Ok(CenterSocket {
+            udp,
+            listener,
+            conns: Vec::new(),
+            peers: BTreeMap::new(),
+            outq: VecDeque::new(),
+            scratch: vec![0u8; MAX_STREAM_FRAME + 64],
+            shim: None,
+        })
+    }
+
+    /// Injects an impairment shim on the centre's outgoing frames.
+    pub fn set_shim(&mut self, shim: ImpairmentShim) {
+        self.shim = Some(shim);
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.udp.local_addr()
+    }
+
+    /// Routers with a known return address.
+    pub fn known_peers(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// Drains every readable frame (UDP datagrams, TCP streams, new TCP
+    /// connections), learns peer addresses from frame headers, flushes
+    /// the outgoing queue, and updates the socket gauges.
+    pub fn poll(&mut self, metrics: &MetricsRegistry) -> Vec<Vec<u8>> {
+        let mut frames = Vec::new();
+        // New TCP connections.
+        if let Some(listener) = &self.listener {
+            loop {
+                match listener.accept() {
+                    Ok((stream, _)) => match TcpConn::new(stream) {
+                        Ok(conn) => self.conns.push(conn),
+                        Err(_) => {
+                            metrics
+                                .counter("socket_send_errors_total", &ROLE_CENTER)
+                                .inc();
+                        }
+                    },
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(_) => break,
+                }
+            }
+        }
+        // UDP datagrams.
+        loop {
+            match self.udp.recv_from(&mut self.scratch) {
+                Ok((n, src)) => {
+                    let frame = self.scratch[..n].to_vec();
+                    if let Some(router_id) = frame_router_id(&frame) {
+                        self.peers.insert(router_id, Peer::Udp(src));
+                    }
+                    frames.push(frame);
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    // Spurious ICMP-derived errors on Linux; typed count,
+                    // keep serving.
+                    metrics
+                        .counter("socket_recv_errors_total", &ROLE_CENTER)
+                        .inc();
+                    break;
+                }
+            }
+        }
+        // TCP frame streams.
+        for i in 0..self.conns.len() {
+            let polled = self.conns[i].poll_frames(&mut self.scratch);
+            for frame in polled {
+                if let Some(router_id) = frame_router_id(&frame) {
+                    self.peers.insert(router_id, Peer::Tcp(i));
+                }
+                frames.push(frame);
+            }
+        }
+        metrics
+            .counter("socket_frames_received_total", &ROLE_CENTER)
+            .add(frames.len() as u64);
+        self.flush(metrics);
+        frames
+    }
+
+    /// Queues a control frame to `router_id`'s learned address. Returns
+    /// false (and counts `socket_unknown_peer_total`) when the router has
+    /// never been heard from — the caller's timers cover that monitor.
+    pub fn send_control(&mut self, control: &ControlFrame, metrics: &MetricsRegistry) -> bool {
+        let router_id = control.router_id();
+        let Some(&peer) = self.peers.get(&router_id) else {
+            metrics.counter("socket_unknown_peer_total", &[]).inc();
+            return false;
+        };
+        let encoded = control.encode();
+        match &mut self.shim {
+            Some(shim) => {
+                for frame in shim.outgoing(&encoded, metrics) {
+                    self.outq.push_back((peer, frame));
+                }
+            }
+            None => self.outq.push_back((peer, encoded)),
+        }
+        self.flush(metrics);
+        true
+    }
+
+    /// Sends `control` to every known peer.
+    pub fn broadcast(&mut self, make: impl Fn(u64) -> ControlFrame, metrics: &MetricsRegistry) {
+        let routers: Vec<u64> = self.peers.keys().copied().collect();
+        for router_id in routers {
+            self.send_control(&make(router_id), metrics);
+        }
+    }
+
+    fn flush(&mut self, metrics: &MetricsRegistry) {
+        while let Some((peer, frame)) = self.outq.pop_front() {
+            match peer {
+                Peer::Udp(addr) => match self.udp.send_to(&frame, addr) {
+                    Ok(_) => {
+                        metrics
+                            .counter("socket_frames_sent_total", &ROLE_CENTER)
+                            .inc();
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                        metrics
+                            .counter("socket_send_stalls_total", &ROLE_CENTER)
+                            .inc();
+                        self.outq.push_front((peer, frame));
+                        break;
+                    }
+                    Err(_) => {
+                        metrics
+                            .counter("socket_send_errors_total", &ROLE_CENTER)
+                            .inc();
+                    }
+                },
+                Peer::Tcp(i) => {
+                    if self.conns.get_mut(i).is_some_and(|c| c.send_frame(&frame)) {
+                        metrics
+                            .counter("socket_frames_sent_total", &ROLE_CENTER)
+                            .inc();
+                    } else {
+                        metrics
+                            .counter("socket_send_errors_total", &ROLE_CENTER)
+                            .inc();
+                    }
+                }
+            }
+        }
+        metrics
+            .gauge("socket_send_queue_depth", &ROLE_CENTER)
+            .set(self.outq.len() as u64);
+    }
+}
+
+/// A monitoring point's socket endpoint: a connected UDP socket or a TCP
+/// stream to the centre, with the impairment shim (if any) on the
+/// outgoing data path.
+#[derive(Debug)]
+pub struct MonitorSocket {
+    inner: MonitorInner,
+    outq: VecDeque<Vec<u8>>,
+    scratch: Vec<u8>,
+    shim: Option<ImpairmentShim>,
+}
+
+#[derive(Debug)]
+enum MonitorInner {
+    Udp(UdpSocket),
+    Tcp(TcpConn),
+}
+
+impl MonitorSocket {
+    /// Connects to the centre at `center` over `transport`.
+    pub fn connect(
+        center: impl ToSocketAddrs,
+        transport: Transport,
+    ) -> std::io::Result<MonitorSocket> {
+        let inner = match transport {
+            Transport::Udp => {
+                let udp = UdpSocket::bind("127.0.0.1:0")?;
+                udp.connect(center)?;
+                udp.set_nonblocking(true)?;
+                MonitorInner::Udp(udp)
+            }
+            Transport::Tcp => {
+                let addr = center
+                    .to_socket_addrs()?
+                    .next()
+                    .ok_or_else(|| std::io::Error::new(ErrorKind::InvalidInput, "no addr"))?;
+                MonitorInner::Tcp(TcpConn::new(TcpStream::connect(addr)?)?)
+            }
+        };
+        Ok(MonitorSocket {
+            inner,
+            outq: VecDeque::new(),
+            scratch: vec![0u8; MAX_STREAM_FRAME + 64],
+            shim: None,
+        })
+    }
+
+    /// Injects an impairment shim on this monitor's outgoing frames.
+    pub fn set_shim(&mut self, shim: ImpairmentShim) {
+        self.shim = Some(shim);
+    }
+
+    /// Queues one frame (data chunk or Hello) through the shim and
+    /// flushes what the socket will take.
+    pub fn send(&mut self, frame: &[u8], metrics: &MetricsRegistry) {
+        match &mut self.shim {
+            Some(shim) => {
+                let impaired = shim.outgoing(frame, metrics);
+                self.outq.extend(impaired);
+            }
+            None => self.outq.push_back(frame.to_vec()),
+        }
+        self.flush(metrics);
+    }
+
+    /// Releases any frame the shim is holding back (end of a burst).
+    pub fn flush_shim(&mut self, metrics: &MetricsRegistry) {
+        if let Some(frame) = self.shim.as_mut().and_then(|s| s.flush()) {
+            self.outq.push_back(frame);
+        }
+        self.flush(metrics);
+    }
+
+    /// Drains readable control frames from the centre (and flushes the
+    /// outgoing queue).
+    pub fn poll(&mut self, metrics: &MetricsRegistry) -> Vec<ControlFrame> {
+        let mut controls = Vec::new();
+        let mut raw = Vec::new();
+        match &mut self.inner {
+            MonitorInner::Udp(udp) => loop {
+                match udp.recv(&mut self.scratch) {
+                    Ok(n) => raw.push(self.scratch[..n].to_vec()),
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        // ECONNREFUSED from a dead centre: typed count;
+                        // the backoff machinery keeps retrying.
+                        metrics
+                            .counter("socket_recv_errors_total", &ROLE_MONITOR)
+                            .inc();
+                        break;
+                    }
+                }
+            },
+            MonitorInner::Tcp(conn) => raw = conn.poll_frames(&mut self.scratch),
+        }
+        for frame in raw {
+            metrics
+                .counter("socket_frames_received_total", &ROLE_MONITOR)
+                .inc();
+            match ControlFrame::decode(&frame) {
+                Ok(c) => controls.push(c),
+                Err(_) => {
+                    metrics
+                        .counter("socket_control_corrupt_total", &ROLE_MONITOR)
+                        .inc();
+                }
+            }
+        }
+        self.flush(metrics);
+        controls
+    }
+
+    fn flush(&mut self, metrics: &MetricsRegistry) {
+        while let Some(frame) = self.outq.pop_front() {
+            match &mut self.inner {
+                MonitorInner::Udp(udp) => match udp.send(&frame) {
+                    Ok(_) => {
+                        metrics
+                            .counter("socket_frames_sent_total", &ROLE_MONITOR)
+                            .inc();
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                        metrics
+                            .counter("socket_send_stalls_total", &ROLE_MONITOR)
+                            .inc();
+                        self.outq.push_front(frame);
+                        break;
+                    }
+                    Err(_) => {
+                        // A dead centre refuses datagrams; the chunk is
+                        // not lost — the resend schedule re-pushes it.
+                        metrics
+                            .counter("socket_send_errors_total", &ROLE_MONITOR)
+                            .inc();
+                    }
+                },
+                MonitorInner::Tcp(conn) => {
+                    if conn.send_frame(&frame) {
+                        metrics
+                            .counter("socket_frames_sent_total", &ROLE_MONITOR)
+                            .inc();
+                    } else {
+                        metrics
+                            .counter("socket_send_errors_total", &ROLE_MONITOR)
+                            .inc();
+                    }
+                }
+            }
+        }
+        metrics
+            .gauge("socket_send_queue_depth", &ROLE_MONITOR)
+            .set(self.outq.len() as u64);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Drivers
+// ---------------------------------------------------------------------
+
+/// How one centre-side epoch collection over the socket ended.
+#[derive(Debug)]
+pub enum CenterEpochEnd {
+    /// The straggler policy was satisfied; here is the epoch.
+    Collected(Box<CollectedEpoch>),
+    /// The abort hook fired (shutdown signal, simulated crash) before the
+    /// epoch completed.
+    Aborted,
+}
+
+/// Drives one epoch of the centre's collector over `sock` until the
+/// straggler policy is satisfied or `should_abort` returns true.
+///
+/// Each iteration: drain frames (chunks are offered to the collector,
+/// acks flow back; `Hello` registers peers; late chunks of an older
+/// epoch are answered with `Advance`), fire due retransmit NACKs, update
+/// the `socket_reassembly_backlog` gauge, and nap briefly when idle.
+/// `should_abort` is called once per iteration — the serve CLI uses it
+/// for periodic checkpoints and signal-triggered shutdown.
+pub fn run_center_epoch(
+    sock: &mut CenterSocket,
+    collector: &mut EpochCollector,
+    clock: &dyn Clock,
+    metrics: &MetricsRegistry,
+    mut should_abort: impl FnMut(&EpochCollector) -> bool,
+) -> CenterEpochEnd {
+    loop {
+        let frames = sock.poll(metrics);
+        let idle = frames.is_empty();
+        for frame in frames {
+            if frame.len() >= 4 && frame[..4] == CONTROL_MAGIC {
+                // Monitors only send Hello; anything else is ignored.
+                continue;
+            }
+            let now = clock.now();
+            match collector.offer(&frame, now) {
+                ChunkDisposition::Accepted {
+                    router_id,
+                    cumulative_ack,
+                } => {
+                    sock.send_control(
+                        &ControlFrame::Ack {
+                            router_id,
+                            epoch_id: collector.epoch_id(),
+                            cumulative_ack,
+                        },
+                        metrics,
+                    );
+                }
+                ChunkDisposition::Duplicate { router_id } => {
+                    // Our ack may have been lost; repeat it.
+                    let cumulative_ack = collector
+                        .session(router_id)
+                        .map_or(0, |s| s.cumulative_ack());
+                    sock.send_control(
+                        &ControlFrame::Ack {
+                            router_id,
+                            epoch_id: collector.epoch_id(),
+                            cumulative_ack,
+                        },
+                        metrics,
+                    );
+                }
+                ChunkDisposition::Late => {
+                    // A monitor is still pushing an older epoch: tell it
+                    // where the centre is now.
+                    if let Some((router_id, _, _)) = ChunkFrame::salvage_header(&frame) {
+                        sock.send_control(
+                            &ControlFrame::Advance {
+                                router_id,
+                                epoch_id: collector.epoch_id(),
+                            },
+                            metrics,
+                        );
+                    }
+                }
+                ChunkDisposition::Corrupt
+                | ChunkDisposition::UnknownRouter { .. }
+                | ChunkDisposition::Inconsistent { .. } => {}
+            }
+        }
+        let now = clock.now();
+        for req in collector.poll(now) {
+            let control = match req.missing {
+                Missing::All => ControlFrame::NackAll {
+                    router_id: req.router_id,
+                    epoch_id: req.epoch_id,
+                },
+                Missing::Seqs(seqs) => ControlFrame::NackSeqs {
+                    router_id: req.router_id,
+                    epoch_id: req.epoch_id,
+                    seqs,
+                },
+            };
+            sock.send_control(&control, metrics);
+        }
+        let backlog: u64 = collector
+            .sessions()
+            .filter(|s| !s.is_complete())
+            .map(|s| s.received() as u64)
+            .sum();
+        metrics.gauge("socket_reassembly_backlog", &[]).set(backlog);
+        if should_abort(collector) {
+            return CenterEpochEnd::Aborted;
+        }
+        if collector.ready(clock.now()) {
+            let epoch = collector.finalize(clock.now());
+            // Tell every monitor we heard from to move on; monitors that
+            // miss this learn it from the Late→Advance reply instead.
+            sock.broadcast(
+                |router_id| ControlFrame::Advance {
+                    router_id,
+                    epoch_id: epoch.epoch_id + 1,
+                },
+                metrics,
+            );
+            return CenterEpochEnd::Collected(Box::new(epoch));
+        }
+        if idle {
+            std::thread::sleep(std::time::Duration::from_micros(200));
+        }
+    }
+}
+
+/// How one monitor-side epoch ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MonitorEpochEnd {
+    /// Every chunk was cumulatively acked, or the centre advanced past
+    /// this epoch.
+    Delivered,
+    /// The centre told us to shut down.
+    Shutdown,
+    /// No delivery progress within the give-up horizon.
+    TimedOut,
+}
+
+/// Resend/backoff parameters of the monitor-side epoch driver.
+#[derive(Debug, Clone, Copy)]
+pub struct MonitorEpochConfig {
+    /// This monitor's router id.
+    pub router_id: u64,
+    /// The epoch being shipped.
+    pub epoch_id: u64,
+    /// Ticks of no progress before re-pushing unacked chunks.
+    pub resend_after: u64,
+    /// Cap on the resend backoff (doubles from `resend_after`).
+    pub max_backoff: u64,
+    /// Ticks before the epoch is abandoned entirely.
+    pub give_up: u64,
+}
+
+/// Ships one epoch's chunk frames to the centre and drives the ack /
+/// NACK / advance dialogue until delivery, shutdown or give-up.
+///
+/// The monitor re-pushes unacked chunks on capped exponential backoff —
+/// this is the client half of crash recovery: when a restarted centre
+/// resumes from its checkpoint, these re-pushed frames re-teach it the
+/// monitor's address and fill the holes its NACKs ask for.
+pub fn run_monitor_epoch(
+    sock: &mut MonitorSocket,
+    chunks: &[Vec<u8>],
+    cfg: &MonitorEpochConfig,
+    clock: &dyn Clock,
+    metrics: &MetricsRegistry,
+) -> MonitorEpochEnd {
+    let started = clock.now();
+    let mut cumulative: u32 = 0;
+    let mut backoff = cfg.resend_after.max(1);
+    let mut last_progress = started;
+    let mut next_resend = started.saturating_add(backoff);
+
+    sock.send(
+        &ControlFrame::Hello {
+            router_id: cfg.router_id,
+        }
+        .encode(),
+        metrics,
+    );
+    for chunk in chunks {
+        sock.send(chunk, metrics);
+    }
+    sock.flush_shim(metrics);
+
+    loop {
+        let mut resent = false;
+        for control in sock.poll(metrics) {
+            match control {
+                ControlFrame::Ack {
+                    router_id,
+                    epoch_id,
+                    cumulative_ack,
+                } if router_id == cfg.router_id
+                    && epoch_id == cfg.epoch_id
+                    && cumulative_ack > cumulative =>
+                {
+                    cumulative = cumulative_ack;
+                    last_progress = clock.now();
+                    backoff = cfg.resend_after.max(1);
+                }
+                ControlFrame::NackAll {
+                    router_id,
+                    epoch_id,
+                } if router_id == cfg.router_id && epoch_id == cfg.epoch_id => {
+                    for chunk in chunks {
+                        sock.send(chunk, metrics);
+                    }
+                    resent = true;
+                }
+                ControlFrame::NackSeqs {
+                    router_id,
+                    epoch_id,
+                    seqs,
+                } if router_id == cfg.router_id && epoch_id == cfg.epoch_id => {
+                    for &seq in &seqs {
+                        if let Some(chunk) = chunks.get(seq as usize) {
+                            sock.send(chunk, metrics);
+                        }
+                    }
+                    resent = true;
+                }
+                ControlFrame::Advance { epoch_id, .. } if epoch_id > cfg.epoch_id => {
+                    return MonitorEpochEnd::Delivered;
+                }
+                ControlFrame::Shutdown { .. } => return MonitorEpochEnd::Shutdown,
+                _ => {}
+            }
+        }
+        if cumulative as usize >= chunks.len() {
+            return MonitorEpochEnd::Delivered;
+        }
+        let now = clock.now();
+        if now.saturating_sub(last_progress) >= cfg.give_up {
+            metrics
+                .counter("socket_epochs_abandoned_total", &ROLE_MONITOR)
+                .inc();
+            return MonitorEpochEnd::TimedOut;
+        }
+        if now >= next_resend && !resent {
+            // No ack progress: re-push everything past the cumulative
+            // ack (the centre may have died and restarted).
+            for chunk in chunks.iter().skip(cumulative as usize) {
+                sock.send(chunk, metrics);
+            }
+            metrics
+                .counter("socket_resend_bursts_total", &ROLE_MONITOR)
+                .inc();
+            backoff = (backoff * 2).min(cfg.max_backoff.max(1));
+        }
+        if resent || now >= next_resend {
+            sock.flush_shim(metrics);
+            next_resend = now.saturating_add(backoff);
+        }
+        std::thread::sleep(std::time::Duration::from_micros(200));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::{ManualClock, TickClock};
+    use crate::session::{CollectorConfig, SessionConfig, StragglerPolicy};
+    use crate::transport::chunk_bundle;
+    use std::time::Duration;
+
+    #[test]
+    fn control_frames_roundtrip() {
+        let frames = [
+            ControlFrame::Hello { router_id: 7 },
+            ControlFrame::Ack {
+                router_id: 1,
+                epoch_id: 9,
+                cumulative_ack: 42,
+            },
+            ControlFrame::NackAll {
+                router_id: 2,
+                epoch_id: 9,
+            },
+            ControlFrame::NackSeqs {
+                router_id: 3,
+                epoch_id: 9,
+                seqs: vec![0, 5, 17],
+            },
+            ControlFrame::Advance {
+                router_id: u64::MAX,
+                epoch_id: 10,
+            },
+            ControlFrame::Shutdown { router_id: 4 },
+        ];
+        for f in frames {
+            let wire = f.encode();
+            assert_eq!(ControlFrame::decode(&wire).unwrap(), f);
+        }
+    }
+
+    #[test]
+    fn control_frame_bit_flips_are_rejected() {
+        let wire = ControlFrame::NackSeqs {
+            router_id: 3,
+            epoch_id: 1,
+            seqs: vec![2, 4],
+        }
+        .encode();
+        for byte in 0..wire.len() {
+            for bit in 0..8 {
+                let mut mangled = wire.clone();
+                mangled[byte] ^= 1 << bit;
+                assert!(
+                    ControlFrame::decode(&mangled).is_err(),
+                    "flip {byte}:{bit} decoded"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shim_is_deterministic_and_impairs_at_the_configured_rate() {
+        let metrics = MetricsRegistry::new();
+        let run = |seed: u64| {
+            let mut shim = ImpairmentShim::new(ImpairmentConfig::soak(), seed);
+            let mut sent = Vec::new();
+            for i in 0..1000u32 {
+                let frame = i.to_le_bytes().to_vec();
+                sent.extend(shim.outgoing(&frame, &metrics));
+            }
+            sent.extend(shim.flush());
+            sent
+        };
+        assert_eq!(run(11), run(11), "same seed must replay identically");
+        assert_ne!(run(11), run(12), "different seeds must differ");
+        let out = run(11);
+        // 10% drop / 3% duplicate: the output count reflects both.
+        assert!(out.len() < 1000, "drops must remove frames");
+        let snapshot = metrics.snapshot();
+        assert!(
+            snapshot
+                .counter("socket_impaired_total{kind=drop}")
+                .unwrap()
+                > 0
+        );
+        assert!(
+            snapshot
+                .counter("socket_impaired_total{kind=reorder}")
+                .unwrap()
+                > 0
+        );
+    }
+
+    #[test]
+    fn perfect_shim_is_a_passthrough() {
+        let metrics = MetricsRegistry::new();
+        let mut shim = ImpairmentShim::new(ImpairmentConfig::perfect(), 0);
+        for i in 0..100u32 {
+            let frame = i.to_le_bytes().to_vec();
+            assert_eq!(shim.outgoing(&frame, &metrics), vec![frame]);
+        }
+        assert_eq!(shim.flush(), None);
+    }
+
+    fn quick_collector(epoch: u64, routers: &[u64], now: u64) -> EpochCollector {
+        EpochCollector::new(
+            epoch,
+            routers.iter().copied(),
+            CollectorConfig {
+                deadline: 5_000,
+                straggler: StragglerPolicy::WaitAll,
+                session: SessionConfig {
+                    base_backoff: 8,
+                    max_backoff: 64,
+                    max_retries: 40,
+                    jitter: 3,
+                },
+            },
+            42,
+            now,
+        )
+    }
+
+    /// One epoch, one router, real sockets on localhost: the monitor
+    /// ships a bundle through the shim, the centre reassembles it
+    /// byte-identically.
+    fn socket_roundtrip(transport: Transport, impair: ImpairmentConfig) {
+        let bundle: Vec<u8> = (0..40_000u32).map(|i| (i % 251) as u8).collect();
+        let chunks = chunk_bundle(3, 0, &bundle, 1200);
+        let metrics = MetricsRegistry::new();
+        let clock = TickClock::new(Duration::from_micros(500));
+
+        let mut center = CenterSocket::bind("127.0.0.1:0", transport).unwrap();
+        let addr = center.local_addr().unwrap();
+        let center_metrics = MetricsRegistry::new();
+        let center_clock = clock.clone();
+        let handle = std::thread::spawn(move || {
+            let mut collector = quick_collector(0, &[3], center_clock.now());
+            let end = run_center_epoch(
+                &mut center,
+                &mut collector,
+                &center_clock,
+                &center_metrics,
+                |_| false,
+            );
+            match end {
+                CenterEpochEnd::Collected(epoch) => (*epoch, center_metrics.snapshot()),
+                CenterEpochEnd::Aborted => unreachable!(),
+            }
+        });
+
+        let mut sock = MonitorSocket::connect(addr, transport).unwrap();
+        sock.set_shim(ImpairmentShim::new(impair, 7));
+        let end = run_monitor_epoch(
+            &mut sock,
+            &chunks,
+            &MonitorEpochConfig {
+                router_id: 3,
+                epoch_id: 0,
+                resend_after: 32,
+                max_backoff: 256,
+                give_up: 4_000,
+            },
+            &clock,
+            &metrics,
+        );
+        assert_eq!(end, MonitorEpochEnd::Delivered);
+        let (epoch, center_snapshot) = handle.join().unwrap();
+        assert_eq!(epoch.frames.len(), 1);
+        assert_eq!(epoch.frames[0].1, bundle, "reassembly must be exact");
+        assert!(
+            center_snapshot
+                .counter("socket_frames_received_total{role=center}")
+                .unwrap()
+                > 0
+        );
+    }
+
+    #[test]
+    fn udp_roundtrip_perfect() {
+        socket_roundtrip(Transport::Udp, ImpairmentConfig::perfect());
+    }
+
+    #[test]
+    fn udp_roundtrip_impaired() {
+        socket_roundtrip(Transport::Udp, ImpairmentConfig::soak());
+    }
+
+    #[test]
+    fn tcp_roundtrip_perfect() {
+        socket_roundtrip(Transport::Tcp, ImpairmentConfig::perfect());
+    }
+
+    #[test]
+    fn tcp_roundtrip_impaired() {
+        // Impairing the shim on a TCP link loses frames before the
+        // stream, so retransmits still matter.
+        socket_roundtrip(Transport::Tcp, ImpairmentConfig::soak());
+    }
+
+    #[test]
+    fn dead_monitor_trips_the_real_clock_deadline_with_typed_timeout() {
+        let metrics = MetricsRegistry::new();
+        let clock = TickClock::new(Duration::from_micros(200));
+        let mut center = CenterSocket::bind("127.0.0.1:0", Transport::Udp).unwrap();
+        let mut collector = EpochCollector::new(
+            0,
+            [1, 2],
+            CollectorConfig {
+                deadline: 100,
+                straggler: StragglerPolicy::Deadline,
+                session: SessionConfig::default(),
+            },
+            1,
+            clock.now(),
+        );
+        // Router 1 delivers; router 2 is dead and never connects.
+        let addr = center.local_addr().unwrap();
+        let clock2 = clock.clone();
+        let sender = std::thread::spawn(move || {
+            let m = MetricsRegistry::new();
+            let mut sock = MonitorSocket::connect(addr, Transport::Udp).unwrap();
+            let chunks = chunk_bundle(1, 0, b"present router", 64);
+            run_monitor_epoch(
+                &mut sock,
+                &chunks,
+                &MonitorEpochConfig {
+                    router_id: 1,
+                    epoch_id: 0,
+                    resend_after: 16,
+                    max_backoff: 64,
+                    give_up: 2_000,
+                },
+                &clock2,
+                &m,
+            )
+        });
+        let end = run_center_epoch(&mut center, &mut collector, &clock, &metrics, |_| false);
+        let CenterEpochEnd::Collected(epoch) = end else {
+            panic!("epoch must finalize at the deadline");
+        };
+        assert_eq!(epoch.frames.len(), 1);
+        assert_eq!(epoch.exclusions.len(), 1);
+        assert!(matches!(
+            epoch.exclusions[0].fault,
+            crate::ingest::RouterFault::TimedOut { .. }
+        ));
+        assert_eq!(sender.join().unwrap(), MonitorEpochEnd::Delivered);
+    }
+
+    #[test]
+    fn manual_clock_freeze_never_times_out_the_driver() {
+        // With a frozen clock the deadline can never pass: the abort hook
+        // is the only way out, proving the driver takes time exclusively
+        // from the Clock trait.
+        let metrics = MetricsRegistry::new();
+        let clock = ManualClock::new(0);
+        let mut center = CenterSocket::bind("127.0.0.1:0", Transport::Udp).unwrap();
+        let mut collector = EpochCollector::new(
+            0,
+            [9],
+            CollectorConfig {
+                deadline: 1,
+                straggler: StragglerPolicy::Deadline,
+                session: SessionConfig::default(),
+            },
+            1,
+            clock.now(),
+        );
+        let mut polls = 0;
+        let end = run_center_epoch(&mut center, &mut collector, &clock, &metrics, |_| {
+            polls += 1;
+            polls > 50
+        });
+        assert!(matches!(end, CenterEpochEnd::Aborted));
+    }
+}

@@ -531,6 +531,12 @@ impl EpochCollector {
         self.sessions.get(&router_id)
     }
 
+    /// Iterates every router session in router-id order (socket drivers
+    /// use this to gauge the reassembly backlog).
+    pub fn sessions(&self) -> impl Iterator<Item = &RouterSession> {
+        self.sessions.values()
+    }
+
     /// Delivery accounting so far.
     pub fn stats(&self) -> TransportStats {
         self.stats

@@ -49,6 +49,13 @@ pub const MAX_CHUNK_PAYLOAD: usize = 64 * 1024;
 /// cannot reserve more than this many slots.
 pub const MAX_CHUNKS: u32 = 1 << 16;
 
+/// Datagram-safe payload size: the whole encoded frame (header +
+/// payload + CRC trailer) fits in 1400 bytes, clearing the common
+/// 1500-byte Ethernet MTU with room for IP/UDP headers and tunnel
+/// overhead. The socket path defaults to this; in-memory and TCP paths
+/// may still use payloads up to [`MAX_CHUNK_PAYLOAD`].
+pub const DATAGRAM_SAFE_PAYLOAD: usize = 1400 - CHUNK_HEADER - CHUNK_TRAILER;
+
 /// Errors from decoding chunk frames.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ChunkError {
@@ -382,6 +389,62 @@ mod tests {
             ChunkFrame::decode(&bad),
             Err(ChunkError::BadVersion(9))
         ));
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(48))]
+
+        /// Chunking round-trips bundles at both regimes: the in-memory
+        /// default (≤64 KiB payloads) and the datagram-safe socket
+        /// default. On the socket path every encoded frame must also fit
+        /// a 1400-byte datagram budget.
+        #[test]
+        fn chunking_roundtrips_at_both_payload_sizes(
+            router_id in proptest::prelude::any::<u64>(),
+            epoch_id in proptest::prelude::any::<u64>(),
+            len in 0usize..200_000,
+            seed in proptest::prelude::any::<u64>(),
+        ) {
+            let bundle: Vec<u8> = (0..len)
+                .map(|i| (seed.wrapping_mul(i as u64 + 1) >> 32) as u8)
+                .collect();
+            for max_payload in [MAX_CHUNK_PAYLOAD, DATAGRAM_SAFE_PAYLOAD] {
+                let frames = chunk_bundle(router_id, epoch_id, &bundle, max_payload);
+                proptest::prop_assert_eq!(
+                    frames.len(),
+                    bundle.len().div_ceil(max_payload).max(1)
+                );
+                let mut reassembled = Vec::new();
+                for (i, frame) in frames.iter().enumerate() {
+                    if max_payload == DATAGRAM_SAFE_PAYLOAD {
+                        proptest::prop_assert!(
+                            frame.len() <= 1400,
+                            "frame {} is {} bytes — over the datagram budget",
+                            i, frame.len()
+                        );
+                    }
+                    let (f, used) = ChunkFrame::decode(frame).unwrap();
+                    proptest::prop_assert_eq!(used, frame.len());
+                    proptest::prop_assert_eq!(f.router_id, router_id);
+                    proptest::prop_assert_eq!(f.epoch_id, epoch_id);
+                    proptest::prop_assert_eq!(f.seq as usize, i);
+                    proptest::prop_assert_eq!(f.total as usize, frames.len());
+                    reassembled.extend_from_slice(f.payload);
+                }
+                proptest::prop_assert_eq!(&reassembled, &bundle);
+            }
+        }
+    }
+
+    #[test]
+    fn datagram_safe_frames_fit_the_mtu_budget() {
+        const { assert!(DATAGRAM_SAFE_PAYLOAD + CHUNK_HEADER + CHUNK_TRAILER <= 1400) };
+        const {
+            assert!(
+                DATAGRAM_SAFE_PAYLOAD >= 1300,
+                "payload should stay efficient"
+            )
+        };
     }
 
     #[test]

@@ -207,7 +207,7 @@ fn accumulate(totals: &mut TransportStats, s: TransportStats) {
 /// that must agree between the tiered and flat ingest paths. Ingest
 /// indices and transport stats are deliberately excluded — the two
 /// paths account those differently by design.
-fn detection_fingerprint(r: &EpochReport) -> String {
+pub fn detection_fingerprint(r: &EpochReport) -> String {
     format!(
         "{{\"found\":{},\"routers\":{:?},\"packets\":{},\"signature\":{:?},\"alarm\":{},\"component\":{},\"suspected\":{:?},\"groups\":{:?}}}",
         r.aligned.found,
@@ -221,7 +221,9 @@ fn detection_fingerprint(r: &EpochReport) -> String {
     )
 }
 
-fn outcome_fingerprint(o: &EpochOutcome) -> String {
+/// Fingerprint of a typed epoch outcome: the detection fingerprint for
+/// a report, a compact quorum marker otherwise.
+pub fn outcome_fingerprint(o: &EpochOutcome) -> String {
     match o {
         EpochOutcome::Report(r) => detection_fingerprint(r),
         EpochOutcome::QuorumTooSmall { accepted, .. } => {
@@ -493,6 +495,254 @@ pub fn run_tiered_soak(cfg: &TieredSoakConfig) -> TieredSoakResult {
     }
 }
 
+/// The level-2 super-aggregator's router id in deep runs.
+const AGG2_ID: u64 = AGG_ID_BASE * 2;
+
+/// Runs the *deep* soak: leaves → level-1 regional aggregators → one
+/// level-2 super-aggregator → centre, with an independent lossy hop
+/// between every tier. The level-2 aggregator receives whole DCSG
+/// bundles as its child frames and flattens them (leaf frames spliced,
+/// fused bitmaps OR-merged, exclusions re-wrapped one
+/// [`dcs_core::ingest::RouterFault::AtLevel`] deeper), so the centre
+/// still counts quorum in *leaves* after three aggregation levels.
+///
+/// Analysis is sequential (`cfg.pipelined` is ignored); every transport
+/// or quorum failure is a typed outcome, never a panic.
+pub fn run_tiered_soak_deep(cfg: &TieredSoakConfig) -> TieredSoakResult {
+    assert!(cfg.aggregators >= 1 && cfg.leaves >= cfg.aggregators);
+    assert!(cfg.infected <= cfg.leaves);
+    let mut mcfg = MonitorConfig::small(7, cfg.aligned_bits, cfg.groups_per_leaf);
+    mcfg.unaligned.arrays_per_group = cfg.arrays_per_group;
+    mcfg.unaligned.array_bits = cfg.array_bits;
+    let mut monitors: Vec<MonitoringPoint> = (0..cfg.leaves)
+        .map(|id| MonitoringPoint::new(id, &mcfg))
+        .collect();
+
+    let make_acfg = || {
+        let mut acfg = AnalysisConfig::for_groups(cfg.leaves * cfg.groups_per_leaf)
+            .with_min_quorum(cfg.min_quorum);
+        acfg.search.n_prime = 400.min(cfg.aligned_bits);
+        acfg.search.hopefuls = 300.min(cfg.aligned_bits);
+        acfg
+    };
+    let center = AnalysisCenter::new(make_acfg());
+    let flat_center = AnalysisCenter::new(make_acfg());
+    let agg_metrics = MetricsRegistry::new();
+
+    let mut leaf_channels: Vec<LossyChannel> = (0..cfg.aggregators)
+        .map(|a| LossyChannel::new(cfg.leaf_channel, cfg.seed ^ (a as u64)))
+        .collect();
+    let mut mid_channel = LossyChannel::new(cfg.up_channel, cfg.seed ^ 0xB44B);
+    let mut up_channel = LossyChannel::new(cfg.up_channel, cfg.seed ^ 0xA55A);
+
+    let bg = BackgroundConfig {
+        packets: cfg.bg_packets,
+        flows: cfg.bg_flows,
+        zipf_exponent: 1.0,
+        size_mix: SizeMix::constant(536),
+    };
+
+    let mut outcomes: Vec<EpochOutcome> = Vec::with_capacity(cfg.epochs);
+    let mut detection_pairs: Vec<(String, String)> = Vec::new();
+    let mut leaf_totals = TransportStats::default();
+    let mut up_totals = TransportStats::default();
+    let mut now: u64 = 0;
+
+    for e in 0..cfg.epochs {
+        let epoch_seed = cfg
+            .seed
+            .wrapping_add((e as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        for (a, ch) in leaf_channels.iter_mut().enumerate() {
+            ch.reseed(epoch_seed ^ (a as u64).wrapping_mul(0x517C_C1B7_2722_0A95));
+        }
+        mid_channel.reseed(epoch_seed ^ 0xB44B);
+        up_channel.reseed(epoch_seed ^ 0xA55A);
+        let mut rng = StdRng::seed_from_u64(epoch_seed);
+
+        let plant = (cfg.content_packets > 0).then(|| {
+            Planting::aligned(
+                ContentObject::random_with_packets(&mut rng, cfg.content_packets, 536),
+                536,
+            )
+        });
+        let epoch_id = monitors[0].epochs_finished();
+
+        let mut aggs: Vec<Aggregator> = (0..cfg.aggregators)
+            .map(|a| {
+                Aggregator::new(
+                    AGG_ID_BASE + a as u64,
+                    1,
+                    epoch_id,
+                    cfg.region(a).map(|l| l as u64),
+                    cfg.leaf_collector,
+                    epoch_seed ^ (a as u64),
+                    now,
+                )
+            })
+            .collect();
+
+        for (id, mp) in monitors.iter_mut().enumerate() {
+            let mut traffic = gen::generate_epoch(&mut rng, &bg);
+            if let Some(plant) = plant.as_ref().filter(|_| id < cfg.infected) {
+                plant.plant_into(&mut rng, &mut traffic);
+            }
+            mp.observe_all(&traffic);
+            let chunks = mp
+                .finish_epoch_chunks(cfg.max_payload)
+                .expect("leaf bundles fit the wire format");
+            let owner = (0..cfg.aggregators)
+                .find(|&a| cfg.region(a).contains(&id))
+                .expect("regions partition the leaves");
+            for chunk in chunks {
+                leaf_channels[owner].send(&chunk, now);
+            }
+        }
+
+        // Hop 1: leaves → level-1 aggregators.
+        let cap = now + cfg.leaf_collector.deadline * 4;
+        loop {
+            for (a, agg) in aggs.iter_mut().enumerate() {
+                for frame in leaf_channels[a].deliver_due(now) {
+                    if let ChunkDisposition::Accepted {
+                        router_id,
+                        cumulative_ack,
+                    } = agg.offer(&frame, now)
+                    {
+                        monitors[router_id as usize].ack(epoch_id, cumulative_ack);
+                    }
+                }
+                for req in agg.poll(now) {
+                    for frame in monitors[req.router_id as usize].resend(req.epoch_id, &req.missing)
+                    {
+                        leaf_channels[a].send(&frame, now);
+                    }
+                }
+            }
+            if aggs.iter().all(|a| a.ready(now)) || now >= cap {
+                break;
+            }
+            now += 1;
+        }
+
+        // Hop 2: level-1 bundles → the level-2 super-aggregator, again
+        // as ordinary chunks over a lossy channel.
+        let mut agg2 = Aggregator::new(
+            AGG2_ID,
+            2,
+            epoch_id,
+            (0..cfg.aggregators).map(|a| AGG_ID_BASE + a as u64),
+            cfg.up_collector,
+            epoch_seed ^ 0x2222,
+            now,
+        );
+        let mut mid_store: Vec<Vec<Vec<u8>>> = Vec::with_capacity(cfg.aggregators);
+        for agg in &mut aggs {
+            accumulate(&mut leaf_totals, agg.stats());
+            let bundle = agg.finalize(now, &agg_metrics);
+            let chunks = chunk_bundle(agg.id(), epoch_id, &bundle.encode_wire(), cfg.max_payload);
+            for chunk in &chunks {
+                mid_channel.send(chunk, now);
+            }
+            mid_store.push(chunks);
+        }
+        let cap = now + cfg.up_collector.deadline * 4;
+        loop {
+            for frame in mid_channel.deliver_due(now) {
+                agg2.offer(&frame, now);
+            }
+            for req in agg2.poll(now) {
+                let a = (req.router_id - AGG_ID_BASE) as usize;
+                let chunks = &mid_store[a];
+                let frames: Vec<&Vec<u8>> = match &req.missing {
+                    Missing::All => chunks.iter().collect(),
+                    Missing::Seqs(seqs) => seqs
+                        .iter()
+                        .filter_map(|&s| chunks.get(s as usize))
+                        .collect(),
+                };
+                for frame in frames {
+                    mid_channel.send(frame, now);
+                }
+            }
+            if agg2.ready(now) || now >= cap {
+                break;
+            }
+            now += 1;
+        }
+
+        // Hop 3: the flattened super-bundle → centre.
+        accumulate(&mut up_totals, agg2.stats());
+        let bundle2 = agg2.finalize(now, &agg_metrics);
+        let up_chunks = chunk_bundle(AGG2_ID, epoch_id, &bundle2.encode_wire(), cfg.max_payload);
+        let mut up_collector = EpochCollector::new(
+            epoch_id,
+            [AGG2_ID],
+            cfg.up_collector,
+            epoch_seed ^ 0x5A5A,
+            now,
+        );
+        for chunk in &up_chunks {
+            up_channel.send(chunk, now);
+        }
+        let cap = now + cfg.up_collector.deadline * 4;
+        loop {
+            for frame in up_channel.deliver_due(now) {
+                up_collector.offer(&frame, now);
+            }
+            for req in up_collector.poll(now) {
+                let frames: Vec<&Vec<u8>> = match &req.missing {
+                    Missing::All => up_chunks.iter().collect(),
+                    Missing::Seqs(seqs) => seqs
+                        .iter()
+                        .filter_map(|&s| up_chunks.get(s as usize))
+                        .collect(),
+                };
+                for frame in frames {
+                    up_channel.send(frame, now);
+                }
+            }
+            if up_collector.ready(now) || now >= cap {
+                break;
+            }
+            now += 1;
+        }
+
+        let epoch = up_collector.finalize(now);
+        accumulate(&mut up_totals, epoch.stats);
+
+        // Flat replay: the leaf frames that actually survived all three
+        // hops, straight into a flat wire-ingest run.
+        let flat_frames: Vec<Vec<u8>> = epoch
+            .frames
+            .iter()
+            .filter_map(|(_, bytes)| AggregateBundle::decode_wire(bytes).ok())
+            .flat_map(|(bundle, _)| bundle.frames)
+            .collect();
+        let flat = flat_center
+            .analyze_epoch_wire(&flat_frames)
+            .map_err(PipelineError::Ingest);
+        let flat_fp = outcome_fingerprint(&to_outcome(cfg.min_quorum, flat));
+
+        let result = center
+            .analyze_epoch_aggregated_collected(&epoch)
+            .map_err(PipelineError::Ingest);
+        let outcome = to_outcome(cfg.min_quorum, result);
+        detection_pairs.push((outcome_fingerprint(&outcome), flat_fp));
+        outcomes.push(outcome);
+        now += 1;
+    }
+
+    TieredSoakResult {
+        outcomes,
+        detection_pairs,
+        leaf_totals,
+        up_totals,
+        ticks: now,
+        agg_metrics: agg_metrics.snapshot(),
+        metrics: center.metrics(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -536,6 +786,64 @@ mod tests {
         assert!(
             screened.unwrap() + exact.unwrap() > 0,
             "tiered soak visited no unaligned group pairs"
+        );
+    }
+
+    #[test]
+    fn deep_soak_three_levels_detects_and_matches_flat_ingest() {
+        let cfg = TieredSoakConfig::standard(2, 31);
+        let result = run_tiered_soak_deep(&cfg);
+        assert_eq!(result.quorum_epochs(), 2, "{:?}", result.detection_pairs);
+        assert!(
+            result.detection_equivalent(),
+            "deep and flat detection diverged: {:?}",
+            result.detection_pairs
+        );
+        for o in &result.outcomes {
+            let EpochOutcome::Report(r) = o else {
+                unreachable!()
+            };
+            assert!(r.aligned.found, "planted content missed through 3 levels");
+            // Leaf-based quorum accounting composes through the extra
+            // hop: everything the centre counts is a leaf, never an
+            // aggregator bundle.
+            assert!(r.ingest.submitted <= cfg.leaves);
+            assert!(r.ingest.accepted.len() >= cfg.min_quorum);
+        }
+        // Both aggregation levels recorded fuse spans.
+        assert!(
+            result
+                .agg_metrics
+                .gauge("aggregate_fuse_ns{level=1}")
+                .is_some(),
+            "level-1 fuse span missing"
+        );
+        assert!(
+            result
+                .agg_metrics
+                .gauge("aggregate_fuse_ns{level=2}")
+                .is_some(),
+            "level-2 fuse span missing"
+        );
+    }
+
+    #[test]
+    fn deep_soak_perfect_channels_account_every_leaf() {
+        let mut cfg = TieredSoakConfig::standard(1, 32);
+        cfg.leaf_channel = ChannelConfig::perfect();
+        cfg.up_channel = ChannelConfig::perfect();
+        let result = run_tiered_soak_deep(&cfg);
+        assert_eq!(result.quorum_epochs(), 1);
+        assert!(result.detection_equivalent());
+        assert_eq!(result.leaf_totals.retransmits, 0);
+        assert_eq!(result.up_totals.retransmits, 0);
+        let EpochOutcome::Report(r) = &result.outcomes[0] else {
+            unreachable!()
+        };
+        assert_eq!(r.routers, 24);
+        assert_eq!(
+            r.ingest.submitted, 24,
+            "quorum counts leaves through all three levels"
         );
     }
 

@@ -7,7 +7,16 @@
 * perf budgets (``--budgets budgets.json``) — every stage's share of the
   ten-stage span sum stays within its checked-in ceiling, so a change
   that silently shifts work into one stage trips CI on any runner
-  (shares are machine-independent where absolute times are not).
+  (shares are machine-independent where absolute times are not);
+* socket soak (reports carrying a ``socket`` metrics object, i.e.
+  BENCH_socket.json) — frames actually moved in both roles, the
+  impairment shim provably bit, the reassembly backlog drained to zero,
+  and the resend amplification / centre stall ratios stay within the
+  ``socket`` ceilings of the budgets file (ratios, so machine-speed
+  independent like the stage shares). Socket reports are gated on these
+  ceilings IN PLACE OF the stage-share budgets: the share ceilings are
+  calibrated against the pipeline bench's workload, and the soak's
+  paper-scale bitmaps have a legitimately different stage profile.
 
 Every malformed input (missing file, unparseable JSON, absent
 `center_stage_ns`/`metrics` sections, zero stage totals, budget files
@@ -27,6 +36,16 @@ STAGES = {
     "aligned": ["fuse", "screen", "core_find", "sweep", "terminate"],
     "unaligned": ["stack_rows", "prescreen", "graph_build", "er_test", "peel"],
 }
+
+# A socket soak where any of these stayed at zero did not actually push
+# digests through an impaired socket — the run was vacuous.
+SOCKET_REQUIRED_COUNTERS = [
+    "socket_frames_sent_total{role=monitor}",
+    "socket_frames_sent_total{role=center}",
+    "socket_frames_received_total{role=center}",
+    "socket_frames_received_total{role=monitor}",
+    "socket_impaired_total{kind=drop}",
+]
 
 FIXTURES_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "fixtures")
 
@@ -90,6 +109,67 @@ def check_smoke(path: str, report: dict) -> int:
     return 0
 
 
+def check_socket(path: str, report: dict) -> int:
+    socket = report_section(path, report, "socket")
+    counters = {c["key"]: c["value"] for c in socket.get("counters", [])}
+    dead = [k for k in SOCKET_REQUIRED_COUNTERS if counters.get(k, 0) <= 0]
+    if dead:
+        print(f"{path}: socket soak counters missing or zero: {dead}")
+        return 1
+
+    gauges = {g["key"]: g["value"] for g in socket.get("gauges", [])}
+    backlog = gauges.get("socket_reassembly_backlog")
+    if backlog is None:
+        print(f"{path}: socket_reassembly_backlog gauge missing")
+        return 1
+    if backlog != 0:
+        print(
+            f"{path}: socket_reassembly_backlog settled at {backlog}, not 0 — "
+            f"the collector finished an epoch with partial bundles in flight"
+        )
+        return 1
+
+    for field in ("send_amplification", "stall_ratio"):
+        if not isinstance(report.get(field), (int, float)):
+            print(f"{path}: report has no numeric `{field}` field")
+            return 1
+    print(
+        f"{path}: socket soak moved "
+        f"{counters['socket_frames_sent_total{role=monitor}']} monitor frames "
+        f"under impairment, backlog drained"
+    )
+    return 0
+
+
+def check_socket_budgets(path: str, report: dict, budgets_path: str) -> int:
+    ceilings = load_json(budgets_path, "budgets file").get("socket")
+    if not isinstance(ceilings, dict):
+        raise GateError(f"{budgets_path}: budgets file has no `socket` object")
+    checks = [
+        ("send_amplification", "max_send_amplification"),
+        ("stall_ratio", "max_stall_ratio"),
+    ]
+    failures = []
+    for field, budget_key in checks:
+        ceiling = ceilings.get(budget_key)
+        if not isinstance(ceiling, (int, float)):
+            raise GateError(f"{budgets_path}: socket object has no `{budget_key}`")
+        value = report[field]
+        status = "over budget" if value > ceiling else "ok"
+        print(f"  socket/{field:<20} {value:>8.3f}  budget {ceiling:.3f}  {status}")
+        if value > ceiling:
+            failures.append(field)
+    if failures:
+        print(
+            f"{path}: socket ratios over budget for {failures} — resend or "
+            f"backpressure behaviour regressed; fix the transport or update "
+            f"{budgets_path} with a justification in the same change"
+        )
+        return 1
+    print(f"{path}: socket ratios within {budgets_path} ceilings")
+    return 0
+
+
 def check_budgets(path: str, report: dict, budgets_path: str) -> int:
     budgets = load_json(budgets_path, "budgets file").get("max_share_of_stage_sum")
     if not isinstance(budgets, dict):
@@ -138,7 +218,17 @@ def check_budgets(path: str, report: dict, budgets_path: str) -> int:
 def run_gate(path: str, budgets_path) -> int:
     report = load_json(path, "metrics report")
     rc = check_smoke(path, report)
-    if rc == 0 and budgets_path is not None:
+    if rc != 0:
+        return rc
+    if "socket" in report:
+        # A socket soak is gated on its transport ratios, not the
+        # stage-share budgets (those are calibrated for the pipeline
+        # bench's workload; the soak's stage profile differs by design).
+        rc = check_socket(path, report)
+        if rc == 0 and budgets_path is not None:
+            rc = check_socket_budgets(path, report, budgets_path)
+        return rc
+    if budgets_path is not None:
         rc = check_budgets(path, report, budgets_path)
     return rc
 
@@ -156,6 +246,9 @@ def selftest() -> int:
         ("no_such_file.json", None),
         ("zero_stage_total.json", os.path.join(FIXTURES_DIR, "no_such_budgets.json")),
         ("zero_stage_total.json", os.path.join(FIXTURES_DIR, "missing_metrics.json")),
+        ("socket_missing_counters.json", None),
+        ("socket_missing_counters.json", budgets),
+        ("socket_over_amplification.json", budgets),
     ]
     failures = []
     for fixture, budgets_path in cases:

@@ -6,6 +6,8 @@
 //! dcs-cli collect   <in.trace> --router N [--seed N] [--bits N]
 //!                   [--groups N] [--out digest.json]
 //! dcs-cli analyze   <digest.json>... [--threshold N] [--metrics-json path]
+//! dcs-cli serve     [--config serve.json] [--bind addr] [--resume ckpt] …
+//! dcs-cli monitor   [--config monitor.json] [--center addr] [--router N] …
 //! dcs-cli demo
 //! ```
 //!
@@ -13,8 +15,11 @@
 //! content); `collect` plays a monitoring point over a trace and emits the
 //! digest bundle as JSON; `analyze` fuses digest files and prints the
 //! epoch report (`--metrics-json` additionally dumps the centre's
-//! per-stage metrics snapshot). Argument parsing is deliberately
-//! dependency-free.
+//! per-stage metrics snapshot); `serve`/`monitor` run the analysis centre
+//! and monitoring points as real socket processes (see [`deploy`]).
+//! Argument parsing is deliberately dependency-free.
+
+mod deploy;
 
 use dcs::core::prelude::*;
 use dcs::traffic::gen::{generate_epoch, BackgroundConfig, SizeMix};
@@ -29,11 +34,13 @@ fn main() -> ExitCode {
         Some("gen-trace") => gen_trace(&args[1..]),
         Some("collect") => collect(&args[1..]),
         Some("analyze") => analyze(&args[1..]),
+        Some("serve") => deploy::serve(&args[1..]),
+        Some("monitor") => deploy::monitor(&args[1..]),
         Some("config") => print_default_config(),
         Some("demo") => demo(),
         _ => {
             eprintln!(
-                "usage: dcs-cli <gen-trace|collect|analyze|demo> …\n\
+                "usage: dcs-cli <gen-trace|collect|analyze|serve|monitor|demo> …\n\
                  see the crate docs or run each subcommand with wrong args \
                  for its usage line"
             );

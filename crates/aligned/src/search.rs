@@ -108,6 +108,44 @@ impl SearchTimings {
     }
 }
 
+/// Work accounting of one product search: how many candidate products
+/// were actually AND-popcounted, how many the conservative weight-bound
+/// break discarded without computing, and how many of the computed ones
+/// came from a sketch-seeded outer column.
+///
+/// These are *effort* numbers, not detection inputs: the pruned
+/// candidates are exactly those that provably cannot enter the bounded
+/// candidate heap (their weight upper bound sits strictly below the
+/// full heap's minimum), so the detection set never depends on them —
+/// or on the seed-first scan order that makes the bar rise early. The
+/// counters do depend on shard/worker partitioning and scan order, so
+/// they are excluded from cross-thread metric determinism checks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchWork {
+    /// Candidate products AND-popcounted.
+    pub pairs_scanned: u64,
+    /// Candidates discarded by the conservative weight-bound break.
+    pub pairs_pruned: u64,
+    /// Scanned candidates whose outer column was a sketch seed.
+    pub seeded_pairs: u64,
+}
+
+impl SearchWork {
+    /// Accumulates another shard's counters.
+    pub fn absorb(&mut self, other: SearchWork) {
+        self.pairs_scanned += other.pairs_scanned;
+        self.pairs_pruned += other.pairs_pruned;
+        self.seeded_pairs += other.seeded_pairs;
+    }
+
+    /// Total candidates considered (scanned + pruned) — invariant
+    /// across seed sets for an identical search, since seeding only
+    /// reorders the scan.
+    pub fn candidates(&self) -> u64 {
+        self.pairs_scanned + self.pairs_pruned
+    }
+}
+
 /// Tuning parameters of the greedy search.
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct SearchConfig {
@@ -189,13 +227,37 @@ struct Product {
     members: Vec<u32>,
 }
 
+/// The weight below which no candidate can enter `heap` once it is
+/// full: candidates are ordered by the full `(weight, parent, column)`
+/// tuple, so a weight *strictly* below the heap minimum's weight loses
+/// to it for any tie-break — while an equal weight may still win.
+fn heap_bar(heap: &CandidateHeap, cap: usize) -> u32 {
+    if heap.len() == cap {
+        heap.peek().map_or(0, |Reverse((w, _, _))| *w)
+    } else {
+        0
+    }
+}
+
 /// Runs the greedy core search on `work` (a column subset of the original
 /// matrix). Returns the best product per iteration. `fanouts` provides
 /// per-shard fan-out buffers, reused across iterations and calls.
+///
+/// `seeded` (empty = no seeding) flags the work-matrix columns the
+/// heavy-hitter sketch nominated; each shard scans its seeded outer
+/// columns first. Seeding is **advisory**: the bounded heaps retain a
+/// canonical top-H for any offer order, so the only effect is that the
+/// heap's eviction bar rises early and the conservative weight-bound
+/// break — a candidate whose `min(w_outer, max w_remaining)` upper
+/// bound sits strictly below a full heap's minimum weight can never
+/// enter and is skipped unscanned — fires sooner. `work_stats`
+/// accumulates the scanned/pruned/seeded candidate counts.
 fn product_search(
     work: &ColMatrix,
     cfg: &SearchConfig,
     fanouts: &mut Vec<Vec<u32>>,
+    seeded: &[bool],
+    work_stats: &mut SearchWork,
 ) -> (Vec<u32>, Vec<Product>) {
     let n = work.ncols();
     let mut curve = Vec::new();
@@ -204,6 +266,16 @@ fn product_search(
         return (curve, best_per_iter);
     }
     let cols: Vec<&[u64]> = (0..n).map(|j| work.column(j)).collect();
+    // Per-column weight upper bounds for the conservative break: a
+    // product with column j weighs at most w[j], and any candidate
+    // drawn from columns ≥ j weighs at most suffix_max[j]. (On the
+    // refined path the columns arrive weight-sorted so suffix_max[j]
+    // == w[j]; the naive path is unsorted and needs the real suffix.)
+    let w: Vec<u32> = cols.iter().map(|c| weight(c)).collect();
+    let mut suffix_max = w.clone();
+    for j in (0..n - 1).rev() {
+        suffix_max[j] = suffix_max[j].max(suffix_max[j + 1]);
+    }
 
     // Iteration 1: all 2-products, keep the H heaviest. Shard s owns the
     // outer indices congruent to s modulo the shard count (the pair loop
@@ -213,18 +285,49 @@ fn product_search(
     // any worker count.
     let shards = search_shards(&cfg.compute, n);
     let mut shard_heaps: Vec<CandidateHeap> = (0..shards).map(|_| BinaryHeap::new()).collect();
-    let jobs: Vec<(usize, &mut CandidateHeap)> = shard_heaps.iter_mut().enumerate().collect();
-    run_jobs(jobs, cfg.compute.workers_for(shards), |(s, heap)| {
-        let mut i = s;
-        while i < n {
-            let ci = cols[i];
-            for (j, cj) in cols.iter().enumerate().skip(i + 1) {
-                let w = and_weight(ci, cj);
-                push_bounded(heap, cfg.hopefuls, (w, i as u32, j as u32));
+    let mut shard_stats: Vec<SearchWork> = vec![SearchWork::default(); shards];
+    let jobs: Vec<((usize, &mut CandidateHeap), &mut SearchWork)> = shard_heaps
+        .iter_mut()
+        .enumerate()
+        .zip(shard_stats.iter_mut())
+        .collect();
+    run_jobs(
+        jobs,
+        cfg.compute.workers_for(shards),
+        |((s, heap), stats)| {
+            let mut own: Vec<usize> = (s..n).step_by(shards).collect();
+            if !seeded.is_empty() {
+                // Stable partition: seeded outer columns first (false < true).
+                own.sort_by_key(|&i| !seeded[i]);
             }
-            i += shards;
-        }
-    });
+            for i in own {
+                let start = i + 1;
+                if start >= n {
+                    continue;
+                }
+                let bar = heap_bar(heap, cfg.hopefuls);
+                if w[i] < bar {
+                    stats.pairs_pruned += (n - start) as u64;
+                    continue;
+                }
+                let end = start + suffix_max[start..].partition_point(|&sm| sm >= bar);
+                stats.pairs_pruned += (n - end) as u64;
+                let ci = cols[i];
+                for (j, cj) in cols[..end].iter().enumerate().skip(start) {
+                    let wc = and_weight(ci, cj);
+                    push_bounded(heap, cfg.hopefuls, (wc, i as u32, j as u32));
+                }
+                let scanned = (end - start) as u64;
+                stats.pairs_scanned += scanned;
+                if !seeded.is_empty() && seeded[i] {
+                    stats.seeded_pairs += scanned;
+                }
+            }
+        },
+    );
+    for s in shard_stats {
+        work_stats.absorb(s);
+    }
     let heap = merge_bounded(shard_heaps, cfg.hopefuls);
     let mut hopefuls: Vec<Product> = heap
         .into_sorted_vec()
@@ -257,32 +360,59 @@ fn product_search(
         fanouts.resize_with(shards.max(fanouts.len()), Vec::new);
         let hopefuls_ref = &hopefuls;
         let cols_ref = &cols;
+        let suffix_ref = &suffix_max;
         let mut shard_heaps: Vec<CandidateHeap> = (0..shards).map(|_| BinaryHeap::new()).collect();
-        let jobs: Vec<((usize, &mut CandidateHeap), &mut Vec<u32>)> = shard_heaps
+        let mut shard_stats: Vec<SearchWork> = vec![SearchWork::default(); shards];
+        type SweepJob<'a> = (
+            ((usize, &'a mut CandidateHeap), &'a mut SearchWork),
+            &'a mut Vec<u32>,
+        );
+        let jobs: Vec<SweepJob> = shard_heaps
             .iter_mut()
             .enumerate()
+            .zip(shard_stats.iter_mut())
             .zip(fanouts.iter_mut())
             .collect();
         run_jobs(
             jobs,
             cfg.compute.workers_for(shards),
-            |((s, heap), fanout)| {
+            |(((s, heap), stats), fanout)| {
                 let mut pi = s;
                 while pi < hopefuls_ref.len() {
                     let p = &hopefuls_ref[pi];
                     let start = p.members.last().copied().unwrap_or(0) as usize + 1;
                     if start < n {
-                        fanout.clear();
-                        fanout.resize(n - start, 0);
-                        and_weight_many_into(&p.words, &cols_ref[start..], fanout);
-                        for (off, &w) in fanout.iter().enumerate() {
-                            push_bounded(heap, cfg.hopefuls, (w, pi as u32, (start + off) as u32));
+                        // An extension of p weighs at most min(p.weight,
+                        // w[j]) — skip what cannot enter the full heap.
+                        let bar = heap_bar(heap, cfg.hopefuls);
+                        if p.weight < bar {
+                            stats.pairs_pruned += (n - start) as u64;
+                            pi += shards;
+                            continue;
+                        }
+                        let end = start + suffix_ref[start..].partition_point(|&sm| sm >= bar);
+                        stats.pairs_pruned += (n - end) as u64;
+                        if end > start {
+                            fanout.clear();
+                            fanout.resize(end - start, 0);
+                            and_weight_many_into(&p.words, &cols_ref[start..end], fanout);
+                            for (off, &w) in fanout.iter().enumerate() {
+                                push_bounded(
+                                    heap,
+                                    cfg.hopefuls,
+                                    (w, pi as u32, (start + off) as u32),
+                                );
+                            }
+                            stats.pairs_scanned += (end - start) as u64;
                         }
                     }
                     pi += shards;
                 }
             },
         );
+        for s in shard_stats {
+            work_stats.absorb(s);
+        }
         let heap = merge_bounded(shard_heaps, cfg.hopefuls);
         if heap.is_empty() {
             break;
@@ -417,7 +547,17 @@ pub fn refined_detect_multi(
 /// no screening, no expansion sweep.
 pub fn naive_detect(matrix: &ColMatrix, cfg: &SearchConfig) -> AlignedDetection {
     let identity: Vec<usize> = (0..matrix.ncols()).collect();
-    detect_inner(matrix, matrix, &identity, cfg, false, &mut Vec::new()).0
+    detect_inner(
+        matrix,
+        matrix,
+        &identity,
+        cfg,
+        false,
+        &mut Vec::new(),
+        &[],
+        &mut SearchWork::default(),
+    )
+    .0
 }
 
 /// The refined algorithm (Figure 6): screen the n′ heaviest columns, find
@@ -459,6 +599,33 @@ pub fn refined_detect_cached(
     cfg: &SearchConfig,
     scratch: &mut SearchScratch,
 ) -> (AlignedDetection, SearchTimings) {
+    let (det, timings, _) = refined_detect_seeded(matrix, weights, cfg, &[], scratch);
+    (det, timings)
+}
+
+/// [`refined_detect_cached`] with an advisory heavy-hitter seed set:
+/// `seeds` are *original-matrix* column indices (the sketch's top-k
+/// candidates; out-of-range or screened-out entries are ignored). Seeded
+/// columns are scanned first inside each product-search shard so the
+/// bounded heap's eviction bar rises early and the conservative
+/// weight-bound break prunes more of the pair scan.
+///
+/// Seeding is provably lossless: screening membership, the work-matrix
+/// order, and the retained top-H candidate set (a canonical function of
+/// the candidate multiset under the full-tuple total order) are all
+/// unchanged, so the detection is byte-identical to the unseeded run —
+/// see `seeding_never_changes_detection` in the tests. Only the returned
+/// [`SearchWork`] differs.
+///
+/// # Panics
+/// Panics if `weights.len() != matrix.ncols()`.
+pub fn refined_detect_seeded(
+    matrix: &ColMatrix,
+    weights: &[u32],
+    cfg: &SearchConfig,
+    seeds: &[usize],
+    scratch: &mut SearchScratch,
+) -> (AlignedDetection, SearchTimings, SearchWork) {
     let n = matrix.ncols();
     assert_eq!(weights.len(), n, "one weight per column");
     let n_prime = cfg.n_prime.min(n);
@@ -503,16 +670,33 @@ pub fn refined_detect_cached(
     }
     order.sort_unstable_by_key(|&j| (Reverse(weights[j]), j));
     matrix.select_columns_into(order, work);
+    let seeded: Vec<bool> = if seeds.is_empty() {
+        Vec::new()
+    } else {
+        let set: std::collections::HashSet<usize> = seeds.iter().copied().collect();
+        order.iter().map(|j| set.contains(j)).collect()
+    };
     let screen_ns = t0.elapsed().as_nanos() as u64;
-    let (det, mut timings) = detect_inner(matrix, work, order, cfg, true, fanouts);
+    let mut work_stats = SearchWork::default();
+    let (det, mut timings) = detect_inner(
+        matrix,
+        work,
+        order,
+        cfg,
+        true,
+        fanouts,
+        &seeded,
+        &mut work_stats,
+    );
     timings.screen_ns = screen_ns;
-    (det, timings)
+    (det, timings, work_stats)
 }
 
 /// Shared tail: search `work` (whose column `k` is original column
 /// `mapping[k]`), read the curve, optionally expand across `matrix`.
 /// Returns the detection plus per-stage timings (`screen_ns` left zero —
 /// screening happens in the caller).
+#[allow(clippy::too_many_arguments)]
 fn detect_inner(
     matrix: &ColMatrix,
     work: &ColMatrix,
@@ -520,10 +704,12 @@ fn detect_inner(
     cfg: &SearchConfig,
     expand: bool,
     fanouts: &mut Vec<Vec<u32>>,
+    seeded: &[bool],
+    work_stats: &mut SearchWork,
 ) -> (AlignedDetection, SearchTimings) {
     let mut timings = SearchTimings::default();
     let t_core = Instant::now();
-    let (curve, best) = product_search(work, cfg, fanouts);
+    let (curve, best) = product_search(work, cfg, fanouts, seeded, work_stats);
     let stopped = stop_point(&curve, cfg.termination);
     timings.core_ns = t_core.elapsed().as_nanos() as u64;
     let Some(stop) = stopped else {
@@ -612,6 +798,7 @@ fn detect_inner(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
@@ -886,6 +1073,82 @@ mod tests {
                 par.stopped_at, seq.stopped_at,
                 "t={threads} s={shards}: termination differs"
             );
+        }
+    }
+
+    #[test]
+    fn seeded_run_is_shard_count_invariant() {
+        // Seeds reorder each shard's scan and shift when the heap bar
+        // rises, so different shard counts prune different candidate
+        // subsets — making this the sharpest oracle that the prune is
+        // exact: every partition must still converge on the same
+        // canonical top-H.
+        let mut r = StdRng::seed_from_u64(54);
+        let (mat, _, cols) = planted_matrix(&mut r, 96, 800, 30, 14);
+        let run = |threads: usize, shards: usize| {
+            let cfg = SearchConfig {
+                compute: ComputeBudget::with_threads(threads).with_shards(shards),
+                ..small_cfg()
+            };
+            let weights = mat.col_weights();
+            let mut scratch = SearchScratch::new();
+            refined_detect_seeded(&mat, &weights, &cfg, &cols, &mut scratch)
+        };
+        let (seq, _, seq_work) = run(1, 1);
+        assert!(seq.found, "planted pattern not found");
+        assert!(seq_work.seeded_pairs > 0, "seeds never entered the scan");
+        for (threads, shards) in [(1, 2), (2, 2), (2, 8), (4, 3)] {
+            let (par, _, work) = run(threads, shards);
+            assert_eq!(par.rows, seq.rows, "t={threads} s={shards}: rows differ");
+            assert_eq!(par.cols, seq.cols, "t={threads} s={shards}: cols differ");
+            assert_eq!(
+                par.weight_curve, seq.weight_curve,
+                "t={threads} s={shards}: weight curve differs"
+            );
+            // The split between scanned and pruned shifts with the
+            // partition, but their sum counts every candidate exactly
+            // once per iteration.
+            assert_eq!(
+                work.candidates(),
+                seq_work.candidates(),
+                "t={threads} s={shards}: candidate total differs"
+            );
+        }
+    }
+
+    proptest! {
+        /// Seeding is advisory: for any seed set — empty, on-pattern,
+        /// off-pattern, out of range, duplicated — the detection is
+        /// byte-identical to the unseeded run. Only the work counters
+        /// may move.
+        #[test]
+        fn seeding_never_changes_detection(
+            matrix_seed in 0u64..64,
+            raw_seeds in proptest::collection::vec(0usize..1000, 0..20),
+            shards in 1usize..5,
+        ) {
+            let mut r = StdRng::seed_from_u64(matrix_seed);
+            let plant = (matrix_seed % 3) != 0; // mix noise and pattern
+            let (a, b) = if plant { (24, 10) } else { (0, 0) };
+            let (mat, _, _) = planted_matrix(&mut r, 64, 300, a, b);
+            let cfg = SearchConfig {
+                compute: ComputeBudget::sequential().with_shards(shards),
+                ..small_cfg()
+            };
+            let weights = mat.col_weights();
+            let mut scratch = SearchScratch::new();
+            let (base, _, base_work) =
+                refined_detect_seeded(&mat, &weights, &cfg, &[], &mut scratch);
+            let (seeded, _, work) =
+                refined_detect_seeded(&mat, &weights, &cfg, &raw_seeds, &mut scratch);
+            prop_assert_eq!(seeded.found, base.found);
+            prop_assert_eq!(&seeded.rows, &base.rows);
+            prop_assert_eq!(&seeded.cols, &base.cols);
+            prop_assert_eq!(&seeded.core_cols, &base.core_cols);
+            prop_assert_eq!(&seeded.weight_curve, &base.weight_curve);
+            prop_assert_eq!(seeded.stopped_at, base.stopped_at);
+            // Scanned + pruned covers the same candidate set either way.
+            prop_assert_eq!(work.candidates(), base_work.candidates());
         }
     }
 

@@ -141,6 +141,7 @@ fn synth_epoch(rng: &mut StdRng, shape: &Shape) -> Vec<RouterDigest> {
                 router_id: id,
                 epoch_id: 0,
                 aligned,
+                artifacts: Vec::new(),
                 unaligned: UnalignedDigest {
                     arrays,
                     arrays_per_group: shape.arrays_per_group,

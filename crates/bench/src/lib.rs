@@ -105,6 +105,8 @@ pub enum BenchError {
         /// The underlying I/O error.
         source: std::io::Error,
     },
+    /// A measured quantity failed its acceptance gate.
+    Gate(String),
 }
 
 impl fmt::Display for BenchError {
@@ -112,6 +114,7 @@ impl fmt::Display for BenchError {
         match self {
             BenchError::Serialize(e) => write!(f, "serialising report: {e}"),
             BenchError::Write { path, source } => write!(f, "writing {path}: {source}"),
+            BenchError::Gate(msg) => write!(f, "acceptance gate: {msg}"),
         }
     }
 }
@@ -121,6 +124,7 @@ impl std::error::Error for BenchError {
         match self {
             BenchError::Serialize(e) => Some(e),
             BenchError::Write { source, .. } => Some(source),
+            BenchError::Gate(_) => None,
         }
     }
 }
@@ -142,6 +146,8 @@ pub fn write_report<T: serde::Serialize>(path: &str, report: &T) -> Result<(), B
 pub struct StageGauges {
     /// Aligned `fuse`: digest fusion into the m×n column matrix.
     pub fuse_ns: u64,
+    /// Aligned `sketch_fuse`: sidecar-sketch merge and seed derivation.
+    pub sketch_fuse_ns: u64,
     /// Aligned `screen`: rank columns, materialise the n′ heaviest.
     pub screen_ns: u64,
     /// Aligned `core_find`: product search plus the stop-point read.
@@ -165,12 +171,13 @@ pub struct StageGauges {
 }
 
 impl StageGauges {
-    /// Reads the ten stage gauges out of a snapshot (zero for stages
+    /// Reads the eleven stage gauges out of a snapshot (zero for stages
     /// the snapshot has never seen).
     pub fn from_snapshot(snap: &MetricsSnapshot) -> StageGauges {
         let g = |s: Stage| snap.gauge(&s.gauge_key()).unwrap_or(0);
         StageGauges {
             fuse_ns: g(Stage::Fuse),
+            sketch_fuse_ns: g(Stage::SketchFuse),
             screen_ns: g(Stage::Screen),
             core_find_ns: g(Stage::CoreFind),
             sweep_ns: g(Stage::Sweep),
@@ -187,6 +194,7 @@ impl StageGauges {
     pub fn all_nonzero(&self) -> bool {
         [
             self.fuse_ns,
+            self.sketch_fuse_ns,
             self.screen_ns,
             self.core_find_ns,
             self.sweep_ns,
@@ -216,7 +224,7 @@ mod tests {
     }
 
     #[test]
-    fn stage_gauges_read_all_ten_stages() {
+    fn stage_gauges_read_all_eleven_stages() {
         let reg = dcs_obs::MetricsRegistry::new();
         let rec = dcs_core::StageRecorder::new(&reg);
         let empty = StageGauges::from_snapshot(&reg.snapshot());
@@ -231,8 +239,9 @@ mod tests {
         let gauges = StageGauges::from_snapshot(&reg.snapshot());
         assert!(gauges.all_nonzero());
         assert_eq!(gauges.fuse_ns, 10);
-        assert_eq!(gauges.prescreen_ns, 70);
-        assert_eq!(gauges.peel_ns, 100);
+        assert_eq!(gauges.sketch_fuse_ns, 20);
+        assert_eq!(gauges.prescreen_ns, 80);
+        assert_eq!(gauges.peel_ns, 110);
     }
 
     #[test]

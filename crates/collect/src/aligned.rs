@@ -114,6 +114,19 @@ impl AlignedCollector {
         self.epoch_full()
     }
 
+    /// The bitmap index this packet's payload hashes to — the same
+    /// index [`observe`](Self::observe) sets — or `None` for a
+    /// header-only packet. Lets a sidecar summary (the heavy-hitter
+    /// sketch) key on the exact column the analysis centre correlates,
+    /// without re-deriving the hashing rule.
+    pub fn index_of(&self, pkt: &Packet) -> Option<usize> {
+        if !pkt.has_payload() {
+            return None;
+        }
+        let len = self.cfg.hash_prefix_len.min(pkt.payload.len());
+        Some(self.hasher.index(&pkt.payload[..len], self.cfg.bitmap_bits))
+    }
+
     /// Whether the bitmap has reached the target fill ratio.
     pub fn epoch_full(&self) -> bool {
         self.bitmap.fill_ratio() >= self.cfg.target_fill
@@ -249,6 +262,26 @@ mod tests {
         let d = c.finish_epoch();
         assert_eq!(d.raw_bytes, 100 * 1500);
         assert!(d.compression_ratio() > 1000.0);
+    }
+
+    #[test]
+    fn index_of_matches_observe() {
+        let mut r = StdRng::seed_from_u64(8);
+        let mut c = AlignedCollector::new(AlignedConfig::small(1 << 12, 7));
+        for len in [0usize, 1, 63, 64, 65, 536] {
+            let p = packet(&mut r, len);
+            let predicted = c.index_of(&p);
+            let before: Vec<usize> = {
+                let d = c.bitmap.clone();
+                d.iter_ones().collect()
+            };
+            c.observe(&p);
+            let after: Vec<usize> = c.bitmap.iter_ones().collect();
+            match predicted {
+                None => assert_eq!(before, after, "header-only packet set a bit"),
+                Some(idx) => assert!(after.contains(&idx), "len {len}: predicted {idx} unset"),
+            }
+        }
     }
 
     #[test]

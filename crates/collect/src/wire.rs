@@ -540,6 +540,37 @@ mod fuzz {
             assert_view_agrees(&soup);
         }
 
+        /// DCSS arm of the byte-soup fuzz: the sidecar-artifact section
+        /// decoders face the same 64 KiB soup — never a panic, a
+        /// hostile count/length field dies on the pre-allocation length
+        /// check, and the owned and borrowing decoders agree on the
+        /// accept/reject decision.
+        #[test]
+        fn artifact_section_never_panics_on_64k_soup(
+            bytes in proptest::collection::vec(any::<u8>(), 0..(64 * 1024)),
+            stamp_sketch in any::<bool>(),
+        ) {
+            let mut soup = bytes;
+            if stamp_sketch && soup.len() >= 10 {
+                // Half the cases claim one DCSS-kind artifact, pushing
+                // the decoder into the length/CRC fields.
+                soup[..2].copy_from_slice(&1u16.to_le_bytes());
+                soup[2..6].copy_from_slice(&crate::artifact::ARTIFACT_KIND_SKETCH.to_le_bytes());
+            }
+            let mut owned: &[u8] = &soup;
+            let owned_res = crate::artifact::decode_section(&mut owned);
+            let mut view: &[u8] = &soup;
+            let view_res = crate::artifact::decode_section_views(&mut view);
+            assert_eq!(owned_res.is_ok(), view_res.is_ok(), "owned/view decoders diverged");
+            if let (Ok(o), Ok(v)) = (&owned_res, &view_res) {
+                assert_eq!(o.len(), v.len());
+                for (a, (kind, payload)) in o.iter().zip(v) {
+                    assert_eq!(a.kind, *kind);
+                    assert_eq!(&a.payload[..], *payload);
+                }
+            }
+        }
+
         #[test]
         fn decoders_never_panic_on_bitflips(pos in 0usize..200, val in any::<u8>()) {
             let mut r = {

@@ -49,16 +49,24 @@ use crate::session::{
     ChunkDisposition, CollectedEpoch, CollectorConfig, EpochCollector, RetransmitRequest,
 };
 use dcs_bitmap::{Bitmap, WordSource};
+use dcs_collect::{artifact, Artifact, MAX_ARTIFACT_PAYLOAD};
 use dcs_hash::crc32::crc32;
 use dcs_obs::MetricsRegistry;
+use dcs_sketch::{decode_sketch, SketchWire};
 use std::fmt;
 use std::time::Instant;
 
 /// Magic for aggregate bundle frames (`b"DCSG"`).
 pub const AGGREGATE_MAGIC: [u8; 4] = *b"DCSG";
 
-/// Aggregate bundle version.
+/// Pre-artifact aggregate bundle version.
 pub const AGGREGATE_VERSION: u8 = 1;
+
+/// Artifact-bearing aggregate bundles: v1 layout plus a sidecar
+/// artifact section between the exclusions and the CRC trailer.
+/// Emitted only when the section is non-empty, so artifact-free
+/// bundles stay byte-identical to v1.
+pub const AGGREGATE_VERSION_V2: u8 = 2;
 
 /// Fixed header bytes: magic + version + aggregator id + epoch id +
 /// level + total frame length.
@@ -161,6 +169,9 @@ pub struct AggregateBundle {
     pub frames: Vec<Vec<u8>>,
     /// Children this aggregator could not deliver.
     pub exclusions: Vec<ChildExclusion>,
+    /// Sidecar artifacts at this tier — one merged `DCSS` sketch when
+    /// any fused child shipped one (empty on pre-artifact bundles).
+    pub artifacts: Vec<Artifact>,
 }
 
 impl AggregateBundle {
@@ -196,6 +207,7 @@ impl AggregateBundle {
         let mut fused = Bitmap::new(0);
         let mut child_weights: Vec<ChildWeight> = Vec::new();
         let mut frames = Vec::with_capacity(child_frames.len());
+        let mut sketch_payloads: Vec<Vec<u8>> = Vec::new();
         for (router_id, bytes) in child_frames {
             // A child that is itself an aggregator ships a nested DCSG
             // bundle; flatten it so the upstream tier (and ultimately the
@@ -211,6 +223,9 @@ impl AggregateBundle {
                         fault: RouterFault::Wire(e.to_string()),
                     }),
                     Ok((nested, _)) => {
+                        if let Some(p) = nested.sketch_payload() {
+                            sketch_payloads.push(p.to_vec());
+                        }
                         if !nested.child_weights.is_empty() {
                             if child_weights.is_empty() {
                                 fused = nested.fused;
@@ -252,10 +267,16 @@ impl AggregateBundle {
                         }
                         child_weights.push(ChildWeight { router_id, weight });
                     }
+                    if let Some(p) = view.sketch_payload() {
+                        sketch_payloads.push(p.to_vec());
+                    }
                     frames.push(bytes);
                 }
             }
         }
+        let artifacts = merge_sketch_payloads(&sketch_payloads)
+            .map(|payload| vec![Artifact::sketch(payload)])
+            .unwrap_or_default();
         AggregateBundle {
             aggregator_id,
             epoch_id,
@@ -264,7 +285,16 @@ impl AggregateBundle {
             child_weights,
             frames,
             exclusions,
+            artifacts,
         }
+    }
+
+    /// The first `DCSS` sketch artifact payload, if any.
+    pub fn sketch_payload(&self) -> Option<&[u8]> {
+        self.artifacts
+            .iter()
+            .find(|a| a.kind == dcs_collect::ARTIFACT_KIND_SKETCH)
+            .map(|a| &a.payload[..])
     }
 
     /// Exact length [`Self::encode_wire`] will produce, in bytes.
@@ -282,6 +312,7 @@ impl AggregateBundle {
                 .iter()
                 .map(|e| 8 + fault_encoded_len(&e.fault))
                 .sum::<usize>()
+            + artifact::section_len(&self.artifacts)
             + 4
     }
 
@@ -306,7 +337,11 @@ impl AggregateBundle {
         let total = self.encoded_len();
         let mut buf = Vec::with_capacity(total);
         buf.extend_from_slice(&AGGREGATE_MAGIC);
-        buf.push(AGGREGATE_VERSION);
+        buf.push(if self.artifacts.is_empty() {
+            AGGREGATE_VERSION
+        } else {
+            AGGREGATE_VERSION_V2
+        });
         buf.extend_from_slice(&self.aggregator_id.to_le_bytes());
         buf.extend_from_slice(&self.epoch_id.to_le_bytes());
         buf.push(self.level);
@@ -331,6 +366,13 @@ impl AggregateBundle {
             buf.extend_from_slice(&e.router_id.to_le_bytes());
             encode_fault(&mut buf, &e.fault, 0);
         }
+        if !self.artifacts.is_empty() {
+            let mut section =
+                bytes::BytesMut::with_capacity(artifact::section_len(&self.artifacts));
+            artifact::encode_section(&self.artifacts, &mut section)
+                .expect("assemble never builds an over-cap artifact section");
+            buf.extend_from_slice(&section);
+        }
         let crc = crc32(&buf);
         buf.extend_from_slice(&crc.to_le_bytes());
         debug_assert_eq!(buf.len(), total, "encoded_len out of sync");
@@ -352,8 +394,9 @@ impl AggregateBundle {
             m.copy_from_slice(&buf[..4]);
             return Err(AggregateError::BadMagic(m));
         }
-        if buf[4] != AGGREGATE_VERSION {
-            return Err(AggregateError::BadVersion(buf[4]));
+        let version = buf[4];
+        if version != AGGREGATE_VERSION && version != AGGREGATE_VERSION_V2 {
+            return Err(AggregateError::BadVersion(version));
         }
         let aggregator_id = u64::from_le_bytes(buf[5..13].try_into().expect("8-byte slice"));
         let epoch_id = u64::from_le_bytes(buf[13..21].try_into().expect("8-byte slice"));
@@ -441,6 +484,14 @@ impl AggregateBundle {
             let fault = decode_fault(body, &mut off, 0)?;
             exclusions.push(ChildExclusion { router_id, fault });
         }
+        let mut artifacts = Vec::new();
+        if version == AGGREGATE_VERSION_V2 {
+            let mut cursor = &body[off..];
+            let before = cursor.len();
+            artifacts = artifact::decode_section(&mut cursor)
+                .map_err(|_| AggregateError::Malformed("bad artifact section"))?;
+            off += before - cursor.len();
+        }
         if off != body.len() {
             return Err(AggregateError::Malformed("trailing bytes"));
         }
@@ -453,10 +504,57 @@ impl AggregateBundle {
                 child_weights,
                 frames,
                 exclusions,
+                artifacts,
             },
             total,
         ))
     }
+}
+
+/// Merges the child `DCSS` payloads that agree with the first
+/// decodable one's kind, domain and shape into one re-encoded payload.
+/// Children with no sketch, an undecodable payload, or an incompatible
+/// shape are skipped — their digests still forward verbatim, so
+/// skipping only widens the sketch's error bound, never the detection
+/// set. Returns `None` when nothing merged or the merged payload would
+/// not fit an artifact slot.
+fn merge_sketch_payloads(payloads: &[Vec<u8>]) -> Option<Vec<u8>> {
+    let mut acc: Option<SketchWire> = None;
+    for p in payloads {
+        let Ok(wire) = decode_sketch(p) else { continue };
+        match (&mut acc, wire) {
+            (None, wire) => acc = Some(wire),
+            (
+                Some(SketchWire::SpaceSaving { domain, sketch }),
+                SketchWire::SpaceSaving {
+                    domain: d2,
+                    sketch: s2,
+                },
+            ) if *domain == d2 && sketch.cap() == s2.cap() => sketch.merge(&s2),
+            (
+                Some(SketchWire::Distinct { domain, sketch }),
+                SketchWire::Distinct {
+                    domain: d2,
+                    sketch: s2,
+                },
+            ) if *domain == d2
+                && sketch.cap() == s2.cap()
+                && sketch.kmv_size() == s2.kmv_size() =>
+            {
+                sketch.merge(&s2)
+            }
+            _ => {}
+        }
+    }
+    let encoded = match acc? {
+        SketchWire::SpaceSaving { domain, sketch } => {
+            dcs_sketch::wire::encode_space_saving(&sketch, domain)
+        }
+        SketchWire::Distinct { domain, sketch } => {
+            dcs_sketch::wire::encode_distinct(&sketch, domain)
+        }
+    };
+    (encoded.len() <= MAX_ARTIFACT_PAYLOAD).then_some(encoded)
 }
 
 fn take<'b>(body: &'b [u8], off: &mut usize, n: usize) -> Result<&'b [u8], AggregateError> {
@@ -817,6 +915,14 @@ impl Aggregator {
                 )
                 .inc();
         }
+        if let Some(p) = bundle.sketch_payload() {
+            metrics
+                .counter("aggregate_sketch_bytes_total", &level)
+                .add(p.len() as u64);
+            metrics
+                .counter("aggregate_sketches_merged_total", &level)
+                .inc();
+        }
         bundle
     }
 }
@@ -1074,6 +1180,77 @@ mod tests {
             AggregateBundle::decode_wire(&bad),
             Err(AggregateError::BadVersion(9))
         ));
+    }
+
+    #[test]
+    fn assemble_merges_child_sketches_into_one_v2_artifact() {
+        use crate::monitor::SketchSpec;
+        // Three leaves with sketches enabled; each observes a distinct
+        // Zipf epoch, so their Space-Saving tables differ.
+        let frames: Vec<(u64, Vec<u8>)> = (0..3u64)
+            .map(|id| {
+                let mut r = StdRng::seed_from_u64(70 + id);
+                let cfg =
+                    MonitorConfig::small(7, 1 << 10, 4).with_sketch(SketchSpec::heavy_content(16));
+                let mut mp = MonitoringPoint::new(id as usize, &cfg);
+                let pkts = gen::generate_epoch(
+                    &mut r,
+                    &BackgroundConfig {
+                        packets: 200,
+                        flows: 50,
+                        zipf_exponent: 1.0,
+                        size_mix: SizeMix::constant(536),
+                    },
+                );
+                mp.observe_all(&pkts);
+                (id, mp.finish_epoch().encode_wire().unwrap().to_vec())
+            })
+            .collect();
+
+        // Reference merge straight from the child payloads.
+        let mut expect: Option<dcs_sketch::SpaceSaving> = None;
+        for (_, f) in &frames {
+            let (view, _) = RouterDigestView::parse(f).unwrap();
+            let decoded = decode_sketch(view.sketch_payload().unwrap()).unwrap();
+            let SketchWire::SpaceSaving { sketch, .. } = decoded else {
+                panic!("expected a Space-Saving sketch");
+            };
+            match &mut expect {
+                None => expect = Some(sketch),
+                Some(acc) => acc.merge(&sketch),
+            }
+        }
+        let expect = expect.unwrap();
+
+        let bundle = AggregateBundle::assemble(77, 5, 1, frames, Vec::new());
+        let payload = bundle.sketch_payload().expect("merged sketch rides along");
+        let SketchWire::SpaceSaving { domain, sketch } = decode_sketch(payload).unwrap() else {
+            panic!("expected a Space-Saving sketch");
+        };
+        assert_eq!(domain, dcs_sketch::SketchDomain::ContentIndex.to_u8());
+        assert_eq!(sketch, expect, "tier merge == direct child merge");
+        assert_eq!(sketch.total(), 600, "all three children's mass merged");
+
+        // v2 wire round trip carries the artifact; sketchless stays v1.
+        let wire = bundle.encode_wire();
+        assert_eq!(wire[4], AGGREGATE_VERSION_V2);
+        assert_eq!(wire.len(), bundle.encoded_len());
+        let (back, used) = AggregateBundle::decode_wire(&wire).unwrap();
+        assert_eq!(used, wire.len());
+        assert_eq!(back, bundle);
+        let plain = sample_bundle();
+        assert!(plain.artifacts.is_empty());
+        assert_eq!(plain.encode_wire()[4], AGGREGATE_VERSION);
+
+        // Nested flattening merges the lower tier's sketch too.
+        let nested =
+            AggregateBundle::assemble(200, 5, 2, vec![(77, bundle.encode_wire())], Vec::new());
+        let SketchWire::SpaceSaving { sketch: s2, .. } =
+            decode_sketch(nested.sketch_payload().unwrap()).unwrap()
+        else {
+            panic!("expected a Space-Saving sketch");
+        };
+        assert_eq!(s2, expect, "nested tier forwards the merged sketch");
     }
 
     #[test]

@@ -3,13 +3,15 @@
 
 use crate::ingest::{self, DigestShape, Exclusion, IngestError, IngestReport, RouterFault};
 use crate::monitor::{RouterDigest, RouterDigestView};
+use crate::report::SketchReport;
 use crate::report::{AlignedReport, EpochReport, EpochTimings, TransportStats, UnalignedReport};
 use crate::session::CollectedEpoch;
 use crate::stages::{Stage, StageRecorder};
-use dcs_aligned::{refined_detect_cached, SearchConfig, SearchScratch};
+use dcs_aligned::{refined_detect_cached, refined_detect_seeded, SearchConfig, SearchScratch};
 use dcs_bitmap::{Bitmap, BitmapView, ColMatrix, RowMatrix};
 use dcs_obs::{MetricsRegistry, MetricsSnapshot};
 use dcs_parallel::ComputeBudget;
+use dcs_sketch::{decode_sketch, SketchDomain, SketchWire};
 use dcs_unaligned::lambda::p_star_for_edge_prob;
 use dcs_unaligned::{
     build_group_graph_parallel, build_group_graph_prescreened, er_test, find_pattern,
@@ -48,6 +50,15 @@ pub struct AnalysisConfig {
     /// Unaligned test-graph engine settings (prescreen shape, incremental
     /// maintenance, audit cadence).
     pub ugraph: UnalignedGraphConfig,
+    /// Whether the fused content-index heavy-hitter sketch (when the
+    /// epoch's bundles carry one) seeds the aligned core search.
+    /// **Advisory only**: seeding reorders the candidate scan, it never
+    /// changes the detection — flipping this flag leaves every verdict
+    /// byte-identical (see `sketch_seeding_is_advisory` in the tests).
+    pub sketch_seed: bool,
+    /// How many fused heavy-hitter columns are handed to the search as
+    /// seeds when `sketch_seed` is on.
+    pub sketch_top_k: usize,
 }
 
 /// How the unaligned statistical-test graph is built each epoch.
@@ -111,7 +122,15 @@ impl AnalysisConfig {
             compute: dcs_parallel::ComputeBudget::default(),
             min_quorum: default_min_quorum(),
             ugraph: UnalignedGraphConfig::default(),
+            sketch_seed: true,
+            sketch_top_k: 16,
         }
+    }
+
+    /// Enables or disables sketch seeding of the aligned search.
+    pub fn with_sketch_seed(mut self, on: bool) -> Self {
+        self.sketch_seed = on;
+        self
     }
 
     /// Sets the minimum surviving-bundle count required to analyse.
@@ -146,6 +165,9 @@ struct EpochScratch {
     urows: RowMatrix,
     /// Owner router of each global flow-split group.
     group_owner: Vec<usize>,
+    /// Band signatures extracted during the stacking pass, handed to the
+    /// prescreen (round-trips by swap, so both buffers recycle).
+    stack_sigs: Vec<u64>,
     /// Conservative pair prescreen (weights, classes, band signatures).
     screen: PreScreen,
 }
@@ -158,6 +180,7 @@ impl EpochScratch {
             search: SearchScratch::new(),
             urows: RowMatrix::new(0),
             group_owner: Vec::new(),
+            stack_sigs: Vec::new(),
             screen: PreScreen::new(),
         }
     }
@@ -173,6 +196,8 @@ trait EpochSource: DigestShape {
     fn src_encoded_len(&self) -> usize;
     /// Number of unaligned flow-split groups.
     fn groups(&self) -> usize;
+    /// The bundle's sidecar sketch payload (`DCSS` bytes), if it ships one.
+    fn src_sketch_payload(&self) -> Option<&[u8]>;
     /// Fuses the aligned bitmaps of `digests` into `matrix`, accumulating
     /// per-column weights in `weights`, sharded per `budget`.
     fn fuse_aligned(
@@ -182,8 +207,17 @@ trait EpochSource: DigestShape {
         budget: &ComputeBudget,
     );
     /// Stacks the unaligned arrays of `digests` vertically into `rows`,
-    /// sharded per `budget`.
-    fn stack_unaligned(digests: &[&Self], rows: &mut RowMatrix, budget: &ComputeBudget);
+    /// sharded per `budget`, extracting `bands` band signatures per row
+    /// into `sigs` while each shard's rows are cache-hot (the prescreen
+    /// consumes them via
+    /// [`PreScreen::rebuild_with_sigs`](dcs_unaligned::PreScreen::rebuild_with_sigs)).
+    fn stack_unaligned(
+        digests: &[&Self],
+        rows: &mut RowMatrix,
+        bands: usize,
+        sigs: &mut Vec<u64>,
+        budget: &ComputeBudget,
+    );
 }
 
 impl EpochSource for RouterDigest {
@@ -196,6 +230,9 @@ impl EpochSource for RouterDigest {
     fn groups(&self) -> usize {
         self.unaligned.groups()
     }
+    fn src_sketch_payload(&self) -> Option<&[u8]> {
+        self.sketch_payload()
+    }
     fn fuse_aligned(
         digests: &[&Self],
         matrix: &mut ColMatrix,
@@ -206,14 +243,27 @@ impl EpochSource for RouterDigest {
         let shards = budget.effective_shards();
         matrix.fuse_rows_into_sharded(&rows, weights, shards, budget.workers_for(shards));
     }
-    fn stack_unaligned(digests: &[&Self], rows: &mut RowMatrix, budget: &ComputeBudget) {
+    fn stack_unaligned(
+        digests: &[&Self],
+        rows: &mut RowMatrix,
+        bands: usize,
+        sigs: &mut Vec<u64>,
+        budget: &ComputeBudget,
+    ) {
         let ncols = digests
             .first()
             .and_then(|d| d.unaligned.arrays.first())
             .map_or(0, Bitmap::len);
         let flat: Vec<&Bitmap> = digests.iter().flat_map(|d| &d.unaligned.arrays).collect();
         let shards = budget.effective_shards();
-        rows.fill_rows_sharded(ncols, &flat, shards, budget.workers_for(shards));
+        rows.fill_rows_sharded_with_sigs(
+            ncols,
+            &flat,
+            bands,
+            sigs,
+            shards,
+            budget.workers_for(shards),
+        );
     }
 }
 
@@ -227,6 +277,9 @@ impl EpochSource for RouterDigestView<'_> {
     fn groups(&self) -> usize {
         self.unaligned.groups()
     }
+    fn src_sketch_payload(&self) -> Option<&[u8]> {
+        self.sketch_payload()
+    }
     fn fuse_aligned(
         digests: &[&Self],
         matrix: &mut ColMatrix,
@@ -237,7 +290,13 @@ impl EpochSource for RouterDigestView<'_> {
         let shards = budget.effective_shards();
         matrix.fuse_rows_into_sharded(&rows, weights, shards, budget.workers_for(shards));
     }
-    fn stack_unaligned(digests: &[&Self], rows: &mut RowMatrix, budget: &ComputeBudget) {
+    fn stack_unaligned(
+        digests: &[&Self],
+        rows: &mut RowMatrix,
+        bands: usize,
+        sigs: &mut Vec<u64>,
+        budget: &ComputeBudget,
+    ) {
         let ncols = digests
             .first()
             .filter(|d| d.unaligned.array_count() > 0)
@@ -247,7 +306,14 @@ impl EpochSource for RouterDigestView<'_> {
             .flat_map(|d| (0..d.unaligned.array_count()).map(move |i| d.unaligned.array(i)))
             .collect();
         let shards = budget.effective_shards();
-        rows.fill_rows_sharded(ncols, &flat, shards, budget.workers_for(shards));
+        rows.fill_rows_sharded_with_sigs(
+            ncols,
+            &flat,
+            bands,
+            sigs,
+            shards,
+            budget.workers_for(shards),
+        );
     }
 }
 
@@ -647,7 +713,13 @@ impl AnalysisCenter {
         // Unaligned pipeline, stage 1: stack arrays and map ownership.
         let k = digests.first().map_or(1, |d| d.arrays_per_group());
         let (_, stack_ns) = rec.run(Stage::StackRows, || {
-            D::stack_unaligned(digests, &mut s.urows, &self.cfg.compute);
+            D::stack_unaligned(
+                digests,
+                &mut s.urows,
+                self.cfg.ugraph.prescreen_bands,
+                &mut s.stack_sigs,
+                &self.cfg.compute,
+            );
             s.group_owner.clear();
             for d in digests {
                 s.group_owner
@@ -655,10 +727,38 @@ impl AnalysisCenter {
             }
         });
 
-        // Aligned stages 2–5 are timed inside the search layer; record
+        // Aligned pipeline, stage 2: merge the bundles' sidecar sketches
+        // and derive advisory seed columns for the core search. Runs (and
+        // records its span) every epoch, sketches or not, so the stage
+        // keys exist in every snapshot.
+        let payloads: Vec<&[u8]> = digests
+            .iter()
+            .filter_map(|d| d.src_sketch_payload())
+            .collect();
+        let ncols = s.matrix.ncols();
+        let ((seeds, sketch), _) =
+            rec.run(Stage::SketchFuse, || self.fuse_sketches(&payloads, ncols));
+
+        // Aligned stages 3–6 are timed inside the search layer; record
         // its per-stage split under the stage names.
-        let (det, search_t) =
-            refined_detect_cached(&s.matrix, &s.col_weights, &self.cfg.search, &mut s.search);
+        let (det, search_t, work) = refined_detect_seeded(
+            &s.matrix,
+            &s.col_weights,
+            &self.cfg.search,
+            &seeds,
+            &mut s.search,
+        );
+        // Scan-work accounting. The scanned/pruned split (and the seeded
+        // tally) depends on the shard partition and seed order, so those
+        // land in last-epoch gauges; their sum covers the same candidate
+        // set under any partition and is safe to count.
+        self.metrics
+            .counter("search_candidates_total", &[])
+            .add(work.candidates());
+        let g = |name: &str, v: u64| self.metrics.gauge(name, &[]).set(v);
+        g("search_pairs_scanned", work.pairs_scanned);
+        g("search_pairs_pruned", work.pairs_pruned);
+        g("search_seeded_pairs", work.seeded_pairs);
         let screen_ns = rec.record(Stage::Screen, search_t.screen_ns);
         let core_ns = rec.record(Stage::CoreFind, search_t.core_ns);
         let expand_ns = rec.record(Stage::Sweep, search_t.expand_ns);
@@ -673,7 +773,14 @@ impl AnalysisCenter {
             content_packets: det.cols.len(),
             signature_indices: det.cols,
         };
-        let unaligned = self.unaligned_from_rows(&s.urows, &mut s.screen, &s.group_owner, k, &rec);
+        let unaligned = self.unaligned_from_rows(
+            &s.urows,
+            &mut s.screen,
+            &mut s.stack_sigs,
+            &s.group_owner,
+            k,
+            &rec,
+        );
 
         self.return_scratch(scratch);
         self.record_kernels();
@@ -689,6 +796,7 @@ impl AnalysisCenter {
             aligned,
             unaligned,
             ingest,
+            sketch,
             timings: EpochTimings {
                 fuse_ns: fuse_ns + stack_ns,
                 screen_ns,
@@ -697,6 +805,85 @@ impl AnalysisCenter {
             },
             transport: TransportStats::default(),
         }
+    }
+
+    /// Merges the epoch's sidecar sketch payloads into one fused sketch
+    /// and derives the advisory seed columns: the fused top-k of a
+    /// content-index Space-Saving sketch, clipped to the matrix width.
+    /// Payloads that fail to decode — or that disagree with the first
+    /// decodable one on kind, domain or shape — are skipped, which only
+    /// loses prefilter hints, never detection. All accounting lands in
+    /// the `sketch_*` metric families (registered every epoch, so the
+    /// keys exist even at zero).
+    fn fuse_sketches(&self, payloads: &[&[u8]], ncols: usize) -> (Vec<usize>, SketchReport) {
+        let mut report = SketchReport {
+            artifacts: payloads.len(),
+            ..SketchReport::default()
+        };
+        let mut fused: Option<SketchWire> = None;
+        for payload in payloads {
+            report.payload_bytes += payload.len() as u64;
+            let Ok(wire) = decode_sketch(payload) else {
+                report.skipped += 1;
+                continue;
+            };
+            match (&mut fused, wire) {
+                (None, wire) => {
+                    fused = Some(wire);
+                    report.merged += 1;
+                }
+                (
+                    Some(SketchWire::SpaceSaving { domain, sketch }),
+                    SketchWire::SpaceSaving {
+                        domain: d2,
+                        sketch: other,
+                    },
+                ) if *domain == d2 && sketch.cap() == other.cap() => {
+                    sketch.merge(&other);
+                    report.merged += 1;
+                }
+                (
+                    Some(SketchWire::Distinct { domain, sketch }),
+                    SketchWire::Distinct {
+                        domain: d2,
+                        sketch: other,
+                    },
+                ) if *domain == d2
+                    && sketch.cap() == other.cap()
+                    && sketch.kmv_size() == other.kmv_size() =>
+                {
+                    sketch.merge(&other);
+                    report.merged += 1;
+                }
+                _ => report.skipped += 1,
+            }
+        }
+        let seeds: Vec<usize> = match &fused {
+            Some(SketchWire::SpaceSaving { domain, sketch })
+                if self.cfg.sketch_seed && *domain == SketchDomain::ContentIndex.to_u8() =>
+            {
+                sketch
+                    .top_k(self.cfg.sketch_top_k)
+                    .iter()
+                    .map(|h| h.key as usize)
+                    .filter(|&c| c < ncols)
+                    .collect()
+            }
+            _ => Vec::new(),
+        };
+        report.seed_columns = seeds.clone();
+        let c = |name: &str, v: u64| self.metrics.counter(name, &[]).add(v);
+        c("sketch_artifacts_total", report.artifacts as u64);
+        c("sketch_merged_total", report.merged as u64);
+        c("sketch_skipped_total", report.skipped as u64);
+        c("sketch_payload_bytes_total", report.payload_bytes);
+        self.metrics
+            .gauge("sketch_seed_columns", &[])
+            .set(seeds.len() as u64);
+        self.metrics
+            .histogram("sketch_payload_bytes", &[])
+            .observe(report.payload_bytes);
+        (seeds, report)
     }
 
     /// Feeds one epoch's ingest accounting into the counter families.
@@ -744,12 +931,13 @@ impl AnalysisCenter {
 
     /// Capacities of the most recently recycled epoch scratch:
     /// fused-matrix words, weight slots, stacked unaligned words,
-    /// group-owner slots, the prescreen's weight and signature buffers,
-    /// then the aligned search's [`SearchScratch::capacities`].
+    /// group-owner slots, the stacking pass's signature buffer, the
+    /// prescreen's weight and signature buffers, then the aligned
+    /// search's [`SearchScratch::capacities`].
     /// Steady-state epochs of one deployment shape must not grow any of
     /// these — the no-allocation invariant the zero-copy fusion path is
     /// built around.
-    pub fn scratch_capacities(&self) -> [usize; 10] {
+    pub fn scratch_capacities(&self) -> [usize; 11] {
         let s = self.take_scratch();
         let [order, shard_orders, work, fanouts] = s.search.capacities();
         let [screen_weights, screen_sigs] = s.screen.capacities();
@@ -758,6 +946,7 @@ impl AnalysisCenter {
             s.col_weights.capacity(),
             s.urows.word_capacity(),
             s.group_owner.capacity(),
+            s.stack_sigs.capacity(),
             screen_weights,
             screen_sigs,
             order,
@@ -818,14 +1007,27 @@ impl AnalysisCenter {
         let mut scratch = self.take_scratch();
         let s = &mut scratch;
         let (_, _) = rec.run(Stage::StackRows, || {
-            RouterDigest::stack_unaligned(&refs, &mut s.urows, &self.cfg.compute);
+            RouterDigest::stack_unaligned(
+                &refs,
+                &mut s.urows,
+                self.cfg.ugraph.prescreen_bands,
+                &mut s.stack_sigs,
+                &self.cfg.compute,
+            );
             s.group_owner.clear();
             for d in digests {
                 s.group_owner
                     .extend(std::iter::repeat_n(d.router_id, d.unaligned.groups()));
             }
         });
-        let report = self.unaligned_from_rows(&s.urows, &mut s.screen, &s.group_owner, k, &rec);
+        let report = self.unaligned_from_rows(
+            &s.urows,
+            &mut s.screen,
+            &mut s.stack_sigs,
+            &s.group_owner,
+            k,
+            &rec,
+        );
         self.return_scratch(scratch);
         Ok(report)
     }
@@ -845,10 +1047,12 @@ impl AnalysisCenter {
     /// `graph_full_rebuilds_total` / `graph_audit_runs_total` counters
     /// and the `graph_edges_live` / `graph_groups_changed` gauges (all
     /// registered every epoch, so the keys exist even at zero).
+    #[allow(clippy::too_many_arguments)]
     fn unaligned_from_rows(
         &self,
         rows: &RowMatrix,
         screen: &mut PreScreen,
+        stack_sigs: &mut Vec<u64>,
         group_owner: &[usize],
         k: usize,
         rec: &StageRecorder<'_>,
@@ -870,7 +1074,7 @@ impl AnalysisCenter {
         let (test_table, _) = rec.run(Stage::Prescreen, || {
             let p_star_test = p_star_for_edge_prob(self.cfg.test_p1, pairs);
             let table = LambdaTable::new(ncols, p_star_test);
-            screen.rebuild(rows, &table, self.cfg.ugraph.screen(), workers);
+            screen.rebuild_with_sigs(rows, &table, self.cfg.ugraph.screen(), workers, stack_sigs);
             table
         });
 
@@ -1180,14 +1384,19 @@ mod tests {
         );
     }
 
-    /// After a warm-up epoch the scratch must hold steady: re-analysing
-    /// epochs of the same shape regrows no internal buffer (the zero
-    /// per-epoch-allocation invariant of the fusion path).
+    /// After warm-up the scratch must hold steady: re-analysing epochs
+    /// of the same shape regrows no internal buffer (the zero
+    /// per-epoch-allocation invariant of the fusion path). Two warm-up
+    /// epochs: the stacking-pass signature buffer and the prescreen's
+    /// swap roles each epoch, so both reach capacity only after the
+    /// second.
     #[test]
     fn epoch_scratch_holds_steady_across_epochs() {
         let center = AnalysisCenter::new(AnalysisConfig::for_groups(32));
-        let frames = wire_frames(9, 8);
-        center.analyze_epoch_wire(&frames).expect("quorum");
+        for warmup in 0..2 {
+            let frames = wire_frames(9 + warmup, 8);
+            center.analyze_epoch_wire(&frames).expect("quorum");
+        }
         let warm = center.scratch_capacities();
         assert!(warm[0] > 0, "fused matrix never materialised");
         assert!(warm[2] > 0, "unaligned rows never materialised");
@@ -1582,6 +1791,84 @@ mod tests {
             other => panic!("expected AtLevel timeout, got {other:?}"),
         }
         assert!(report.transport.chunks_received > 0, "stats not stamped");
+    }
+
+    /// Sketch-carrying bundles seed the aligned search, but seeding is
+    /// advisory: a centre with seeding off produces byte-identical
+    /// verdicts, while both account the artifacts and the seeded one
+    /// derives columns. The `sketch_fuse` stage records a span either way.
+    #[test]
+    fn sketch_seeding_is_advisory() {
+        use crate::monitor::SketchSpec;
+        let mut r = StdRng::seed_from_u64(71);
+        let mcfg = MonitorConfig::small(7, 1 << 14, 4).with_sketch(SketchSpec::heavy_content(32));
+        // One single-packet object replayed 40× per router: a genuinely
+        // heavy content-index key, so the fused top-k seeds its column.
+        let heavy = ContentObject::random_with_packets(&mut r, 1, 536);
+        let heavy_plant = Planting::aligned(heavy, 536);
+        let obj = ContentObject::random_with_packets(&mut r, 30, 536);
+        let plant = Planting::aligned(obj, 536);
+        let bg = BackgroundConfig {
+            packets: 800,
+            flows: 200,
+            zipf_exponent: 1.0,
+            size_mix: SizeMix::constant(536),
+        };
+        let routers = 24;
+        let mut digests = Vec::new();
+        for id in 0..routers {
+            let mut traffic = gen::generate_epoch(&mut r, &bg);
+            if id < 20 {
+                plant.plant_into(&mut r, &mut traffic);
+            }
+            for _ in 0..40 {
+                heavy_plant.plant_into(&mut r, &mut traffic);
+            }
+            let mut mp = MonitoringPoint::new(id, &mcfg);
+            mp.observe_all(&traffic);
+            digests.push(mp.finish_epoch());
+        }
+        assert!(
+            digests[0].sketch_payload().is_some(),
+            "sketch not collected"
+        );
+
+        let mut acfg = AnalysisConfig::for_groups(routers * 4);
+        acfg.search.n_prime = 400;
+        acfg.search.hopefuls = 300;
+        let on = AnalysisCenter::new(acfg.clone());
+        let off = AnalysisCenter::new(acfg.with_sketch_seed(false));
+        let a = on.analyze_epoch(&digests).expect("quorum");
+        let b = off.analyze_epoch(&digests).expect("quorum");
+        assert!(a.aligned.found, "planted content missed");
+        assert_eq!(a.aligned.found, b.aligned.found);
+        assert_eq!(a.aligned.routers, b.aligned.routers);
+        assert_eq!(a.aligned.signature_indices, b.aligned.signature_indices);
+        assert_eq!(a.aligned.content_packets, b.aligned.content_packets);
+        assert_eq!(a.unaligned.alarm, b.unaligned.alarm);
+        assert_eq!(a.unaligned.largest_component, b.unaligned.largest_component);
+        assert_eq!(a.unaligned.suspected_groups, b.unaligned.suspected_groups);
+
+        assert_eq!(a.sketch.artifacts, routers);
+        assert_eq!(a.sketch.merged, routers);
+        assert_eq!(a.sketch.skipped, 0);
+        assert!(a.sketch.payload_bytes > 0);
+        assert!(!a.sketch.seed_columns.is_empty(), "no seed columns derived");
+        assert_eq!(b.sketch.artifacts, routers, "accounting survives seed-off");
+        assert!(b.sketch.seed_columns.is_empty(), "seed-off centre seeded");
+
+        let snap = on.metrics();
+        assert!(
+            snap.gauge("epoch_stage_ns{pipeline=aligned,stage=sketch_fuse}")
+                .unwrap_or(0)
+                >= 1,
+            "sketch_fuse stage never recorded"
+        );
+        assert_eq!(snap.counter("sketch_artifacts_total"), Some(routers as u64));
+        assert_eq!(snap.counter("sketch_merged_total"), Some(routers as u64));
+        assert!(snap.gauge("sketch_seed_columns").unwrap_or(0) > 0);
+        assert!(snap.counter("search_candidates_total").unwrap_or(0) > 0);
+        assert!(snap.gauge("search_pairs_scanned").unwrap_or(0) > 0);
     }
 
     /// The incremental test-graph engine must be invisible in the

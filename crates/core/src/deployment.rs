@@ -267,6 +267,7 @@ mod tests {
                     suspected_groups: vec![9, 11],
                 },
                 ingest: Default::default(),
+                sketch: Default::default(),
                 timings: Default::default(),
                 transport: Default::default(),
             },

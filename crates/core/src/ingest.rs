@@ -700,6 +700,7 @@ mod tests {
                 packets_sampled: 10,
                 raw_bytes: 1000,
             },
+            artifacts: Vec::new(),
         }
     }
 

@@ -68,14 +68,16 @@ pub mod prelude {
     pub use crate::deployment::{Deployment, DeploymentVerdict};
     pub use crate::epochs::{AlarmTracker, EpochSampler};
     pub use crate::ingest::{Exclusion, IngestError, IngestReport, RouterFault};
-    pub use crate::monitor::{MonitorConfig, MonitoringPoint, RouterDigest, RouterDigestView};
+    pub use crate::monitor::{
+        MonitorConfig, MonitoringPoint, RouterDigest, RouterDigestView, SketchSpec,
+    };
     pub use crate::net::{
         run_center_epoch, run_monitor_epoch, CenterEpochEnd, CenterSocket, ControlFrame,
         ImpairmentConfig, ImpairmentShim, MonitorEpochConfig, MonitorEpochEnd, MonitorSocket,
         Transport,
     };
     pub use crate::report::{
-        AlignedReport, EpochReport, EpochTimings, TransportStats, UnalignedReport,
+        AlignedReport, EpochReport, EpochTimings, SketchReport, TransportStats, UnalignedReport,
     };
     pub use crate::runtime::{
         EpochInput, EpochPipeline, PipelineConfig, PipelineError, PipelineResult,

@@ -35,6 +35,27 @@ pub struct UnalignedReport {
     pub suspected_groups: Vec<usize>,
 }
 
+/// Sidecar-sketch accounting for one epoch: how many accepted bundles
+/// shipped a `DCSS` artifact, how the merge went, and which columns the
+/// fused content-index top-k seeded into the aligned search. Seeding is
+/// advisory — these fields describe prefilter work, never the verdict.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SketchReport {
+    /// Accepted bundles carrying a sketch artifact.
+    pub artifacts: usize,
+    /// Artifacts merged into the fused epoch sketch.
+    pub merged: usize,
+    /// Artifacts skipped: undecodable, or disagreeing with the first
+    /// decodable one on kind, domain or shape.
+    pub skipped: usize,
+    /// Total sketch payload bytes across the accepted bundles.
+    pub payload_bytes: u64,
+    /// Seed columns handed to the aligned core search (empty when
+    /// seeding is off, no sketch arrived, or the fused sketch is not in
+    /// the content-index domain).
+    pub seed_columns: Vec<usize>,
+}
+
 /// Wall-clock nanoseconds spent in the analysis stages of one epoch.
 ///
 /// **Deprecated view**: since the staged-pipeline refactor the source of
@@ -129,6 +150,8 @@ pub struct EpochReport {
     /// Ingest accounting: which routers were fused, which bundles were
     /// excluded and why. A degraded (but analysable) epoch shows up here.
     pub ingest: IngestReport,
+    /// Sidecar-sketch accounting (all zeros when no bundle shipped one).
+    pub sketch: SketchReport,
     /// Per-stage wall-clock timings of the analysis.
     pub timings: EpochTimings,
     /// Delivery accounting from the transport layer (zeros when the epoch
@@ -177,6 +200,13 @@ mod tests {
                     router_id: None,
                     fault: crate::ingest::RouterFault::Wire("digest frame truncated".into()),
                 }],
+            },
+            sketch: SketchReport {
+                artifacts: 4,
+                merged: 4,
+                skipped: 0,
+                payload_bytes: 640,
+                seed_columns: vec![5, 17],
             },
             timings: EpochTimings {
                 fuse_ns: 1_000,

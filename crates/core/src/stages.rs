@@ -2,8 +2,8 @@
 //!
 //! Both detection pipelines of the [`AnalysisCenter`] run as a fixed
 //! sequence of named [`Stage`]s driven through one [`StageRecorder`]:
-//! the aligned pipeline as `fuse → screen → core_find → sweep →
-//! terminate`, the unaligned pipeline as `stack_rows → prescreen →
+//! the aligned pipeline as `fuse → sketch_fuse → screen → core_find →
+//! sweep → terminate`, the unaligned pipeline as `stack_rows → prescreen →
 //! graph_build → er_test → peel`. Every stage span lands in three metric
 //! families of the centre's [`MetricsRegistry`]:
 //!
@@ -27,6 +27,10 @@ pub enum Stage {
     /// Aligned: fuse per-router bitmaps into the m×n column matrix,
     /// accumulating column weights.
     Fuse,
+    /// Aligned: merge the epoch's sidecar heavy-hitter sketches and map
+    /// top-k content-index keys to seed columns for the core search.
+    /// Runs (and records a span) every epoch, even with no sketches.
+    SketchFuse,
     /// Aligned: rank columns and materialise the n′ heaviest.
     Screen,
     /// Aligned: greedy product search for the core, including the
@@ -54,8 +58,9 @@ pub enum Stage {
 
 impl Stage {
     /// The aligned pipeline's stages, in execution order.
-    pub const ALIGNED: [Stage; 5] = [
+    pub const ALIGNED: [Stage; 6] = [
         Stage::Fuse,
+        Stage::SketchFuse,
         Stage::Screen,
         Stage::CoreFind,
         Stage::Sweep,
@@ -75,6 +80,7 @@ impl Stage {
     pub fn name(self) -> &'static str {
         match self {
             Stage::Fuse => "fuse",
+            Stage::SketchFuse => "sketch_fuse",
             Stage::Screen => "screen",
             Stage::CoreFind => "core_find",
             Stage::Sweep => "sweep",
@@ -90,9 +96,12 @@ impl Stage {
     /// The `pipeline` label value.
     pub fn pipeline(self) -> &'static str {
         match self {
-            Stage::Fuse | Stage::Screen | Stage::CoreFind | Stage::Sweep | Stage::Terminate => {
-                "aligned"
-            }
+            Stage::Fuse
+            | Stage::SketchFuse
+            | Stage::Screen
+            | Stage::CoreFind
+            | Stage::Sweep
+            | Stage::Terminate => "aligned",
             Stage::StackRows
             | Stage::Prescreen
             | Stage::GraphBuild
@@ -167,7 +176,7 @@ mod tests {
             .collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 10, "stage names must be distinct");
+        assert_eq!(names.len(), 11, "stage names must be distinct");
     }
 
     #[test]

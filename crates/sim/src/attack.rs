@@ -1,0 +1,754 @@
+//! Attack-scenario suite: three canonical heavy-content attacks driven
+//! end-to-end through the two-level aggregation topology with sidecar
+//! sketches enabled at every leaf.
+//!
+//! Each scenario pairs a traffic generator with the
+//! [`SketchSpec`] domain built to spot it:
+//!
+//! * **DNS amplification** — every attacked leaf forwards the same
+//!   amplified multi-packet response to spoofed victims, many times per
+//!   epoch. The content-index Space-Saving sketch surfaces exactly the
+//!   bitmap columns the response hashes to, which double as the aligned
+//!   search's seed columns.
+//! * **DRDoS reflection** — thousands of spoofed *sources* bounce one
+//!   reflector payload at a single victim AS. The distinct-HH sketch
+//!   keyed on (src-port, dst-AS) counts distinct sources per key, so
+//!   the reflection fan-in towers over any benign key.
+//! * **Elephant flows** — each attacked leaf carries one huge flow
+//!   moving the same content object. The flow-bytes Space-Saving
+//!   sketch, weighted by payload length, ranks those flows first.
+//!
+//! The harness replays the tiered soak's topology — leaves chunk their
+//! bundles over a [`LossyChannel`] to regional [`Aggregator`]s, which
+//! pre-fuse and ship DCSG bundles over a second lossy hop to the
+//! centre — and analyses every delivered epoch **twice**: once with
+//! sketch seeding on and once with it off. Seeding is advisory, so the
+//! two detection fingerprints must be identical every epoch; the
+//! harness records the pairs and [`AttackResult::seeding_equivalent`]
+//! is the suite's central acceptance check. Transport faults never
+//! panic: a failed quorum is a typed [`EpochOutcome`].
+
+use crate::channel::{ChannelConfig, LossyChannel};
+use crate::soak::EpochOutcome;
+use crate::tiered::outcome_fingerprint;
+use dcs_collect::{AlignedCollector, ARTIFACT_KIND_SKETCH};
+use dcs_core::aggregate::{AggregateBundle, Aggregator};
+use dcs_core::center::{AnalysisCenter, AnalysisConfig};
+use dcs_core::ingest::IngestError;
+use dcs_core::monitor::{
+    src_port_dst_as_key, MonitorConfig, MonitoringPoint, RouterDigest, SketchSpec,
+};
+use dcs_core::report::TransportStats;
+use dcs_core::session::{
+    ChunkDisposition, CollectorConfig, EpochCollector, Missing, RetransmitRequest,
+};
+use dcs_core::transport::chunk_bundle;
+use dcs_core::MetricsRegistry;
+use dcs_hash::IndexHasher;
+use dcs_sketch::{decode_sketch, DistinctSketch, SketchWire, SpaceSaving};
+use dcs_traffic::{gen, BackgroundConfig, ContentObject, FlowLabel, Packet, SizeMix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Aggregator router ids live far above any leaf id.
+const AGG_ID_BASE: u64 = 1 << 20;
+
+/// The three attack scenarios of the suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttackScenario {
+    /// Amplified DNS responses replayed to spoofed victims.
+    DnsAmplification,
+    /// One reflector payload bounced off many spoofed sources at one
+    /// victim AS.
+    DrdosReflection,
+    /// One very large flow per attacked leaf, all moving the same
+    /// object.
+    ElephantFlows,
+}
+
+impl AttackScenario {
+    /// The sketch domain built to spot this scenario.
+    pub fn sketch_spec(self, cap: usize) -> SketchSpec {
+        match self {
+            AttackScenario::DnsAmplification => SketchSpec::heavy_content(cap),
+            AttackScenario::DrdosReflection => SketchSpec::drdos(cap),
+            AttackScenario::ElephantFlows => SketchSpec::elephant_flows(cap),
+        }
+    }
+
+    /// Human-readable scenario slug (used by the repro binaries).
+    pub fn name(self) -> &'static str {
+        match self {
+            AttackScenario::DnsAmplification => "dns_amplification",
+            AttackScenario::DrdosReflection => "drdos_reflection",
+            AttackScenario::ElephantFlows => "elephant_flows",
+        }
+    }
+}
+
+/// Parameters of one attack-scenario soak.
+#[derive(Debug, Clone)]
+pub struct AttackConfig {
+    /// Which attack is running.
+    pub scenario: AttackScenario,
+    /// Leaf monitoring points.
+    pub leaves: usize,
+    /// Regional aggregators; leaves are partitioned contiguously.
+    pub aggregators: usize,
+    /// Leaves `0..attacked` observe the attack each epoch.
+    pub attacked: usize,
+    /// Epochs to run.
+    pub epochs: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Sidecar sketch capacity at every leaf.
+    pub sketch_cap: usize,
+    /// Packets of the attack content object (536-byte payloads).
+    pub content_packets: usize,
+    /// Times each attacked leaf replays the object per epoch (DNS),
+    /// spoofed sources (DRDoS), or object repetitions on the elephant
+    /// flow.
+    pub intensity: usize,
+    /// Background packets per leaf per epoch.
+    pub bg_packets: usize,
+    /// Background flows per leaf per epoch.
+    pub bg_flows: usize,
+    /// Impairments of the leaf → aggregator hop.
+    pub leaf_channel: ChannelConfig,
+    /// Impairments of the aggregator → centre hop.
+    pub up_channel: ChannelConfig,
+    /// Collector settings of each aggregator (child hop).
+    pub leaf_collector: CollectorConfig,
+    /// Collector settings of the centre (upstream hop).
+    pub up_collector: CollectorConfig,
+    /// Chunk payload bound on both hops.
+    pub max_payload: usize,
+    /// The centre's minimum surviving-leaf quorum.
+    pub min_quorum: usize,
+}
+
+impl AttackConfig {
+    /// The suite's standard regime: 24 leaves behind 3 aggregators,
+    /// lossy on both hops, background light enough that the
+    /// Space-Saving guarantee (`count > total/cap`) pins every attack
+    /// key in the sketch.
+    pub fn standard(scenario: AttackScenario, epochs: usize, seed: u64) -> Self {
+        AttackConfig {
+            scenario,
+            leaves: 24,
+            aggregators: 3,
+            attacked: 20,
+            epochs,
+            seed,
+            sketch_cap: 64,
+            content_packets: 30,
+            intensity: 20,
+            bg_packets: 400,
+            bg_flows: 120,
+            leaf_channel: ChannelConfig::soak(),
+            up_channel: ChannelConfig::soak(),
+            leaf_collector: CollectorConfig::default(),
+            up_collector: CollectorConfig::default(),
+            max_payload: 1024,
+            min_quorum: 16,
+        }
+    }
+
+    /// The contiguous child range of aggregator `a`.
+    fn region(&self, a: usize) -> std::ops::Range<usize> {
+        let per = self.leaves / self.aggregators;
+        let start = a * per;
+        let end = if a + 1 == self.aggregators {
+            self.leaves
+        } else {
+            start + per
+        };
+        start..end
+    }
+}
+
+/// One epoch's record in the attack soak.
+#[derive(Debug)]
+pub struct AttackEpoch {
+    /// The sketch-seeded centre's outcome.
+    pub outcome: EpochOutcome,
+    /// `(seeded, unseeded)` detection fingerprints of the same
+    /// delivered epoch — equal strings = seeding stayed advisory.
+    pub fingerprints: (String, String),
+    /// Ranks (0 = heaviest) of the expected attack keys in the
+    /// reference sketch merged from the leaf artifacts that survived
+    /// both hops. One entry per expected key; `None` = key fell out.
+    pub attack_key_ranks: Vec<Option<usize>>,
+    /// How many surviving leaf bundles carried a decodable sketch.
+    pub artifacts_delivered: usize,
+}
+
+/// The full attack-soak record.
+#[derive(Debug)]
+pub struct AttackResult {
+    /// One record per epoch, in order.
+    pub epochs: Vec<AttackEpoch>,
+    /// Child-hop delivery stats summed over all aggregators and epochs.
+    pub leaf_totals: TransportStats,
+    /// Upstream-hop delivery stats summed over all epochs.
+    pub up_totals: TransportStats,
+    /// The seeded centre's metrics.
+    pub metrics: dcs_core::MetricsSnapshot,
+}
+
+impl AttackResult {
+    /// Whether every epoch's seeded and unseeded fingerprints matched
+    /// (the seeding-is-advisory soak check).
+    pub fn seeding_equivalent(&self) -> bool {
+        self.epochs
+            .iter()
+            .all(|e| e.fingerprints.0 == e.fingerprints.1)
+    }
+
+    /// Epochs that reached quorum.
+    pub fn quorum_epochs(&self) -> usize {
+        self.epochs
+            .iter()
+            .filter(|e| matches!(e.outcome, EpochOutcome::Report(_)))
+            .count()
+    }
+
+    /// Whether the planted content was found in every quorum epoch.
+    pub fn attack_detected_in_all_quorum_epochs(&self) -> bool {
+        self.epochs.iter().all(|e| match &e.outcome {
+            EpochOutcome::Report(r) => r.aligned.found,
+            EpochOutcome::QuorumTooSmall { .. } => true,
+        })
+    }
+}
+
+/// The per-epoch attack plan: packets to inject at each attacked leaf
+/// plus the sketch keys the attack is expected to dominate.
+struct AttackPlan {
+    /// `injections[l]` is appended to leaf `l`'s background traffic.
+    injections: Vec<Vec<Packet>>,
+    /// Expected heavy keys in the scenario's sketch domain.
+    expected_keys: Vec<u64>,
+}
+
+/// Builds one epoch's attack plan. Deterministic in `rng`.
+fn plan_attack(cfg: &AttackConfig, mcfg: &MonitorConfig, rng: &mut StdRng) -> AttackPlan {
+    let object = ContentObject::random_with_packets(rng, cfg.content_packets, 536);
+    let payloads = object.packetize(&[], 536);
+    match cfg.scenario {
+        AttackScenario::DnsAmplification => {
+            // Resolver replays the amplified response to a fresh spoofed
+            // victim per repetition; src port 53/UDP marks the reflector.
+            let injections = (0..cfg.attacked)
+                .map(|_| {
+                    let mut pkts = Vec::with_capacity(cfg.intensity * payloads.len());
+                    for _ in 0..cfg.intensity {
+                        let flow = FlowLabel {
+                            src_ip: rng.gen(),
+                            dst_ip: rng.gen(),
+                            src_port: 53,
+                            dst_port: rng.gen_range(1024..=u16::MAX),
+                            proto: 17,
+                        };
+                        pkts.extend(payloads.iter().map(|p| Packet::new(flow, p.clone())));
+                    }
+                    pkts
+                })
+                .collect();
+            // Expected heavy keys: the bitmap columns the response's
+            // packets hash to (the same at every leaf — shared seed).
+            let probe = AlignedCollector::new(mcfg.aligned.clone());
+            let f = FlowLabel::random(rng);
+            let expected_keys = payloads
+                .iter()
+                .filter_map(|p| probe.index_of(&Packet::new(f, p.clone())))
+                .map(|c| c as u64)
+                .collect();
+            AttackPlan {
+                injections,
+                expected_keys,
+            }
+        }
+        AttackScenario::DrdosReflection => {
+            // One victim AS; `intensity` spoofed sources each bounce the
+            // whole reflector payload off src port 123 (NTP).
+            let victim_ip: u32 = rng.gen();
+            let injections = (0..cfg.attacked)
+                .map(|_| {
+                    let mut pkts = Vec::with_capacity(cfg.intensity * payloads.len());
+                    for _ in 0..cfg.intensity {
+                        let flow = FlowLabel {
+                            src_ip: rng.gen(),
+                            dst_ip: victim_ip,
+                            src_port: 123,
+                            dst_port: rng.gen_range(1024..=u16::MAX),
+                            proto: 17,
+                        };
+                        pkts.extend(payloads.iter().map(|p| Packet::new(flow, p.clone())));
+                    }
+                    pkts
+                })
+                .collect();
+            let key_flow = FlowLabel {
+                src_ip: 0,
+                dst_ip: victim_ip,
+                src_port: 123,
+                dst_port: 0,
+                proto: 17,
+            };
+            AttackPlan {
+                injections,
+                expected_keys: vec![src_port_dst_as_key(&key_flow)],
+            }
+        }
+        AttackScenario::ElephantFlows => {
+            // One elephant flow per attacked leaf, all hauling the same
+            // object `intensity` times. Keys are the flow-label hashes
+            // under the sketch hasher (aligned seed, fixed tweak).
+            let hasher = IndexHasher::new(mcfg.aligned.seed ^ 0x5C5C_5C5C_5C5C_5C5Cu64);
+            let mut expected_keys = Vec::with_capacity(cfg.attacked);
+            let injections = (0..cfg.attacked)
+                .map(|_| {
+                    let flow = FlowLabel::random(rng);
+                    expected_keys.push(hasher.hash64(&flow.to_bytes()));
+                    let mut pkts = Vec::with_capacity(cfg.intensity * payloads.len());
+                    for _ in 0..cfg.intensity {
+                        pkts.extend(payloads.iter().map(|p| Packet::new(flow, p.clone())));
+                    }
+                    pkts
+                })
+                .collect();
+            AttackPlan {
+                injections,
+                expected_keys,
+            }
+        }
+    }
+}
+
+/// Reference merge of the leaf sketches that survived both hops, in the
+/// scenario's own kernel. Returns per-expected-key ranks plus how many
+/// bundles carried a decodable sketch.
+fn rank_attack_keys(
+    scenario: AttackScenario,
+    cap: usize,
+    leaf_frames: &[Vec<u8>],
+    expected: &[u64],
+) -> (Vec<Option<usize>>, usize) {
+    let mut heavy: Option<SpaceSaving> = None;
+    let mut distinct: Option<DistinctSketch> = None;
+    let mut delivered = 0usize;
+    for frame in leaf_frames {
+        let Ok((digest, _)) = RouterDigest::decode_wire(frame) else {
+            continue;
+        };
+        let Some(payload) = digest
+            .artifacts
+            .iter()
+            .find(|a| a.kind == ARTIFACT_KIND_SKETCH)
+            .map(|a| a.payload.clone())
+        else {
+            continue;
+        };
+        let Ok(wire) = decode_sketch(&payload) else {
+            continue;
+        };
+        delivered += 1;
+        match wire {
+            SketchWire::SpaceSaving { sketch, .. } => {
+                heavy
+                    .get_or_insert_with(|| SpaceSaving::new(cap))
+                    .merge(&sketch);
+            }
+            SketchWire::Distinct { sketch, .. } => {
+                distinct
+                    .get_or_insert_with(|| DistinctSketch::new(cap, sketch.kmv_size()))
+                    .merge(&sketch);
+            }
+        }
+    }
+    let ranked: Vec<u64> = match scenario {
+        AttackScenario::DnsAmplification | AttackScenario::ElephantFlows => heavy
+            .map(|s| s.top_k(cap).into_iter().map(|h| h.key).collect())
+            .unwrap_or_default(),
+        AttackScenario::DrdosReflection => distinct
+            .map(|s| s.top_k(cap).into_iter().map(|(k, _)| k).collect())
+            .unwrap_or_default(),
+    };
+    let ranks = expected
+        .iter()
+        .map(|k| ranked.iter().position(|r| r == k))
+        .collect();
+    (ranks, delivered)
+}
+
+fn accumulate(totals: &mut TransportStats, s: TransportStats) {
+    totals.chunks_received += s.chunks_received;
+    totals.retransmits += s.retransmits;
+    totals.late_chunks += s.late_chunks;
+    totals.duplicate_chunks += s.duplicate_chunks;
+    totals.corrupt_chunks += s.corrupt_chunks;
+    totals.checkpoint_resumes += s.checkpoint_resumes;
+}
+
+fn to_outcome(
+    min_quorum: usize,
+    result: Result<dcs_core::report::EpochReport, IngestError>,
+) -> EpochOutcome {
+    match result {
+        Ok(report) => EpochOutcome::Report(Box::new(report)),
+        Err(IngestError::QuorumTooSmall { required, report }) => EpochOutcome::QuorumTooSmall {
+            required,
+            accepted: report.accepted.len(),
+        },
+        Err(IngestError::NoDigests) => EpochOutcome::QuorumTooSmall {
+            required: min_quorum,
+            accepted: 0,
+        },
+    }
+}
+
+/// Runs the attack soak: scenario traffic at the leaves, sketches in
+/// every bundle, two lossy hops through the aggregation tier, then the
+/// same delivered epoch analysed with sketch seeding on and off.
+/// Deterministic in `cfg`; transport and quorum failures are typed
+/// outcomes, never panics.
+pub fn run_attack_soak(cfg: &AttackConfig) -> AttackResult {
+    assert!(cfg.aggregators >= 1 && cfg.leaves >= cfg.aggregators);
+    assert!(cfg.attacked <= cfg.leaves);
+    let mcfg =
+        MonitorConfig::small(7, 1 << 14, 4).with_sketch(cfg.scenario.sketch_spec(cfg.sketch_cap));
+    let mut monitors: Vec<MonitoringPoint> = (0..cfg.leaves)
+        .map(|id| MonitoringPoint::new(id, &mcfg))
+        .collect();
+
+    let make_acfg = || {
+        let mut acfg = AnalysisConfig::for_groups(cfg.leaves * 4).with_min_quorum(cfg.min_quorum);
+        acfg.search.n_prime = 400;
+        acfg.search.hopefuls = 300;
+        acfg
+    };
+    let seeded = AnalysisCenter::new(make_acfg());
+    let unseeded = AnalysisCenter::new(make_acfg().with_sketch_seed(false));
+    let agg_metrics = MetricsRegistry::new();
+
+    let mut leaf_channels: Vec<LossyChannel> = (0..cfg.aggregators)
+        .map(|a| LossyChannel::new(cfg.leaf_channel, cfg.seed ^ (a as u64)))
+        .collect();
+    let mut up_channel = LossyChannel::new(cfg.up_channel, cfg.seed ^ 0xA55A);
+
+    let bg = BackgroundConfig {
+        packets: cfg.bg_packets,
+        flows: cfg.bg_flows,
+        zipf_exponent: 1.0,
+        size_mix: SizeMix::constant(536),
+    };
+
+    let mut epochs: Vec<AttackEpoch> = Vec::with_capacity(cfg.epochs);
+    let mut leaf_totals = TransportStats::default();
+    let mut up_totals = TransportStats::default();
+    let mut now: u64 = 0;
+
+    for e in 0..cfg.epochs {
+        let epoch_seed = cfg
+            .seed
+            .wrapping_add((e as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        for (a, ch) in leaf_channels.iter_mut().enumerate() {
+            ch.reseed(epoch_seed ^ (a as u64).wrapping_mul(0x517C_C1B7_2722_0A95));
+        }
+        up_channel.reseed(epoch_seed ^ 0xA55A);
+        let mut rng = StdRng::seed_from_u64(epoch_seed);
+        let plan = plan_attack(cfg, &mcfg, &mut rng);
+        let epoch_id = monitors[0].epochs_finished();
+
+        let mut aggs: Vec<Aggregator> = (0..cfg.aggregators)
+            .map(|a| {
+                Aggregator::new(
+                    AGG_ID_BASE + a as u64,
+                    1,
+                    epoch_id,
+                    cfg.region(a).map(|l| l as u64),
+                    cfg.leaf_collector,
+                    epoch_seed ^ (a as u64),
+                    now,
+                )
+            })
+            .collect();
+
+        for (id, mp) in monitors.iter_mut().enumerate() {
+            let mut traffic = gen::generate_epoch(&mut rng, &bg);
+            if id < cfg.attacked {
+                let at = if traffic.is_empty() {
+                    0
+                } else {
+                    rng.gen_range(0..=traffic.len())
+                };
+                traffic.splice(at..at, plan.injections[id].iter().cloned());
+            }
+            mp.observe_all(&traffic);
+            let chunks = mp
+                .finish_epoch_chunks(cfg.max_payload)
+                .expect("leaf bundles fit the wire format");
+            let owner = (0..cfg.aggregators)
+                .find(|&a| cfg.region(a).contains(&id))
+                .expect("regions partition the leaves");
+            for chunk in chunks {
+                leaf_channels[owner].send(&chunk, now);
+            }
+        }
+
+        // Hop 1: leaves → regional aggregators, retransmit-driven.
+        let cap = now + cfg.leaf_collector.deadline * 4;
+        loop {
+            for (a, agg) in aggs.iter_mut().enumerate() {
+                for frame in leaf_channels[a].deliver_due(now) {
+                    if let ChunkDisposition::Accepted {
+                        router_id,
+                        cumulative_ack,
+                    } = agg.offer(&frame, now)
+                    {
+                        monitors[router_id as usize].ack(epoch_id, cumulative_ack);
+                    }
+                }
+                for req in agg.poll(now) {
+                    for frame in monitors[req.router_id as usize].resend(req.epoch_id, &req.missing)
+                    {
+                        leaf_channels[a].send(&frame, now);
+                    }
+                }
+            }
+            if aggs.iter().all(|a| a.ready(now)) || now >= cap {
+                break;
+            }
+            now += 1;
+        }
+
+        // Hop 2: pre-fused DCSG bundles → centre.
+        let mut resend_store: Vec<Vec<Vec<u8>>> = Vec::with_capacity(cfg.aggregators);
+        let mut up_collector = EpochCollector::new(
+            epoch_id,
+            (0..cfg.aggregators).map(|a| AGG_ID_BASE + a as u64),
+            cfg.up_collector,
+            epoch_seed ^ 0x5A5A,
+            now,
+        );
+        for agg in &mut aggs {
+            accumulate(&mut leaf_totals, agg.stats());
+            let bundle = agg.finalize(now, &agg_metrics);
+            let chunks = chunk_bundle(agg.id(), epoch_id, &bundle.encode_wire(), cfg.max_payload);
+            for chunk in &chunks {
+                up_channel.send(chunk, now);
+            }
+            resend_store.push(chunks);
+        }
+        let cap = now + cfg.up_collector.deadline * 4;
+        loop {
+            for frame in up_channel.deliver_due(now) {
+                up_collector.offer(&frame, now);
+            }
+            for RetransmitRequest {
+                router_id, missing, ..
+            } in up_collector.poll(now)
+            {
+                let a = (router_id - AGG_ID_BASE) as usize;
+                let chunks = &resend_store[a];
+                let frames: Vec<&Vec<u8>> = match &missing {
+                    Missing::All => chunks.iter().collect(),
+                    Missing::Seqs(seqs) => seqs
+                        .iter()
+                        .filter_map(|&s| chunks.get(s as usize))
+                        .collect(),
+                };
+                for frame in frames {
+                    up_channel.send(frame, now);
+                }
+            }
+            if up_collector.ready(now) || now >= cap {
+                break;
+            }
+            now += 1;
+        }
+
+        let epoch = up_collector.finalize(now);
+        accumulate(&mut up_totals, epoch.stats);
+
+        // Reference sketch merge over the leaf frames that survived.
+        let leaf_frames: Vec<Vec<u8>> = epoch
+            .frames
+            .iter()
+            .filter_map(|(_, bytes)| AggregateBundle::decode_wire(bytes).ok())
+            .flat_map(|(bundle, _)| bundle.frames)
+            .collect();
+        let (attack_key_ranks, artifacts_delivered) = rank_attack_keys(
+            cfg.scenario,
+            cfg.sketch_cap,
+            &leaf_frames,
+            &plan.expected_keys,
+        );
+
+        // The same delivered epoch, analysed seeded and unseeded.
+        let on = seeded.analyze_epoch_aggregated_collected(&epoch);
+        let off = unseeded.analyze_epoch_aggregated_collected(&epoch);
+        let outcome_on = to_outcome(cfg.min_quorum, on);
+        let outcome_off = to_outcome(cfg.min_quorum, off);
+        epochs.push(AttackEpoch {
+            fingerprints: (
+                outcome_fingerprint(&outcome_on),
+                outcome_fingerprint(&outcome_off),
+            ),
+            outcome: outcome_on,
+            attack_key_ranks,
+            artifacts_delivered,
+        });
+        now += 1;
+    }
+
+    AttackResult {
+        epochs,
+        leaf_totals,
+        up_totals,
+        metrics: seeded.metrics(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_suite_invariants(result: &AttackResult, cfg: &AttackConfig) {
+        assert_eq!(
+            result.quorum_epochs(),
+            cfg.epochs,
+            "standard regime reaches quorum every epoch"
+        );
+        assert!(
+            result.seeding_equivalent(),
+            "sketch seeding changed the verdict: {:?}",
+            result
+                .epochs
+                .iter()
+                .map(|e| &e.fingerprints)
+                .collect::<Vec<_>>()
+        );
+        assert!(
+            result.attack_detected_in_all_quorum_epochs(),
+            "planted heavy content missed"
+        );
+        assert!(
+            result.leaf_totals.retransmits > 0,
+            "lossy child hop must retransmit"
+        );
+        for e in &result.epochs {
+            assert!(
+                e.artifacts_delivered >= cfg.min_quorum,
+                "sketch artifacts lost in the tier: {} < {}",
+                e.artifacts_delivered,
+                cfg.min_quorum
+            );
+        }
+    }
+
+    #[test]
+    fn dns_amplification_detected_with_advisory_seeding() {
+        let cfg = AttackConfig::standard(AttackScenario::DnsAmplification, 2, 41);
+        let result = run_attack_soak(&cfg);
+        assert_suite_invariants(&result, &cfg);
+        for e in &result.epochs {
+            // Every response column survives the merged content sketch.
+            assert!(
+                e.attack_key_ranks.iter().all(|r| r.is_some()),
+                "amplified-response column fell out of the sketch: {:?}",
+                e.attack_key_ranks
+            );
+            let EpochOutcome::Report(r) = &e.outcome else {
+                unreachable!()
+            };
+            assert_eq!(r.sketch.artifacts, r.ingest.accepted.len());
+            assert_eq!(r.sketch.merged, r.sketch.artifacts);
+            assert_eq!(r.sketch.skipped, 0);
+            assert!(
+                !r.sketch.seed_columns.is_empty(),
+                "content-index sketch must seed the search"
+            );
+            // Seed columns are real heavy columns: every one is part of
+            // the detected signature.
+            for c in &r.sketch.seed_columns {
+                assert!(
+                    r.aligned.signature_indices.contains(c),
+                    "seed column {c} not in the detected signature"
+                );
+            }
+        }
+        assert!(
+            result.metrics.counter("sketch_merged_total").unwrap_or(0) > 0,
+            "centre never merged a sketch"
+        );
+    }
+
+    #[test]
+    fn drdos_reflection_fan_in_tops_the_distinct_sketch() {
+        let cfg = AttackConfig::standard(AttackScenario::DrdosReflection, 2, 43);
+        let result = run_attack_soak(&cfg);
+        assert_suite_invariants(&result, &cfg);
+        for e in &result.epochs {
+            // The (src-port 123, victim-AS) key has `attacked *
+            // intensity` distinct sources behind it — no benign key
+            // comes close, so it ranks first.
+            assert_eq!(
+                e.attack_key_ranks,
+                vec![Some(0)],
+                "reflection key must dominate the distinct sketch"
+            );
+            let EpochOutcome::Report(r) = &e.outcome else {
+                unreachable!()
+            };
+            // Non-content domains still ship and merge, but never seed.
+            assert_eq!(r.sketch.merged, r.sketch.artifacts);
+            assert!(
+                r.sketch.seed_columns.is_empty(),
+                "a distinct sketch must not seed the aligned search"
+            );
+        }
+    }
+
+    #[test]
+    fn elephant_flows_dominate_the_byte_weighted_sketch() {
+        let cfg = AttackConfig::standard(AttackScenario::ElephantFlows, 2, 47);
+        let result = run_attack_soak(&cfg);
+        assert_suite_invariants(&result, &cfg);
+        for e in &result.epochs {
+            assert_eq!(e.attack_key_ranks.len(), cfg.attacked);
+            let present = e.attack_key_ranks.iter().filter(|r| r.is_some()).count();
+            // Elephants on leaves whose bundles were lost to the channel
+            // cannot appear; everything delivered must rank.
+            assert!(
+                present >= cfg.min_quorum.min(cfg.attacked),
+                "only {present} of {} elephant flows ranked",
+                cfg.attacked
+            );
+            let EpochOutcome::Report(r) = &e.outcome else {
+                unreachable!()
+            };
+            assert_eq!(r.sketch.merged, r.sketch.artifacts);
+            assert!(r.sketch.seed_columns.is_empty());
+        }
+    }
+
+    #[test]
+    fn quorum_collapse_is_a_typed_outcome() {
+        let mut cfg = AttackConfig::standard(AttackScenario::DnsAmplification, 1, 53);
+        // Nothing survives a hop that drops everything; the soak must
+        // still terminate with a typed quorum failure, not a panic.
+        cfg.up_channel = ChannelConfig {
+            drop_prob: 1.0,
+            ..ChannelConfig::perfect()
+        };
+        let result = run_attack_soak(&cfg);
+        assert_eq!(result.quorum_epochs(), 0);
+        assert!(matches!(
+            result.epochs[0].outcome,
+            EpochOutcome::QuorumTooSmall { accepted: 0, .. }
+        ));
+        assert!(result.seeding_equivalent());
+    }
+}

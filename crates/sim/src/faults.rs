@@ -189,6 +189,7 @@ mod tests {
                 packets_sampled: 10,
                 raw_bytes: 1000,
             },
+            artifacts: Vec::new(),
         }
     }
 

@@ -24,6 +24,9 @@
 //! * [`tiered`] — the two-level topology soak: leaves → regional
 //!   aggregators → centre, with per-epoch flat-replay detection
 //!   equivalence checking;
+//! * [`attack`] — the attack-scenario suite: DNS amplification, DRDoS
+//!   reflection and elephant flows driven through the tier with sidecar
+//!   sketches, plus per-epoch sketch-seeding-on/off detection parity;
 //! * [`table`] — plain-text row/series formatting for the `repro_*`
 //!   binaries.
 
@@ -31,6 +34,7 @@
 #![warn(missing_docs)]
 
 pub mod aligned;
+pub mod attack;
 pub mod baseline;
 pub mod channel;
 pub mod faults;

@@ -1,0 +1,279 @@
+//! Distinct-count heavy hitters — the DNS-DDoS variant.
+//!
+//! A reflection or random-subdomain attack is heavy in *distinct* items
+//! per key (amplifiers per victim, subdomains per zone), not in raw
+//! packet weight, so Space-Saving over packet counts misses it. Per the
+//! distinct-heavy-hitters construction, each tracked key holds a
+//! bounded **KMV** (k-minimum-values) set: the `s` smallest 64-bit item
+//! hashes it has seen. With `h_s` the `s`-th smallest hash, the
+//! distinct count is estimated as `(s − 1) · 2⁶⁴ / h_s` (exact while
+//! fewer than `s` distinct hashes were seen). KMV union is plain set
+//! union truncated back to the `s` smallest — exactly associative and
+//! commutative — so per-key merging across an aggregation tier loses
+//! nothing beyond the `s`-bound itself.
+//!
+//! The key table is bounded at `cap` keys; overflow evicts the
+//! canonical minimum by `(estimate, key)` and remembers the largest
+//! evicted estimate as `floor` — an untracked key may have had up to
+//! that many distinct items, the caveat the centre must apply to
+//! absence. Everything is ordered (`BTreeMap`/`BTreeSet`), so equal
+//! input sets produce byte-equal sketches in any arrival order.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Bounded distinct-count heavy-hitter sketch (see module docs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DistinctSketch {
+    cap: usize,
+    s: usize,
+    keys: BTreeMap<u64, BTreeSet<u64>>,
+    floor: u64,
+}
+
+impl DistinctSketch {
+    /// An empty sketch: at most `cap` keys, `s` minimum hashes each.
+    ///
+    /// # Panics
+    /// Panics unless `cap > 0` and `s >= 2` (the estimator needs
+    /// `s − 1 ≥ 1`).
+    pub fn new(cap: usize, s: usize) -> Self {
+        assert!(cap > 0, "DistinctSketch needs at least one key slot");
+        assert!(s >= 2, "KMV needs s >= 2");
+        DistinctSketch {
+            cap,
+            s,
+            keys: BTreeMap::new(),
+            floor: 0,
+        }
+    }
+
+    /// Rebuilds from decoded wire parts.
+    ///
+    /// # Panics
+    /// Panics if shape bounds are violated.
+    pub fn from_parts(
+        cap: usize,
+        s: usize,
+        keys: BTreeMap<u64, BTreeSet<u64>>,
+        floor: u64,
+    ) -> Self {
+        assert!(cap > 0 && s >= 2, "bad sketch shape");
+        assert!(keys.len() <= cap, "more keys than slots");
+        assert!(keys.values().all(|v| v.len() <= s), "oversized KMV set");
+        DistinctSketch {
+            cap,
+            s,
+            keys,
+            floor,
+        }
+    }
+
+    /// Key-slot budget.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// KMV size per key.
+    pub fn kmv_size(&self) -> usize {
+        self.s
+    }
+
+    /// Number of tracked keys.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether no key is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Largest estimate ever evicted: an absent key may have had up to
+    /// this many distinct items.
+    pub fn floor(&self) -> u64 {
+        self.floor
+    }
+
+    /// Tracked keys and their KMV sets, in key order.
+    pub fn keys(&self) -> &BTreeMap<u64, BTreeSet<u64>> {
+        &self.keys
+    }
+
+    fn estimate_set(s: usize, set: &BTreeSet<u64>) -> u64 {
+        if set.len() < s {
+            set.len() as u64
+        } else {
+            let h_s = *set.iter().next_back().expect("non-empty KMV") as u128;
+            if h_s == 0 {
+                return u64::MAX;
+            }
+            (((s as u128 - 1) << 64) / h_s).min(u64::MAX as u128) as u64
+        }
+    }
+
+    /// Observes item `item_hash` (a uniform 64-bit hash of the item)
+    /// under `key`.
+    pub fn offer(&mut self, key: u64, item_hash: u64) {
+        match self.keys.get_mut(&key) {
+            Some(set) => {
+                set.insert(item_hash);
+                while set.len() > self.s {
+                    let max = *set.iter().next_back().expect("non-empty KMV");
+                    set.remove(&max);
+                }
+            }
+            None => {
+                let mut set = BTreeSet::new();
+                set.insert(item_hash);
+                self.keys.insert(key, set);
+                if self.keys.len() > self.cap {
+                    self.evict_min();
+                }
+            }
+        }
+    }
+
+    fn evict_min(&mut self) {
+        let (victim, est) = self
+            .keys
+            .iter()
+            .map(|(&k, set)| (k, Self::estimate_set(self.s, set)))
+            .min_by(|a, b| a.1.cmp(&b.1).then(a.0.cmp(&b.0)))
+            .expect("non-empty table");
+        self.floor = self.floor.max(est);
+        self.keys.remove(&victim);
+    }
+
+    /// Estimated distinct items under `key` (0 for untracked keys — but
+    /// see [`DistinctSketch::floor`]).
+    pub fn estimate(&self, key: u64) -> u64 {
+        self.keys
+            .get(&key)
+            .map_or(0, |set| Self::estimate_set(self.s, set))
+    }
+
+    /// Folds `other` into `self`: per-key KMV union (exact), table trim
+    /// by canonical minimum estimate.
+    ///
+    /// # Panics
+    /// Panics if shapes (`cap`, `s`) differ.
+    pub fn merge(&mut self, other: &DistinctSketch) {
+        assert_eq!(self.cap, other.cap, "merging sketches of different caps");
+        assert_eq!(self.s, other.s, "merging sketches of different KMV sizes");
+        self.floor = self.floor.max(other.floor);
+        for (&k, oset) in &other.keys {
+            let set = self.keys.entry(k).or_default();
+            set.extend(oset.iter().copied());
+            while set.len() > self.s {
+                let max = *set.iter().next_back().expect("non-empty KMV");
+                set.remove(&max);
+            }
+        }
+        while self.keys.len() > self.cap {
+            self.evict_min();
+        }
+    }
+
+    /// The `k` keys with the largest distinct-count estimates, ordered
+    /// by `(estimate desc, key asc)`.
+    pub fn top_k(&self, k: usize) -> Vec<(u64, u64)> {
+        let mut all: Vec<(u64, u64)> = self
+            .keys
+            .iter()
+            .map(|(&key, set)| (key, Self::estimate_set(self.s, set)))
+            .collect();
+        all.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        all.truncate(k);
+        all
+    }
+
+    /// Resets to empty, keeping the shape.
+    pub fn clear(&mut self) {
+        self.keys.clear();
+        self.floor = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hash(i: u64) -> u64 {
+        // splitmix64 — uniform enough for the estimator tests.
+        let mut z = i.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    #[test]
+    fn exact_below_s() {
+        let mut d = DistinctSketch::new(4, 8);
+        for i in 0..5 {
+            d.offer(1, hash(i));
+            d.offer(1, hash(i)); // duplicates are free
+        }
+        assert_eq!(d.estimate(1), 5);
+        assert_eq!(d.estimate(2), 0);
+    }
+
+    #[test]
+    fn estimator_tracks_large_counts() {
+        let mut d = DistinctSketch::new(2, 64);
+        for i in 0..20_000u64 {
+            d.offer(9, hash(i));
+        }
+        let est = d.estimate(9) as f64;
+        assert!(
+            (est - 20_000.0).abs() < 20_000.0 * 0.4,
+            "KMV estimate {est} far from 20000"
+        );
+    }
+
+    #[test]
+    fn heavy_key_beats_light_keys() {
+        let mut d = DistinctSketch::new(4, 32);
+        for i in 0..3_000u64 {
+            d.offer(7, hash(i));
+            d.offer(i % 100 + 1_000, hash(1)); // 100 keys, 1 distinct item each
+        }
+        let top = d.top_k(1);
+        assert_eq!(top[0].0, 7, "distinct-heavy key must rank first");
+        assert!(d.len() <= 4);
+    }
+
+    #[test]
+    fn merge_is_commutative_and_per_key_exact() {
+        let mut a = DistinctSketch::new(8, 16);
+        let mut b = DistinctSketch::new(8, 16);
+        let mut whole = DistinctSketch::new(8, 16);
+        for i in 0..500u64 {
+            let (k, h) = (i % 3, hash(i));
+            if i % 2 == 0 {
+                a.offer(k, h);
+            } else {
+                b.offer(k, h);
+            }
+            whole.offer(k, h);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(
+            ab, whole,
+            "below-cap merge must equal the one-stream sketch"
+        );
+    }
+
+    #[test]
+    fn eviction_records_floor() {
+        let mut d = DistinctSketch::new(1, 4);
+        d.offer(1, hash(1));
+        d.offer(1, hash(2));
+        d.offer(2, hash(3));
+        assert_eq!(d.len(), 1);
+        assert!(d.floor() >= 1, "evicted estimate must raise the floor");
+    }
+}

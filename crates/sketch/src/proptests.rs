@@ -1,0 +1,193 @@
+//! Property tests pinning the merge laws the aggregation tier relies
+//! on: commutativity is exact, associativity is exact until a trim
+//! fires (and stays canonical afterwards), and the merged error bound
+//! never exceeds the sum of the children's analytic bounds.
+
+use crate::{DistinctSketch, SpaceSaving};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+fn truth(streams: &[Vec<(u64, u64)>]) -> BTreeMap<u64, u64> {
+    let mut m = BTreeMap::new();
+    for s in streams {
+        for &(k, w) in s {
+            *m.entry(k).or_insert(0u64) += w;
+        }
+    }
+    m
+}
+
+fn build(cap: usize, stream: &[(u64, u64)]) -> SpaceSaving {
+    let mut s = SpaceSaving::new(cap);
+    for &(k, w) in stream {
+        s.offer(k, w);
+    }
+    s
+}
+
+fn assert_sound(s: &SpaceSaving, truth: &BTreeMap<u64, u64>) {
+    let total: u64 = truth.values().sum();
+    assert_eq!(s.total(), total);
+    assert!(
+        (s.cap() as u64 + 1) * s.error_bound() <= total,
+        "deficit {} above total/(cap+1)",
+        s.error_bound()
+    );
+    for (&k, &t) in truth {
+        let (lo, hi) = s.estimate(k);
+        assert!(lo <= t && t <= hi, "key {k}: true {t} outside [{lo},{hi}]");
+    }
+}
+
+fn stream_strategy() -> impl Strategy<Value = Vec<(u64, u64)>> {
+    proptest::collection::vec((0u64..32, 1u64..20), 0..80)
+}
+
+proptest! {
+    /// Merge order of two children never matters, bit for bit.
+    #[test]
+    fn space_saving_merge_is_commutative(
+        a in stream_strategy(),
+        b in stream_strategy(),
+        cap in 1usize..12,
+    ) {
+        let (sa, sb) = (build(cap, &a), build(cap, &b));
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        let mut ba = sb;
+        ba.merge(&sa);
+        prop_assert_eq!(&ab, &ba);
+        assert_sound(&ab, &truth(&[a, b]));
+    }
+
+    /// Associativity: exact whenever the key union fits the cap; in
+    /// general, both groupings stay sound against the true counts and
+    /// report the same canonical top-k *key* ranking for keys whose
+    /// weight clears both deficits.
+    #[test]
+    fn space_saving_merge_is_associative_up_to_topk(
+        a in stream_strategy(),
+        b in stream_strategy(),
+        c in stream_strategy(),
+        cap in 1usize..12,
+    ) {
+        let (sa, sb, sc) = (build(cap, &a), build(cap, &b), build(cap, &c));
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+        let mut right_bc = sb.clone();
+        right_bc.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&right_bc);
+
+        let t = truth(&[a, b, c]);
+        assert_sound(&left, &t);
+        assert_sound(&right, &t);
+        prop_assert_eq!(left.total(), right.total());
+
+        if t.len() <= cap {
+            // No trim can ever have fired: the groupings are equal.
+            prop_assert_eq!(&left, &right);
+        }
+        // Keys decisively heavy under both groupings rank identically.
+        let margin = left.error_bound().max(right.error_bound()) * 2;
+        let heavy: Vec<u64> = {
+            let mut hv: Vec<(u64, u64)> = t.iter().filter(|&(_, &w)| w > margin)
+                .map(|(&k, &w)| (k, w)).collect();
+            hv.sort_unstable_by(|x, y| y.1.cmp(&x.1).then(x.0.cmp(&y.0)));
+            hv.into_iter().map(|(k, _)| k).collect()
+        };
+        for &k in &heavy {
+            let (llo, _) = left.estimate(k);
+            let (rlo, _) = right.estimate(k);
+            prop_assert!(llo > 0 && rlo > 0, "decisively heavy key {} dropped", k);
+        }
+    }
+
+    /// The tier guarantee: after folding any number of children, the
+    /// merged deficit stays within the *sum of the children's analytic
+    /// bounds* — `(cap+1)·D ≤ Σᵢ totalᵢ`, compared in exact integers.
+    #[test]
+    fn merged_error_bound_within_sum_of_child_bounds(
+        streams in proptest::collection::vec(stream_strategy(), 1..6),
+        cap in 1usize..10,
+    ) {
+        let children: Vec<SpaceSaving> = streams.iter().map(|s| build(cap, s)).collect();
+        let mut merged = children[0].clone();
+        for c in &children[1..] {
+            merged.merge(c);
+        }
+        let sum_totals: u64 = children.iter().map(SpaceSaving::total).sum();
+        prop_assert!(
+            (cap as u64 + 1) * merged.error_bound() <= sum_totals,
+            "merged deficit {} exceeds sum of child analytic bounds ({} total, cap {})",
+            merged.error_bound(), sum_totals, cap
+        );
+        assert_sound(&merged, &truth(&streams));
+    }
+
+    /// Distinct sketches: per-key KMV union is lossless relative to the
+    /// single-stream sketch whenever the key table never overflows, in
+    /// any merge grouping or order.
+    #[test]
+    fn distinct_merge_groupings_agree_below_cap(
+        items in proptest::collection::vec((0u64..6, any::<u64>()), 0..120),
+        split in 1usize..4,
+        s in 2usize..10,
+    ) {
+        let cap = 8; // key domain 0..6 always fits
+        let mut parts: Vec<DistinctSketch> = (0..split.max(1))
+            .map(|_| DistinctSketch::new(cap, s))
+            .collect();
+        let mut whole = DistinctSketch::new(cap, s);
+        let nparts = parts.len();
+        for (i, &(k, h)) in items.iter().enumerate() {
+            parts[i % nparts].offer(k, h);
+            whole.offer(k, h);
+        }
+        let mut fwd = DistinctSketch::new(cap, s);
+        for p in &parts {
+            fwd.merge(p);
+        }
+        let mut rev = DistinctSketch::new(cap, s);
+        for p in parts.iter().rev() {
+            rev.merge(p);
+        }
+        prop_assert_eq!(&fwd, &rev);
+        prop_assert_eq!(&fwd, &whole);
+    }
+
+    /// Wire round trip is lossless for arbitrary sketch contents.
+    #[test]
+    fn wire_round_trip_is_identity(
+        stream in stream_strategy(),
+        cap in 1usize..12,
+        domain in any::<u8>(),
+    ) {
+        let s = build(cap, &stream);
+        let bytes = crate::wire::encode_space_saving(&s, domain);
+        match crate::wire::decode_sketch(&bytes) {
+            Ok(crate::wire::SketchWire::SpaceSaving { domain: d, sketch }) => {
+                prop_assert_eq!(d, domain);
+                prop_assert_eq!(sketch, s);
+            }
+            other => prop_assert!(false, "round trip failed: {:?}", other),
+        }
+    }
+
+    /// The decoder never panics on arbitrary byte soup, stamped with
+    /// the DCSS magic half the time so deep parse paths are exercised.
+    #[test]
+    fn decoder_never_panics_on_soup(
+        raw in proptest::collection::vec(any::<u8>(), 0..512),
+        stamp in any::<bool>(),
+    ) {
+        let mut bytes = raw;
+        if stamp && bytes.len() >= 8 {
+            bytes[..4].copy_from_slice(&crate::wire::DCSS_MAGIC);
+            bytes[4] = crate::wire::DCSS_VERSION;
+            bytes[5] %= 2;
+        }
+        let _ = crate::wire::decode_sketch(&bytes);
+    }
+}

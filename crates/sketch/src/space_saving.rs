@@ -1,0 +1,331 @@
+//! Weighted Space-Saving heavy hitters with an explicit mergeable
+//! deficit.
+//!
+//! State is a weighted Misra–Gries summary: at most `cap` keys, each
+//! holding a **lower bound** on its true weight, plus one global
+//! `deficit` — the total mass every surviving counter may undercount
+//! by. Two invariants hold after every operation (stream update *or*
+//! merge) and are pinned by proptests:
+//!
+//! 1. `lower(x) ≤ true(x) ≤ lower(x) + deficit` for tracked keys, and
+//!    `true(x) ≤ deficit` for untracked keys;
+//! 2. `(cap + 1) · deficit ≤ total − Σ lower ≤ total`, i.e.
+//!    `deficit ≤ total / (cap + 1)` — the Space-Saving error bound.
+//!
+//! *Stream update.* A tracked key just adds its weight. A new key is
+//! inserted; if the table overflows, the minimum value `δ` among the
+//! `cap + 1` counters is subtracted from **all** of them and zeroed
+//! counters drop (at least the argmin, so one round restores the cap).
+//! Each unit of deficit removes `cap + 1` units of counter mass, which
+//! is exactly invariant 2.
+//!
+//! *Merge* (Agarwal–Cormode–Huang–Phillips–Wei–Yi subtract-merge):
+//! values sum over the key union; if the union exceeds `cap`, the
+//! `(cap+1)`-th largest value `t` is subtracted from every counter
+//! (non-positives drop — at most `cap` values exceed `t`, so the cap is
+//! restored) and `deficit' = deficit_a + deficit_b + t`. At least
+//! `cap + 1` counters were `≥ t`, so at least `(cap+1)·t` mass leaves
+//! the table and invariant 2 survives; invariant 1 follows because each
+//! key lost at most `t` of its summed lower bound.
+//!
+//! Determinism: values live in a `BTreeMap`, subtraction is uniform,
+//! and [`SpaceSaving::top_k`] orders by `(value desc, key asc)` — equal
+//! input multisets yield byte-equal state however they were partitioned
+//! into merges, and merge is exactly commutative.
+
+use std::collections::BTreeMap;
+
+/// One reported heavy-hitter candidate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct HeavyKey {
+    /// The key.
+    pub key: u64,
+    /// Hard lower bound on the key's true weight.
+    pub lower: u64,
+    /// Hard upper bound (`lower + deficit` of the reporting sketch).
+    pub upper: u64,
+}
+
+/// Deterministic weighted Space-Saving summary (see module docs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpaceSaving {
+    cap: usize,
+    entries: BTreeMap<u64, u64>,
+    deficit: u64,
+    total: u64,
+}
+
+impl SpaceSaving {
+    /// An empty sketch tracking at most `cap` keys.
+    ///
+    /// # Panics
+    /// Panics if `cap == 0`.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "SpaceSaving needs at least one counter");
+        SpaceSaving {
+            cap,
+            entries: BTreeMap::new(),
+            deficit: 0,
+            total: 0,
+        }
+    }
+
+    /// Rebuilds a sketch from decoded wire parts.
+    ///
+    /// # Panics
+    /// Panics if `cap == 0` or more than `cap` entries are given.
+    pub fn from_parts(cap: usize, entries: BTreeMap<u64, u64>, deficit: u64, total: u64) -> Self {
+        assert!(cap > 0, "SpaceSaving needs at least one counter");
+        assert!(entries.len() <= cap, "more entries than counters");
+        SpaceSaving {
+            cap,
+            entries,
+            deficit,
+            total,
+        }
+    }
+
+    /// Counter budget.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Number of tracked keys.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no key is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total weight observed (stream mass, summed across merges).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The current deficit: every key's true weight exceeds its stored
+    /// lower bound by at most this much, and no untracked key's true
+    /// weight exceeds it.
+    pub fn error_bound(&self) -> u64 {
+        self.deficit
+    }
+
+    /// The analytic worst-case deficit `total / (cap + 1)`; the actual
+    /// [`SpaceSaving::error_bound`] never exceeds it.
+    pub fn analytic_bound(&self) -> u64 {
+        self.total / (self.cap as u64 + 1)
+    }
+
+    /// Tracked entries in key order (`key → lower bound`).
+    pub fn entries(&self) -> &BTreeMap<u64, u64> {
+        &self.entries
+    }
+
+    /// Observes `weight` units of `key`. Zero weights are no-ops.
+    pub fn offer(&mut self, key: u64, weight: u64) {
+        if weight == 0 {
+            return;
+        }
+        self.total += weight;
+        *self.entries.entry(key).or_insert(0) += weight;
+        if self.entries.len() > self.cap {
+            let delta = *self.entries.values().min().expect("non-empty table");
+            self.deficit += delta;
+            self.entries.retain(|_, v| {
+                *v -= delta.min(*v);
+                *v > 0
+            });
+        }
+    }
+
+    /// Two-sided bound for `key`: `Some((lower, upper))` when tracked;
+    /// untracked keys are bounded by `(0, deficit)`.
+    pub fn estimate(&self, key: u64) -> (u64, u64) {
+        match self.entries.get(&key) {
+            Some(&v) => (v, v + self.deficit),
+            None => (0, self.deficit),
+        }
+    }
+
+    /// Folds `other` into `self` (subtract-merge; see module docs).
+    ///
+    /// # Panics
+    /// Panics if the caps differ — a deployment fixes one counter
+    /// budget, and mixed-cap merges would void the error bound.
+    pub fn merge(&mut self, other: &SpaceSaving) {
+        assert_eq!(self.cap, other.cap, "merging sketches of different caps");
+        self.total += other.total;
+        self.deficit += other.deficit;
+        for (&k, &v) in &other.entries {
+            *self.entries.entry(k).or_insert(0) += v;
+        }
+        if self.entries.len() > self.cap {
+            let mut values: Vec<u64> = self.entries.values().copied().collect();
+            values.sort_unstable_by(|a, b| b.cmp(a));
+            let t = values[self.cap];
+            self.deficit += t;
+            self.entries.retain(|_, v| {
+                *v -= t.min(*v);
+                *v > 0
+            });
+        }
+    }
+
+    /// The `k` heaviest candidates, ordered by `(lower desc, key asc)`
+    /// — the canonical top-k order every equal-content sketch reports
+    /// identically.
+    pub fn top_k(&self, k: usize) -> Vec<HeavyKey> {
+        let mut all: Vec<HeavyKey> = self
+            .entries
+            .iter()
+            .map(|(&key, &lower)| HeavyKey {
+                key,
+                lower,
+                upper: lower + self.deficit,
+            })
+            .collect();
+        all.sort_unstable_by(|a, b| b.lower.cmp(&a.lower).then(a.key.cmp(&b.key)));
+        all.truncate(k);
+        all
+    }
+
+    /// Resets to empty, keeping the cap (per-epoch reuse).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.deficit = 0;
+        self.total = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exact(pairs: &[(u64, u64)]) -> BTreeMap<u64, u64> {
+        let mut m = BTreeMap::new();
+        for &(k, w) in pairs {
+            *m.entry(k).or_insert(0) += w;
+        }
+        m
+    }
+
+    fn check_invariants(s: &SpaceSaving, truth: &BTreeMap<u64, u64>) {
+        let sum: u64 = s.entries().values().sum();
+        let total: u64 = truth.values().sum();
+        assert_eq!(s.total(), total);
+        assert!(
+            (s.cap() as u64 + 1) * s.error_bound() <= total - sum,
+            "deficit invariant violated: cap={} D={} total={total} sum={sum}",
+            s.cap(),
+            s.error_bound()
+        );
+        for (&k, &t) in truth {
+            let (lo, hi) = s.estimate(k);
+            assert!(lo <= t && t <= hi, "key {k}: true {t} outside [{lo},{hi}]");
+        }
+        for (&k, &v) in s.entries() {
+            assert!(v > 0, "zero counter retained");
+            assert!(truth.contains_key(&k), "phantom key {k}");
+        }
+    }
+
+    #[test]
+    fn exact_below_cap() {
+        let mut s = SpaceSaving::new(8);
+        let stream = [(1u64, 5u64), (2, 3), (1, 2), (3, 1)];
+        for &(k, w) in &stream {
+            s.offer(k, w);
+        }
+        assert_eq!(s.error_bound(), 0);
+        assert_eq!(s.estimate(1), (7, 7));
+        assert_eq!(s.estimate(9), (0, 0));
+        check_invariants(&s, &exact(&stream));
+    }
+
+    #[test]
+    fn eviction_keeps_bounds() {
+        let stream: Vec<(u64, u64)> = (0..40).map(|i| (i % 7, 1 + i % 3)).collect();
+        // Invariants hold after every prefix, not just at the end.
+        for n in 1..=stream.len() {
+            let mut s = SpaceSaving::new(2);
+            for &(k, w) in &stream[..n] {
+                s.offer(k, w);
+            }
+            check_invariants(&s, &exact(&stream[..n]));
+            assert!(s.len() <= 2);
+        }
+        let mut s = SpaceSaving::new(2);
+        for &(k, w) in &stream {
+            s.offer(k, w);
+        }
+        assert!(s.error_bound() > 0);
+    }
+
+    #[test]
+    fn heavy_key_always_tracked() {
+        // A key with true weight > 2·analytic bound must survive: its
+        // lower bound stays positive.
+        let mut s = SpaceSaving::new(4);
+        for i in 0..200u64 {
+            s.offer(i % 40, 1);
+            s.offer(7, 3);
+        }
+        let (lo, _) = s.estimate(7);
+        assert!(lo > 0, "heavy key evicted");
+        let top = s.top_k(1);
+        assert_eq!(top[0].key, 7);
+    }
+
+    #[test]
+    fn merge_is_commutative_exactly() {
+        let mut a = SpaceSaving::new(3);
+        let mut b = SpaceSaving::new(3);
+        for i in 0..50u64 {
+            a.offer(i % 9, i % 4 + 1);
+            b.offer(i % 5, i % 3 + 1);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn merge_trims_to_cap_and_sums_bounds() {
+        let mut a = SpaceSaving::new(2);
+        let mut b = SpaceSaving::new(2);
+        a.offer(1, 10);
+        a.offer(2, 4);
+        b.offer(3, 8);
+        b.offer(4, 2);
+        let mut m = a.clone();
+        m.merge(&b);
+        assert!(m.len() <= 2);
+        assert_eq!(m.total(), 24);
+        // t = 3rd largest of {10, 8, 4, 2} = 4.
+        assert_eq!(m.error_bound(), 4);
+        assert_eq!(m.estimate(1), (6, 10));
+        let truth = exact(&[(1, 10), (2, 4), (3, 8), (4, 2)]);
+        check_invariants(&m, &truth);
+    }
+
+    #[test]
+    fn top_k_order_is_canonical() {
+        let mut s = SpaceSaving::new(8);
+        s.offer(5, 3);
+        s.offer(2, 3);
+        s.offer(9, 7);
+        let keys: Vec<u64> = s.top_k(3).iter().map(|h| h.key).collect();
+        assert_eq!(keys, vec![9, 2, 5], "ties break by ascending key");
+    }
+
+    #[test]
+    #[should_panic(expected = "different caps")]
+    fn mixed_cap_merge_rejected() {
+        let mut a = SpaceSaving::new(2);
+        a.merge(&SpaceSaving::new(3));
+    }
+}

@@ -128,6 +128,20 @@ impl PreScreen {
         cfg: ScreenConfig,
         workers: usize,
     ) {
+        self.rebuild_inner(rows, table, cfg, workers, true);
+    }
+
+    /// Shared rebuild body; `compute_sigs` decides whether the sharded
+    /// per-row pass also extracts band signatures (plain rebuild) or
+    /// `self.sigs` already holds them (fused stacking path).
+    fn rebuild_inner(
+        &mut self,
+        rows: &RowMatrix,
+        table: &LambdaTable,
+        cfg: ScreenConfig,
+        workers: usize,
+        compute_sigs: bool,
+    ) {
         assert!(cfg.bands > 0, "prescreen needs at least one band");
         assert!(cfg.class_width > 0, "class width must be positive");
         self.bands = cfg.bands;
@@ -138,8 +152,10 @@ impl PreScreen {
         self.weights.resize(nrows, 0);
         self.class.clear();
         self.class.resize(nrows, 0);
-        self.sigs.clear();
-        self.sigs.resize(nrows * cfg.bands, 0);
+        if compute_sigs {
+            self.sigs.clear();
+            self.sigs.resize(nrows * cfg.bands, 0);
+        }
 
         let ranges = split_range(nrows, workers.max(1));
         let mut jobs = Vec::with_capacity(ranges.len());
@@ -151,17 +167,24 @@ impl PreScreen {
                 let len = range.end - range.start;
                 let (w, wtail) = wrest.split_at_mut(len);
                 let (c, ctail) = crest.split_at_mut(len);
-                let (s, stail) = srest.split_at_mut(len * cfg.bands);
                 wrest = wtail;
                 crest = ctail;
-                srest = stail;
+                let s = if compute_sigs {
+                    let (s, stail) = srest.split_at_mut(len * cfg.bands);
+                    srest = stail;
+                    Some(s)
+                } else {
+                    None
+                };
                 jobs.push((range, w, c, s));
             }
         }
         let width = cfg.class_width;
         run_jobs(jobs, workers.max(1), |(range, w, c, s)| {
-            let data = &rows.as_words()[range.start * wpr..range.end * wpr];
-            sig::band_signatures_into(data, wpr, range.end - range.start, cfg.bands, s);
+            if let Some(s) = s {
+                let data = &rows.as_words()[range.start * wpr..range.end * wpr];
+                sig::band_signatures_into(data, wpr, range.end - range.start, cfg.bands, s);
+            }
             for (local, r) in range.enumerate() {
                 let wt = rows.row_weight(r);
                 w[local] = wt;
@@ -207,6 +230,36 @@ impl PreScreen {
                 self.lambda_lo[cb * nc + ca] = lam_lo;
             }
         }
+    }
+
+    /// [`PreScreen::rebuild`] with the band signatures already in hand —
+    /// the fused stacking path computes them while the rows are being
+    /// copied ([`RowMatrix::fill_rows_sharded_with_sigs`]
+    /// (dcs_bitmap::RowMatrix::fill_rows_sharded_with_sigs)), so this
+    /// variant swaps them in and shards only the weight/class pass. The
+    /// resulting screen is bit-identical to a plain rebuild: signatures
+    /// are a pure per-row function of the matrix, wherever computed.
+    ///
+    /// `sigs` is taken by swap (its previous contents come back out) so
+    /// steady-state epochs keep recycling both buffers without copying.
+    ///
+    /// # Panics
+    /// Panics unless `sigs.len() == rows.nrows() * cfg.bands`.
+    pub fn rebuild_with_sigs(
+        &mut self,
+        rows: &RowMatrix,
+        table: &LambdaTable,
+        cfg: ScreenConfig,
+        workers: usize,
+        sigs: &mut Vec<u64>,
+    ) {
+        assert_eq!(
+            sigs.len(),
+            rows.nrows() * cfg.bands,
+            "precomputed signatures disagree with the matrix shape"
+        );
+        std::mem::swap(&mut self.sigs, sigs);
+        self.rebuild_inner(rows, table, cfg, workers, false);
     }
 
     /// Whether the row pair `(ra, rb)` needs the exact AND-popcount test:
@@ -305,6 +358,38 @@ mod tests {
             assert_eq!(s.weights(), base.weights(), "workers={workers}");
             for r in 0..m.nrows() {
                 assert_eq!(s.row_sigs(r), base.row_sigs(r), "row {r} workers={workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn rebuild_with_precomputed_sigs_is_bit_identical() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let weights: Vec<usize> = (0..23).map(|i| (i * 31) % 650).collect();
+        let m = matrix_with_weights(&mut rng, &weights);
+        let table = LambdaTable::new(NBITS, 1e-5);
+        let cfg = ScreenConfig::default();
+        let mut base = PreScreen::new();
+        base.rebuild(&m, &table, cfg, 1);
+        for workers in [1usize, 4] {
+            // Signatures from the fused stacking pass, at a shard count
+            // deliberately different from the screen's worker count.
+            let mut sigs = Vec::new();
+            m.band_signatures_into(cfg.bands, &mut sigs);
+            let mut s = PreScreen::new();
+            s.rebuild_with_sigs(&m, &table, cfg, workers, &mut sigs);
+            assert_eq!(s.weights(), base.weights(), "workers={workers}");
+            for r in 0..m.nrows() {
+                assert_eq!(s.row_sigs(r), base.row_sigs(r), "row {r}");
+            }
+            for a in 0..m.nrows() {
+                for b in (a + 1)..m.nrows() {
+                    assert_eq!(
+                        s.needs_exact(a, b),
+                        base.needs_exact(a, b),
+                        "pair ({a},{b}) workers={workers}"
+                    );
+                }
             }
         }
     }

@@ -5,9 +5,17 @@
 * smoke — the report parses and carries a non-zero span for every stage
   of both detection pipelines, plus the epoch total and counter;
 * perf budgets (``--budgets budgets.json``) — every stage's share of the
-  ten-stage span sum stays within its checked-in ceiling, so a change
+  eleven-stage span sum stays within its checked-in ceiling, so a change
   that silently shifts work into one stage trips CI on any runner
   (shares are machine-independent where absolute times are not);
+* sketch bench (reports carrying a ``sketch_bytes_ratio`` field, i.e.
+  BENCH_sketch.json) — sidecar artifacts actually flowed (merge counters
+  non-zero, seed columns derived), the seeded and unseeded verdicts
+  matched, and recall / wire-overhead stay within the ``sketch``
+  ceilings of the budgets file. Like socket reports, sketch reports are
+  gated on these ceilings IN PLACE OF the stage-share budgets: the
+  replay-heavy sketch workload has a legitimately different stage
+  profile from the pipeline bench the shares were calibrated against;
 * socket soak (reports carrying a ``socket`` metrics object, i.e.
   BENCH_socket.json) — frames actually moved in both roles, the
   impairment shim provably bit, the reassembly backlog drained to zero,
@@ -33,9 +41,17 @@ import os
 import sys
 
 STAGES = {
-    "aligned": ["fuse", "screen", "core_find", "sweep", "terminate"],
+    "aligned": ["fuse", "sketch_fuse", "screen", "core_find", "sweep", "terminate"],
     "unaligned": ["stack_rows", "prescreen", "graph_build", "er_test", "peel"],
 }
+
+# A sketch bench (reports carrying a ``sketch_bytes_ratio`` field, i.e.
+# BENCH_sketch.json) where these stayed at zero never actually shipped a
+# sidecar artifact through the centre — the run was vacuous.
+SKETCH_REQUIRED_COUNTERS = [
+    "sketch_artifacts_total",
+    "sketch_merged_total",
+]
 
 # A socket soak where any of these stayed at zero did not actually push
 # digests through an impaired socket — the run was vacuous.
@@ -170,6 +186,73 @@ def check_socket_budgets(path: str, report: dict, budgets_path: str) -> int:
     return 0
 
 
+def check_sketch(path: str, report: dict) -> int:
+    metrics = report_section(path, report, "metrics")
+    counters = {c["key"]: c["value"] for c in metrics.get("counters", [])}
+    dead = [k for k in SKETCH_REQUIRED_COUNTERS if counters.get(k, 0) <= 0]
+    if dead:
+        print(f"{path}: sketch bench counters missing or zero: {dead}")
+        return 1
+
+    gauges = {g["key"]: g["value"] for g in metrics.get("gauges", [])}
+    if gauges.get("sketch_seed_columns", 0) <= 0:
+        print(
+            f"{path}: sketch_seed_columns gauge missing or zero — the seeded "
+            f"centre never derived a prefilter from the fused sketch"
+        )
+        return 1
+
+    for field in ("recall_mean", "sketch_bytes_ratio"):
+        if not isinstance(report.get(field), (int, float)):
+            print(f"{path}: report has no numeric `{field}` field")
+            return 1
+    if report.get("seeding_advisory") is not True:
+        print(
+            f"{path}: seeding_advisory is not true — the sketch seeds changed "
+            f"the detection verdict, which must never happen"
+        )
+        return 1
+    print(
+        f"{path}: sketch bench merged {counters['sketch_merged_total']} "
+        f"sidecar artifacts, seeds derived, verdicts seed-independent"
+    )
+    return 0
+
+
+def check_sketch_budgets(path: str, report: dict, budgets_path: str) -> int:
+    ceilings = load_json(budgets_path, "budgets file").get("sketch")
+    if not isinstance(ceilings, dict):
+        raise GateError(f"{budgets_path}: budgets file has no `sketch` object")
+    checks = [
+        # (report field, budget key, True when the value must stay >= the
+        # floor rather than <= the ceiling)
+        ("recall_mean", "min_recall_mean", True),
+        ("sketch_bytes_ratio", "max_bytes_ratio", False),
+    ]
+    failures = []
+    for field, budget_key, is_floor in checks:
+        bound = ceilings.get(budget_key)
+        if not isinstance(bound, (int, float)):
+            raise GateError(f"{budgets_path}: sketch object has no `{budget_key}`")
+        value = report[field]
+        bad = value < bound if is_floor else value > bound
+        status = "out of budget" if bad else "ok"
+        kind = "floor" if is_floor else "ceiling"
+        print(f"  sketch/{field:<20} {value:>8.4f}  {kind} {bound:.4f}  {status}")
+        if bad:
+            failures.append(field)
+    if failures:
+        print(
+            f"{path}: sketch quality out of budget for {failures} — the "
+            f"sidecar lost recall or outgrew its wire allowance; fix the "
+            f"sketch or update {budgets_path} with a justification in the "
+            f"same change"
+        )
+        return 1
+    print(f"{path}: sketch recall/overhead within {budgets_path} bounds")
+    return 0
+
+
 def check_budgets(path: str, report: dict, budgets_path: str) -> int:
     budgets = load_json(budgets_path, "budgets file").get("max_share_of_stage_sum")
     if not isinstance(budgets, dict):
@@ -228,6 +311,14 @@ def run_gate(path: str, budgets_path) -> int:
         if rc == 0 and budgets_path is not None:
             rc = check_socket_budgets(path, report, budgets_path)
         return rc
+    if "sketch_bytes_ratio" in report:
+        # A sketch bench is gated on its recall/overhead bounds, not the
+        # stage-share budgets (the replay-heavy workload's stage profile
+        # differs from the pipeline bench's by design).
+        rc = check_sketch(path, report)
+        if rc == 0 and budgets_path is not None:
+            rc = check_sketch_budgets(path, report, budgets_path)
+        return rc
     if budgets_path is not None:
         rc = check_budgets(path, report, budgets_path)
     return rc
@@ -249,6 +340,9 @@ def selftest() -> int:
         ("socket_missing_counters.json", None),
         ("socket_missing_counters.json", budgets),
         ("socket_over_amplification.json", budgets),
+        ("sketch_missing_counters.json", None),
+        ("sketch_missing_counters.json", budgets),
+        ("over_budget_sketch_fuse.json", budgets),
     ]
     failures = []
     for fixture, budgets_path in cases:

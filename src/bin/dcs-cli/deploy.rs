@@ -5,9 +5,10 @@
 //! dcs-cli serve   --print-config              # JSON config template
 //! dcs-cli serve   [--config serve.json] [--bind 127.0.0.1:7400]
 //!                 [--transport udp|tcp] [--routers N] [--epochs N]
-//!                 [--resume ckpt.dcsk]
+//!                 [--no-sketch-seed] [--resume ckpt.dcsk]
 //! dcs-cli monitor [--config monitor.json] [--center 127.0.0.1:7400]
 //!                 [--router N] [--epochs N] [--infected]
+//!                 [--sketch-cap N] [--sketch-domain content|drdos|elephant]
 //! ```
 //!
 //! The centre runs one [`EpochCollector`] epoch at a time over a
@@ -131,6 +132,9 @@ pub struct ServeConfig {
     pub nack_retries: u32,
     /// Collector retransmit seed.
     pub seed: u64,
+    /// Seed the aligned search from fused sidecar sketches (advisory
+    /// only — verdicts are identical either way).
+    pub sketch_seed: bool,
 }
 
 impl Default for ServeConfig {
@@ -154,6 +158,7 @@ impl Default for ServeConfig {
             nack_cap_ticks: 512,
             nack_retries: 1_000,
             seed: 42,
+            sketch_seed: true,
         }
     }
 }
@@ -186,6 +191,12 @@ pub struct MonitorCliConfig {
     pub aligned_bits: usize,
     /// Flow-split groups.
     pub groups: usize,
+    /// Sidecar-sketch capacity (0 = no sketch; bundles stay on the
+    /// pre-artifact wire format).
+    pub sketch_cap: usize,
+    /// Sketch domain: `content`, `drdos` or `elephant`. Must match the
+    /// other monitors so the centre can merge the artifacts.
+    pub sketch_domain: String,
     /// Chunk payload bound; the default stays datagram-safe.
     pub max_payload: usize,
     /// Real duration of one tick, in microseconds.
@@ -223,6 +234,8 @@ impl Default for MonitorCliConfig {
             digest_seed: 7,
             aligned_bits: 1 << 14,
             groups: 4,
+            sketch_cap: 0,
+            sketch_domain: "content".into(),
             max_payload: DATAGRAM_SAFE_PAYLOAD,
             tick_micros: 1_000,
             resend_after: 64,
@@ -244,6 +257,14 @@ struct ReportLine {
     outcome: String,
     detection: String,
     accepted: usize,
+    /// Accepted bundles that shipped a sketch artifact.
+    sketch_artifacts: usize,
+    /// Artifacts merged into the fused epoch sketch.
+    sketch_merged: usize,
+    /// Total sketch payload bytes across the epoch.
+    sketch_bytes: u64,
+    /// Columns the fused sketch seeded into the aligned search.
+    sketch_seed_columns: Vec<usize>,
 }
 
 fn write_atomic(path: &str, bytes: &[u8]) -> std::io::Result<()> {
@@ -285,6 +306,9 @@ pub fn serve(args: &[String]) -> CliResult {
     cfg.epochs = parse_or(take_flag(&mut args, "--epochs"), cfg.epochs)?;
     cfg.min_quorum = parse_or(take_flag(&mut args, "--quorum"), cfg.min_quorum)?;
     cfg.wait_all = parse_or(take_flag(&mut args, "--wait-all"), cfg.wait_all)?;
+    if crate::take_switch(&mut args, "--no-sketch-seed") {
+        cfg.sketch_seed = false;
+    }
     if let Some(v) = take_flag(&mut args, "--checkpoint") {
         cfg.checkpoint_path = v;
     }
@@ -331,6 +355,7 @@ pub fn serve(args: &[String]) -> CliResult {
     }
     acfg.search.n_prime = 400.min(cfg.aligned_bits);
     acfg.search.hopefuls = 300.min(cfg.aligned_bits);
+    acfg = acfg.with_sketch_seed(cfg.sketch_seed);
     let center = AnalysisCenter::new(acfg);
 
     // Resume an interrupted epoch from its DCSK checkpoint, or start
@@ -426,18 +451,30 @@ fn analyse_epoch(center: &AnalysisCenter, epoch: &CollectedEpoch) -> ReportLine 
             outcome: "report".into(),
             detection: detection_fingerprint(&report),
             accepted: report.ingest.accepted.len(),
+            sketch_artifacts: report.sketch.artifacts,
+            sketch_merged: report.sketch.merged,
+            sketch_bytes: report.sketch.payload_bytes,
+            sketch_seed_columns: report.sketch.seed_columns.clone(),
         },
         Err(IngestError::QuorumTooSmall { required, report }) => ReportLine {
             epoch: epoch.epoch_id,
             outcome: format!("quorum_too_small(required {required})"),
             detection: String::new(),
             accepted: report.accepted.len(),
+            sketch_artifacts: 0,
+            sketch_merged: 0,
+            sketch_bytes: 0,
+            sketch_seed_columns: Vec::new(),
         },
         Err(IngestError::NoDigests) => ReportLine {
             epoch: epoch.epoch_id,
             outcome: "no_digests".into(),
             detection: String::new(),
             accepted: 0,
+            sketch_artifacts: 0,
+            sketch_merged: 0,
+            sketch_bytes: 0,
+            sketch_seed_columns: Vec::new(),
         },
     }
 }
@@ -494,6 +531,10 @@ pub fn monitor(args: &[String]) -> CliResult {
     cfg.router_id = parse_or(take_flag(&mut args, "--router"), cfg.router_id)?;
     cfg.epochs = parse_or(take_flag(&mut args, "--epochs"), cfg.epochs)?;
     cfg.seed = parse_or(take_flag(&mut args, "--seed"), cfg.router_id)?;
+    cfg.sketch_cap = parse_or(take_flag(&mut args, "--sketch-cap"), cfg.sketch_cap)?;
+    if let Some(v) = take_flag(&mut args, "--sketch-domain") {
+        cfg.sketch_domain = v;
+    }
     // `--infected` plants the shared content object into this monitor's
     // traffic at the soak's standard 30 packets.
     if let Some(pos) = args.iter().position(|a| a == "--infected") {
@@ -519,7 +560,10 @@ pub fn monitor(args: &[String]) -> CliResult {
         sock.set_shim(ImpairmentShim::new(impair, cfg.impair_seed));
     }
 
-    let mcfg = MonitorConfig::small(cfg.digest_seed, cfg.aligned_bits, cfg.groups);
+    let mut mcfg = MonitorConfig::small(cfg.digest_seed, cfg.aligned_bits, cfg.groups);
+    if cfg.sketch_cap > 0 {
+        mcfg = mcfg.with_sketch(crate::sketch_spec(cfg.sketch_cap, &cfg.sketch_domain)?);
+    }
     let mut mp = MonitoringPoint::new(cfg.router_id as usize, &mcfg);
     println!("monitor {}: shipping to {}", cfg.router_id, cfg.center);
 
